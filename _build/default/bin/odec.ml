@@ -1,0 +1,329 @@
+(* odec — inspect O++ event specifications from the command line.
+
+     odec parse   'after withdraw(i, q) && q > 100'
+     odec compile 'after deposit; before withdraw; after withdraw'
+     odec dot     'fa(after a, after b, after c)' > fa.dot
+     odec run     'after deposit; after withdraw' \
+                  -e 'after deposit' -e 'after withdraw'
+
+   Events for [run] are given with repeated [-e]; variables referenced by
+   masks with [-v name=value]. *)
+
+open Ode_event
+module P = Ode_lang.Parser
+module Value = Ode_base.Value
+
+let parse_expr src =
+  match P.event_of_string src with
+  | Ok e -> Ok e
+  | Error msg -> Error (`Msg ("parse error at " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_parse expr =
+  Fmt.pr "%s@." (Expr.to_string expr);
+  let leaves = Expr.logical_events expr in
+  Fmt.pr "@.%d logical events:@." (List.length leaves);
+  List.iter (fun l -> Fmt.pr "  %a@." Expr.pp (Expr.Leaf l)) leaves;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_of expr =
+  let alphabet, lowered, masks = Rewrite.build expr in
+  let compiled = Compile.compile ~m:(Rewrite.n_symbols alphabet) lowered in
+  (alphabet, lowered, masks, compiled)
+
+let cmd_compile expr =
+  match compiled_of expr with
+  | exception Invalid_argument msg -> Error (`Msg msg)
+  | alphabet, lowered, masks, compiled ->
+    Fmt.pr "%a@." Rewrite.pp alphabet;
+    Fmt.pr "lowered: %a@." Lowered.pp lowered;
+    if Array.length masks > 0 then begin
+      Fmt.pr "composite masks:@.";
+      Array.iteri (fun i m -> Fmt.pr "  m%d: %a@." i Mask.pp m) masks
+    end;
+    Array.iteri
+      (fun i level ->
+        Fmt.pr "level %d automaton (mask m%d): %d states@." i level.Compile.l_mask
+          (Dfa.n_states level.Compile.l_dfa))
+      compiled.Compile.levels;
+    Fmt.pr "top automaton: %d states over %d symbols@."
+      (Dfa.n_states compiled.Compile.top_dfa)
+      compiled.Compile.top_dfa.Dfa.m;
+    Fmt.pr "detection state: %d word(s) per active trigger per object@."
+      (Compile.n_state_words compiled);
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_dot expr =
+  match compiled_of expr with
+  | exception Invalid_argument msg -> Error (`Msg msg)
+  | alphabet, _, _, compiled ->
+    let dfa = compiled.Compile.top_dfa in
+    let sym_label s =
+      let base = s / (1 lsl Array.length compiled.Compile.top_deps) in
+      if base = Rewrite.other alphabet then "other"
+      else begin
+        let key, bits = alphabet.Rewrite.atoms.(base) in
+        Fmt.str "%a/%d" Symbol.pp_basic alphabet.Rewrite.keys.(key) bits
+      end
+    in
+    Fmt.pr "digraph event {@.  rankdir=LR;@.  node [shape=circle];@.";
+    Fmt.pr "  start [shape=point];@.  start -> %d;@." dfa.Dfa.start;
+    Array.iteri
+      (fun s acc -> if acc then Fmt.pr "  %d [shape=doublecircle];@." s)
+      dfa.Dfa.accept;
+    (* merge parallel edges *)
+    Array.iteri
+      (fun s row ->
+        let targets = Hashtbl.create 8 in
+        Array.iteri
+          (fun c q ->
+            let labels = Option.value (Hashtbl.find_opt targets q) ~default:[] in
+            Hashtbl.replace targets q (sym_label c :: labels))
+          row;
+        Hashtbl.iter
+          (fun q labels ->
+            Fmt.pr "  %d -> %d [label=\"%s\"];@." s q
+              (String.concat "\\n" (List.rev labels)))
+          targets)
+      dfa.Dfa.delta;
+    Fmt.pr "}@.";
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* An occurrence is written like a basic event with literal arguments:
+   "after withdraw(1, 200)". *)
+let parse_occurrence src : (Symbol.occurrence, [ `Msg of string ]) result =
+  let module L = Ode_lang.Lexer in
+  let err fmt = Format.kasprintf (fun m -> Error (`Msg m)) fmt in
+  match L.tokenize src with
+  | exception L.Lex_error (msg, _) -> err "bad occurrence %S: %s" src msg
+  | toks -> (
+    let tok i = if i < Array.length toks then toks.(i).L.tok else L.EOF in
+    let qualifier q name =
+      match q, name with
+      | "after", "create" -> Ok Symbol.Create
+      | "before", "delete" -> Ok Symbol.Delete
+      | q, "update" -> Ok (Symbol.Update (if q = "before" then Before else After))
+      | q, "read" -> Ok (Symbol.Read (if q = "before" then Before else After))
+      | q, "access" -> Ok (Symbol.Access (if q = "before" then Before else After))
+      | "after", "tbegin" -> Ok Symbol.Tbegin
+      | "before", "tcomplete" -> Ok Symbol.Tcomplete
+      | "after", "tcommit" -> Ok Symbol.Tcommit
+      | q, "tabort" -> Ok (Symbol.Tabort (if q = "before" then Before else After))
+      | q, name ->
+        Ok (Symbol.Method ((if q = "before" then Before else After), name))
+    in
+    match tok 0, tok 1 with
+    | L.IDENT (("before" | "after") as q), L.IDENT name -> (
+      match qualifier q name with
+      | Error _ as e -> e
+      | Ok basic -> (
+        let rec args i acc =
+          match tok i with
+          | L.RPAREN when tok (i + 1) = L.EOF -> Ok (List.rev acc)
+          | L.INT n -> next (i + 1) (Value.Int n :: acc)
+          | L.FLOAT f -> next (i + 1) (Value.Float f :: acc)
+          | L.STRING str -> next (i + 1) (Value.String str :: acc)
+          | L.MINUS -> (
+            match tok (i + 1) with
+            | L.INT n -> next (i + 2) (Value.Int (-n) :: acc)
+            | L.FLOAT f -> next (i + 2) (Value.Float (-.f) :: acc)
+            | _ -> err "bad argument in %S" src)
+          | _ -> err "bad argument list in %S" src
+        and next i acc =
+          match tok i with
+          | L.COMMA -> args (i + 1) acc
+          | L.RPAREN when tok (i + 1) = L.EOF -> Ok (List.rev acc)
+          | _ -> err "bad argument list in %S" src
+        in
+        match tok 2 with
+        | L.EOF -> Ok { Symbol.basic; args = []; at = 0L }
+        | L.LPAREN -> (
+          match args 3 [] with
+          | Ok args -> Ok { Symbol.basic; args; at = 0L }
+          | Error _ as e -> e)
+        | _ -> err "trailing tokens in %S" src))
+    | _ -> err "%S is not a basic event occurrence (expected 'before NAME' or 'after NAME')" src)
+
+let parse_binding src =
+  match String.index_opt src '=' with
+  | None -> Error (`Msg (Printf.sprintf "bad binding %S (expected name=value)" src))
+  | Some i ->
+    let name = String.sub src 0 i in
+    let v = String.sub src (i + 1) (String.length src - i - 1) in
+    let value =
+      match int_of_string_opt v, float_of_string_opt v, bool_of_string_opt v with
+      | Some n, _, _ -> Value.Int n
+      | None, Some f, _ -> Value.Float f
+      | None, None, Some b -> Value.Bool b
+      | None, None, None -> Value.String v
+    in
+    Ok (name, value)
+
+let cmd_run expr events bindings =
+  let ( let* ) = Result.bind in
+  let rec collect f acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+      let* v = f x in
+      collect f (v :: acc) rest
+  in
+  let* occurrences = collect parse_occurrence [] events in
+  let* bound = collect parse_binding [] bindings in
+  match Detector.make expr with
+  | exception Invalid_argument msg -> Error (`Msg msg)
+  | det ->
+    let env =
+      {
+        Mask.empty_env with
+        var = (fun name -> List.assoc_opt name bound);
+      }
+    in
+    let state = Detector.initial det in
+    List.iteri
+      (fun i occ ->
+        let fired = Detector.post det state ~env occ in
+        Fmt.pr "%3d  %-40s %s@." (i + 1)
+          (Fmt.str "%a" Symbol.pp_occurrence occ)
+          (if fired then "<-- event occurs" else ""))
+      occurrences;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* normalize: simplify, minimal automaton, equivalent regex             *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_normalize expr =
+  let simplified = Expr.simplify expr in
+  Fmt.pr "input:      %s@." (Expr.to_string expr);
+  Fmt.pr "simplified: %s@." (Expr.to_string simplified);
+  match compiled_of simplified with
+  | exception Invalid_argument msg -> Error (`Msg msg)
+  | _, _, masks, compiled when Array.length masks > 0 || Array.length compiled.Compile.levels > 0 ->
+    Fmt.pr "(composite masks present: no single-automaton regex view)@.";
+    Ok ()
+  | alphabet, _, _, compiled ->
+    let dfa = Dfa.minimize compiled.Compile.top_dfa in
+    Fmt.pr "minimal automaton: %d states over %d atoms + other@." (Dfa.n_states dfa)
+      (Array.length alphabet.Rewrite.atoms);
+    let regex = Regex.of_dfa dfa in
+    Fmt.pr "equivalent regex (s<i> = atom i, by Kleene state elimination):@.  %a@."
+      Regex.pp regex;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* schema: load an ODL file, optionally drive it with a script          *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_schema schema_file script_file =
+  let db = Ode_odb.Database.create_db () in
+  (* a few built-in database functions scripts tend to want *)
+  Ode_odb.Database.register_fun db "now" (fun db _ ->
+      Value.Int (Int64.to_int (Ode_odb.Database.now db)));
+  match
+    let classes = Ode_odl.Odl.load_schema_file db schema_file in
+    Fmt.pr "loaded %d class(es): %s@." (List.length classes)
+      (String.concat ", " classes);
+    (match script_file with
+    | Some path ->
+      Fmt.pr "-- running %s --@." path;
+      Ode_odl.Odl.run_script_file db path
+    | None -> ());
+    let st = Ode_odb.Database.stats db in
+    Fmt.pr "-- %d object(s), %d active trigger(s), %d bytes of detection state --@."
+      st.Ode_odb.Database.n_objects st.Ode_odb.Database.n_active_triggers
+      st.Ode_odb.Database.state_bytes
+  with
+  | () -> Ok ()
+  | exception Ode_odl.Odl.Odl_error (msg, pos) ->
+    Error (`Msg (Printf.sprintf "syntax error at offset %d: %s" pos msg))
+  | exception Ode_odb.Database.Ode_error msg -> Error (`Msg msg)
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let expr_arg =
+  let parse src = parse_expr src in
+  let print ppf e = Expr.pp ppf e in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"EVENT" ~doc:"An O++ event specification.")
+
+let events_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "event" ] ~docv:"OCCURRENCE"
+        ~doc:"A basic-event occurrence to post, e.g. 'after withdraw(1, 200)'.")
+
+let bindings_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "v"; "var" ] ~docv:"NAME=VALUE" ~doc:"Bind a mask variable.")
+
+let wrap f = Term.(term_result (const f $ expr_arg))
+
+let parse_cmd =
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print an event specification")
+    (wrap cmd_parse)
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile to finite automata and report alphabet and state counts")
+    (wrap cmd_compile)
+
+let dot_cmd =
+  Cmd.v (Cmd.info "dot" ~doc:"Emit the compiled automaton as Graphviz dot")
+    (wrap cmd_dot)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Post a sequence of occurrences and show detections")
+    Term.(term_result (const cmd_run $ expr_arg $ events_arg $ bindings_arg))
+
+let schema_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCHEMA.odl" ~doc:"An ODL class-declaration file.")
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "script" ] ~docv:"FILE" ~doc:"A transaction script to run against the schema.")
+
+let schema_cmd =
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Load an ODL schema and optionally run a transaction script")
+    Term.(term_result (const cmd_schema $ schema_file_arg $ script_arg))
+
+let normalize_cmd =
+  Cmd.v
+    (Cmd.info "normalize"
+       ~doc:"Simplify an event specification and show its minimal automaton and regex")
+    (wrap cmd_normalize)
+
+let () =
+  let doc = "composite trigger events, compiled to finite automata (SIGMOD '92)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "odec" ~doc)
+          [ parse_cmd; compile_cmd; dot_cmd; run_cmd; schema_cmd; normalize_cmd ]))

@@ -1,0 +1,1 @@
+examples/audit.ml: Database Filename Fmt History List Ode_base Ode_event Ode_odb Sys

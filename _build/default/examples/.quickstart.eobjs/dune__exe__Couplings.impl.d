@@ -1,0 +1,1 @@
+examples/couplings.ml: Coupling Expr Fmt List Mask Ode_base Ode_event Ode_odb Printf

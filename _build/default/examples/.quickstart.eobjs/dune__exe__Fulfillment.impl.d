@@ -1,0 +1,1 @@
+examples/fulfillment.ml: Dump Fmt Fulfillment Ode_odb Ode_scenarios

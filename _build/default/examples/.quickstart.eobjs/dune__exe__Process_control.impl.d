@@ -1,0 +1,1 @@
+examples/process_control.ml: Fmt Ode_scenarios

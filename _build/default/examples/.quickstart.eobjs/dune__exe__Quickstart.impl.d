@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Ode_base Ode_odb

@@ -1,0 +1,1 @@
+examples/stockroom.ml: Fmt Int64 List Ode_odb Ode_scenarios

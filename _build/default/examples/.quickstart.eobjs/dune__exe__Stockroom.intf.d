@@ -1,0 +1,1 @@
+examples/stockroom.mli:

@@ -1,0 +1,1 @@
+examples/trade_surveillance.ml: Fmt Format List Ode_base Ode_odb

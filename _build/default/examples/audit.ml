@@ -1,0 +1,89 @@
+(* Auditing a database with the paper's extension features:
+   - database-scope events (§3 "events have a scope"): schema changes and
+     a census of object creation;
+   - recorded event histories with queries (§9 future work);
+   - persistence of objects and in-flight detection state.
+
+   Run with:  dune exec examples/audit.exe *)
+
+open Ode_odb
+module D = Database
+module Value = Ode_base.Value
+
+let widget name =
+  D.define_class name
+  |> (fun b -> D.field b "v" (Value.Int 0))
+  |> fun b ->
+  D.method_ b ~kind:D.Updating "poke" (fun db oid _ ->
+      D.set_field db oid "v" (Value.add (D.get_field db oid "v") (Value.Int 1));
+      Value.Unit)
+
+let () =
+  let db = D.create_db () in
+  D.enable_history db ~limit:64;
+
+  (* database-scope triggers *)
+  D.db_trigger_str db ~perpetual:true "schema_audit" ~event:"after defclass"
+    ~action:(fun _ ctx ->
+      match ctx.D.fc_occurrence.args with
+      | [ Value.String name ] -> Fmt.pr "  [schema] class %s defined@." name
+      | _ -> ());
+  D.db_trigger_str db ~perpetual:true "census" ~event:"every 3 (after create)"
+    ~action:(fun _ _ -> Fmt.pr "  [census] another 3 objects created@.");
+  D.db_trigger_str db ~perpetual:true "sensor_watch"
+    ~event:"after create(o, cls) && cls == \"sensor\""
+    ~action:(fun _ ctx -> Fmt.pr "  [watch] sensor @%d created@." ctx.D.fc_oid);
+  List.iter (fun t -> D.activate_db_trigger db t []) [ "schema_audit"; "census"; "sensor_watch" ];
+
+  Fmt.pr "registering classes:@.";
+  D.register_class db (widget "sensor");
+  D.register_class db (widget "actuator");
+
+  Fmt.pr "@.creating objects:@.";
+  let oids =
+    match
+      D.with_txn db (fun _ ->
+          let s1 = D.create db "sensor" [] in
+          let a1 = D.create db "actuator" [] in
+          let s2 = D.create db "sensor" [] in
+          let a2 = D.create db "actuator" [] in
+          [ s1; a1; s2; a2 ])
+    with
+    | Ok oids -> oids
+    | Error `Aborted -> failwith "abort"
+  in
+  let first = List.hd oids in
+
+  Fmt.pr "@.poking the first sensor twice (one aborted):@.";
+  (match D.with_txn db (fun _ -> ignore (D.call db first "poke" [])) with
+  | Ok () -> ()
+  | Error `Aborted -> ());
+  let tx = D.begin_txn db in
+  ignore (D.call db first "poke" []);
+  D.abort db tx (* the aborted poke still reaches the true history (§6) *);
+
+  let h = D.object_history db first in
+  Fmt.pr "history of @%d: %d events, %d pokes (%d in aborted work), last: %s@." first
+    (List.length h)
+    (List.length (History.methods_named "poke" h) / 2)
+    ((History.count
+        (fun r ->
+          match r.History.h_occurrence.Ode_event.Symbol.basic with
+          | Ode_event.Symbol.Tabort _ -> true
+          | _ -> false)
+        h)
+    / 2)
+    (match History.last (fun _ -> true) h with
+    | Some r -> Fmt.str "%a" History.pp_record r
+    | None -> "-");
+
+  (* persistence round trip *)
+  let path = Filename.temp_file "ode_audit" ".img" in
+  D.save db path;
+  let db2 = D.create_db () in
+  D.register_class db2 (widget "sensor");
+  D.register_class db2 (widget "actuator");
+  D.load db2 path;
+  Fmt.pr "@.saved and reloaded: %d objects, sensor value %a@."
+    (D.stats db2).D.n_objects Value.pp (D.get_field db2 first "v");
+  Sys.remove path

@@ -1,0 +1,86 @@
+(* §7: the nine E-C-A coupling modes as plain event expressions.
+
+   For each mode this prints the generated O++ event expression and when
+   it fires across a commit and an abort scenario.
+
+   Run with:  dune exec examples/couplings.exe *)
+
+open Ode_event
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+
+type phase = Body | Commit_processing | Post of string
+
+let run_scenario ~commits =
+  let db = D.create_db () in
+  let fired : (Coupling.mode * phase) list ref = ref [] in
+  let stage = ref Body in
+  let observed = ref (-1) in
+  D.register_fun db "cond" (fun _ _ -> Value.Bool true);
+  let builder =
+    List.fold_left
+      (fun b mode ->
+        D.trigger b ~perpetual:true (Coupling.name mode)
+          ~event:
+            (Coupling.expression mode ~event:(Expr.after "edit")
+               ~cond:(Mask.Call ("cond", [])))
+          ~action:(fun db _ ->
+            let phase =
+              match !stage with
+              | Body -> Body
+              | other -> (
+                match D.current_txn db with
+                | Some tx when D.txn_id tx = !observed -> Commit_processing
+                | _ -> other)
+            in
+            fired := (mode, phase) :: !fired))
+      (D.define_class "doc" |> fun b ->
+       D.method_ b ~kind:D.Updating "edit" (fun _ _ _ -> Value.Unit))
+      Coupling.all
+  in
+  D.register_class db builder;
+  let oid =
+    match
+      D.with_txn db (fun _ ->
+          let oid = D.create db "doc" [] in
+          List.iter (fun m -> D.activate db oid (Coupling.name m) []) Coupling.all;
+          oid)
+    with
+    | Ok oid -> oid
+    | Error `Aborted -> failwith "setup aborted"
+  in
+  fired := [];
+  let tx = D.begin_txn db in
+  observed := D.txn_id tx;
+  stage := Body;
+  ignore (D.call db oid "edit" []);
+  stage := Post (if commits then "after tcommit" else "after tabort");
+  if commits then ignore (D.commit db tx) else D.abort db tx;
+  List.rev !fired
+
+let () =
+  Fmt.pr "The nine coupling modes as E-A event expressions (E = after edit, C = cond()):@.@.";
+  List.iter
+    (fun mode ->
+      Fmt.pr "  %-22s %s@." (Coupling.name mode)
+        (Expr.to_string
+           (Coupling.expression mode ~event:(Expr.after "edit")
+              ~cond:(Mask.Call ("cond", [])))))
+    Coupling.all;
+
+  let describe = function
+    | Body -> "while the body runs"
+    | Commit_processing -> "at before tcomplete"
+    | Post s -> Printf.sprintf "in a system txn (%s)" s
+  in
+  let show title records =
+    Fmt.pr "@.%s@." title;
+    List.iter
+      (fun mode ->
+        match List.assoc_opt mode records with
+        | Some phase -> Fmt.pr "  %-22s fires %s@." (Coupling.name mode) (describe phase)
+        | None -> Fmt.pr "  %-22s (silent)@." (Coupling.name mode))
+      Coupling.all
+  in
+  show "Transaction that COMMITS:" (run_scenario ~commits:true);
+  show "Transaction that ABORTS:" (run_scenario ~commits:false)

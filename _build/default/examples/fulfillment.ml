@@ -1,0 +1,50 @@
+(* Order fulfillment as a long-running activity (§1, §7):
+   state/sequence enforcement, commit-coupled billing, timer escalation
+   and database-scope auditing — all as composite-event triggers.
+
+   Run with:  dune exec examples/fulfillment.exe *)
+
+open Ode_scenarios
+module F = Fulfillment
+module D = Ode_odb.Database
+
+let describe t o = Fmt.pr "  order @%d: %s@." o (F.status t o)
+
+let () =
+  let t = F.setup () in
+  Fmt.pr "placing two orders...@.";
+  let a = F.place t in
+  let b = F.place t in
+  describe t a;
+  describe t b;
+
+  Fmt.pr "@.trying to ship @%d before it was picked:@." a;
+  (match F.ship t a with
+  | Ok () -> ()
+  | Error `Aborted -> Fmt.pr "  rejected — ship_check: !prior(after pick, before ship)@.");
+
+  Fmt.pr "@.picking and shipping @%d (billing fires at commit):@." a;
+  ignore (F.pick t a);
+  ignore (F.ship t a);
+  describe t a;
+  Fmt.pr "  billed so far: %a@." Fmt.(Dump.list int) t.F.billed;
+
+  Fmt.pr "@.an aborted shipment of @%d must not bill:@." b;
+  ignore (F.pick t b);
+  let tx = D.begin_txn t.F.db in
+  ignore (D.call t.F.db b "ship" []);
+  D.abort t.F.db tx;
+  describe t b;
+  Fmt.pr "  billed so far: %a@." Fmt.(Dump.list int) t.F.billed;
+
+  Fmt.pr "@.a third order sits unpicked for 49 hours:@.";
+  let stuck = F.place t in
+  F.hours t 49;
+  Fmt.pr "  escalated: %a@." Fmt.(Dump.list int) t.F.escalated;
+  ignore stuck;
+
+  Fmt.pr "@.placing 20 more orders (database-scope census every 10):@.";
+  for _ = 1 to 20 do
+    ignore (F.place t)
+  done;
+  Fmt.pr "  volume reports: %d@." t.F.volume_reports

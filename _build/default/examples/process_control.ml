@@ -1,0 +1,35 @@
+(* The paper's §3.5 process-control vessel: a pressure drop followed by a
+   valve opening (motorStart then motorStop) calls for a pressure check.
+
+   Run with:  dune exec examples/process_control.exe *)
+
+module P = Ode_scenarios.Process_control
+
+let show p label = Fmt.pr "%-34s checks=%d@." label (P.checks p)
+
+let () =
+  let p = P.setup ~low_limit:2.0 () in
+  Fmt.pr "vessel created: low_limit=2.0, pressure=10.0@.";
+  Fmt.pr "trigger T: relative(pressure < low_limit, relative(after motorStart, after motorStop))@.@.";
+
+  (* valve cycles before any pressure drop: nothing should happen *)
+  P.motor_start p;
+  P.motor_stop p;
+  show p "valve cycle, pressure normal";
+
+  (* the pressure drops... *)
+  P.set_pressure p 1.5;
+  show p "pressure drops to 1.5";
+
+  (* ... and then the valve opens: motorStart followed by motorStop *)
+  P.motor_start p;
+  show p "motor started";
+  P.motor_stop p;
+  show p "motor stopped (valve open)";
+
+  (* T is an ordinary trigger: deactivated once fired; re-arm it *)
+  P.rearm p;
+  P.set_pressure p 0.5;
+  P.motor_start p;
+  P.motor_stop p;
+  show p "second drop + valve cycle"

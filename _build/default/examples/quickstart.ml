@@ -1,0 +1,76 @@
+(* Quickstart: an account class with two composite-event triggers.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+
+let () =
+  let db = D.create_db () in
+
+  (* A class is fields + member functions + triggers. Trigger events are
+     written in the paper's O++ event sub-language. *)
+  let account =
+    D.define_class "account"
+      ~constructor:(fun db oid _ ->
+        (* arm the triggers when an account is created *)
+        D.activate db oid "overdraft_guard" [];
+        D.activate db oid "third_big_deposit" [])
+    |> (fun b -> D.field b "balance" (Value.Int 0))
+    |> (fun b ->
+         D.method_ b ~arity:1 ~kind:D.Updating "deposit" (fun db oid args ->
+             let q = List.hd args in
+             D.set_field db oid "balance" (Value.add (D.get_field db oid "balance") q);
+             Value.Unit))
+    |> (fun b ->
+         D.method_ b ~arity:1 ~kind:D.Updating "withdraw" (fun db oid args ->
+             let q = List.hd args in
+             D.set_field db oid "balance" (Value.sub (D.get_field db oid "balance") q);
+             Value.Unit))
+    (* An object-state event: fires when the balance falls below 0.
+       The bare boolean expression abbreviates
+       (after update | after create) && balance < 0 — and the action
+       aborts the transaction, undoing the withdrawal. *)
+    |> (fun b ->
+         D.trigger_str b ~perpetual:true "overdraft_guard" ~event:"balance < 0"
+           ~action:(fun _ _ ->
+             print_endline "  !! overdraft attempt: aborting the transaction";
+             raise D.Tabort))
+    (* A composite event: the third large deposit, counted with the
+       paper's choose operator, with a mask over the method parameter. *)
+    |> fun b ->
+    D.trigger_str b "third_big_deposit"
+      ~event:"choose 3 (after deposit(q) && q >= 1000)"
+      ~action:(fun db ctx ->
+        Fmt.pr "  ** third big deposit on @%d (balance %a) — thanks!@."
+          ctx.D.fc_oid Value.pp
+          (D.get_field db ctx.D.fc_oid "balance"))
+  in
+  D.register_class db account;
+
+  let ok = function Ok v -> v | Error `Aborted -> failwith "unexpected abort" in
+  let acct = ok (D.with_txn db (fun _ -> D.create db "account" [])) in
+
+  let deposit q =
+    ignore (D.with_txn db (fun _ -> D.call db acct "deposit" [ Value.Int q ]))
+  and withdraw q =
+    match D.with_txn db (fun _ -> D.call db acct "withdraw" [ Value.Int q ]) with
+    | Ok _ -> Fmt.pr "withdraw %d: ok@." q
+    | Error `Aborted -> Fmt.pr "withdraw %d: rejected@." q
+  in
+
+  Fmt.pr "depositing 1200, 50, 3000, 9000...@.";
+  deposit 1200;
+  deposit 50;
+  deposit 3000;
+  deposit 9000 (* <- the third deposit >= 1000 fires here *);
+
+  Fmt.pr "balance: %a@." Value.pp (D.get_field db acct "balance");
+  withdraw 5000;
+  withdraw 50_000 (* would overdraw: the trigger aborts it *);
+  Fmt.pr "final balance: %a@." Value.pp (D.get_field db acct "balance");
+
+  Fmt.pr "@.firing log:@.";
+  List.iter
+    (fun f -> Fmt.pr "  %s.%s fired on @%d (txn %d)@." f.D.f_class f.D.f_trigger f.D.f_oid f.D.f_txn)
+    (D.take_firings db)

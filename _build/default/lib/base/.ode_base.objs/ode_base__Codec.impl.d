@@ -1,0 +1,1 @@
+lib/base/codec.ml: Array Buffer Char Int64 List Printf String Sys Value

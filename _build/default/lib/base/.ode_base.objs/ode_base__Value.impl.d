@@ -1,0 +1,1 @@
+lib/base/value.ml: Bool Float Fmt Int Printf String

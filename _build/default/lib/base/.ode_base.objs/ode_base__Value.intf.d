@@ -1,0 +1,1 @@
+lib/base/value.mli: Format

@@ -1,0 +1,110 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Oid of int
+
+type ty = Tunit | Tbool | Tint | Tfloat | Tstring | Toid
+
+exception Type_error of string
+
+let type_of = function
+  | Unit -> Tunit
+  | Bool _ -> Tbool
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | String _ -> Tstring
+  | Oid _ -> Toid
+
+let ty_name = function
+  | Tunit -> "unit"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Toid -> "oid"
+
+let type_error op v =
+  raise (Type_error (Printf.sprintf "%s: unexpected %s" op (ty_name (type_of v))))
+
+let type_error2 op v1 v2 =
+  raise
+    (Type_error
+       (Printf.sprintf "%s: unexpected %s, %s" op
+          (ty_name (type_of v1))
+          (ty_name (type_of v2))))
+
+let ty_rank = function
+  | Tunit -> 0
+  | Tbool -> 1
+  | Tint -> 2
+  | Tfloat -> 3
+  | Tstring -> 4
+  | Toid -> 5
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Unit, Unit -> 0
+  | Bool b1, Bool b2 -> Bool.compare b1 b2
+  | Int i1, Int i2 -> Int.compare i1 i2
+  | Float f1, Float f2 -> Float.compare f1 f2
+  | Int i, Float f -> Float.compare (float_of_int i) f
+  | Float f, Int i -> Float.compare f (float_of_int i)
+  | String s1, String s2 -> String.compare s1 s2
+  | Oid o1, Oid o2 -> Int.compare o1 o2
+  | (Unit | Bool _ | Int _ | Float _ | String _ | Oid _), _ ->
+    Int.compare (ty_rank (type_of v1)) (ty_rank (type_of v2))
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Oid o -> Fmt.pf ppf "@%d" o
+
+let to_string v = Fmt.str "%a" pp v
+
+let to_bool = function Bool b -> b | v -> type_error "to_bool" v
+let to_int = function Int i -> i | v -> type_error "to_int" v
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "to_float" v
+
+let to_oid = function Oid o -> o | v -> type_error "to_oid" v
+
+let add v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int (i1 + i2)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float v1 +. to_float v2)
+  | String s1, String s2 -> String (s1 ^ s2)
+  | _ -> type_error2 "add" v1 v2
+
+let sub v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int (i1 - i2)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float v1 -. to_float v2)
+  | _ -> type_error2 "sub" v1 v2
+
+let mul v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int (i1 * i2)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float v1 *. to_float v2)
+  | _ -> type_error2 "mul" v1 v2
+
+let div v1 v2 =
+  match v1, v2 with
+  | Int i1, Int i2 -> Int (i1 / i2)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (to_float v1 /. to_float v2)
+  | _ -> type_error2 "div" v1 v2
+
+let neg = function
+  | Int i -> Int (-i)
+  | Float f -> Float (-.f)
+  | v -> type_error "neg" v

@@ -1,0 +1,51 @@
+(** Dynamic values.
+
+    Ode objects store typed fields and method parameters; masks are
+    evaluated over them. O++ piggybacks on C++'s static types; in this
+    embedded setting we use a small dynamic universe instead, checked at
+    mask-evaluation time. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Oid of int  (** reference to a persistent object by identity *)
+
+type ty = Tunit | Tbool | Tint | Tfloat | Tstring | Toid
+
+exception Type_error of string
+(** Raised by coercions and by arithmetic/comparison helpers when the
+    operand types do not fit. *)
+
+val type_of : t -> ty
+val ty_name : ty -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: values of distinct types are ordered by type; numeric
+    comparisons across [Int]/[Float] coerce to float. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Checked projections; raise [Type_error]. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_oid : t -> int
+
+(** Arithmetic over [Int]/[Float] with numeric promotion; raise
+    [Type_error] on other types. [add] also concatenates strings. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div] raises [Division_by_zero] on integer division by zero. *)
+
+val neg : t -> t

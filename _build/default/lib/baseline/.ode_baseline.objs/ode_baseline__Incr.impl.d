@@ -1,0 +1,1 @@
+lib/baseline/incr.ml: Array Fun List Lowered Ode_event

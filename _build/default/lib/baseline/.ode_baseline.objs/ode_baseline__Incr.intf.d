@@ -1,0 +1,1 @@
+lib/baseline/incr.mli: Ode_event

@@ -1,0 +1,1 @@
+lib/baseline/reeval.ml: Array Hashtbl List Lowered Ode_event Semantics

@@ -1,0 +1,1 @@
+lib/baseline/reeval.mli: Ode_event

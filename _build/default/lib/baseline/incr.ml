@@ -1,0 +1,311 @@
+open Ode_event
+
+(* A live evaluator for one subtree, fed one symbol at a time. Composite
+   nodes own child instances; sequencing nodes spawn new right-operand
+   instances as their left operand occurs.
+
+   Masked composites are anchored to the full history (see DESIGN.md): a
+   global evaluator per masked node computes a derived flag each step, and
+   occurrences of [Masked] leaves inside spawned instances read that flag,
+   exactly as the hierarchical automata do. *)
+
+type inst = {
+  step : flags:bool array -> mask:(int -> bool) -> int -> bool;
+  count : unit -> int;
+}
+
+type fa_inst = { fi_b : inst; fi_g : inst option; mutable fi_alive : bool }
+
+(* After [strip] (below), [Masked (False, idx)] is a marker leaf reading
+   derived flag [idx]; no other [Masked] nodes remain. *)
+let rec instantiate (e : Lowered.t) : inst =
+  match e with
+  | False -> { step = (fun ~flags:_ ~mask:_ _ -> false); count = (fun () -> 1) }
+  | Atom sel ->
+    { step = (fun ~flags:_ ~mask:_ sym -> sel.(sym)); count = (fun () -> 1) }
+  | Masked (False, idx) ->
+    { step = (fun ~flags ~mask:_ _ -> flags.(idx)); count = (fun () -> 1) }
+  | Masked (_, _) -> assert false
+  | Or (a, b) ->
+    let ia = instantiate a and ib = instantiate b in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let ra = ia.step ~flags ~mask sym in
+          let rb = ib.step ~flags ~mask sym in
+          ra || rb);
+      count = (fun () -> ia.count () + ib.count ());
+    }
+  | And (a, b) ->
+    let ia = instantiate a and ib = instantiate b in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let ra = ia.step ~flags ~mask sym in
+          let rb = ib.step ~flags ~mask sym in
+          ra && rb);
+      count = (fun () -> ia.count () + ib.count ());
+    }
+  | Not a ->
+    let ia = instantiate a in
+    {
+      step = (fun ~flags ~mask sym -> not (ia.step ~flags ~mask sym));
+      count = ia.count;
+    }
+  | Relative (a, b) ->
+    let ia = instantiate a in
+    let rights = ref [] in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let occurred =
+            List.fold_left
+              (fun acc ib -> ib.step ~flags ~mask sym || acc)
+              false !rights
+          in
+          if ia.step ~flags ~mask sym then rights := instantiate b :: !rights;
+          occurred);
+      count =
+        (fun () ->
+          ia.count () + List.fold_left (fun acc i -> acc + i.count ()) 0 !rights);
+    }
+  | Relative_plus a ->
+    let links = ref [ instantiate a ] in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let occurred =
+            List.fold_left (fun acc i -> i.step ~flags ~mask sym || acc) false !links
+          in
+          if occurred then links := instantiate a :: !links;
+          occurred);
+      count = (fun () -> List.fold_left (fun acc i -> acc + i.count ()) 0 !links);
+    }
+  | Relative_n (n, a) ->
+    let links = ref [ (1, instantiate a) ] in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let hits =
+            List.filter_map
+              (fun (level, i) -> if i.step ~flags ~mask sym then Some level else None)
+              !links
+          in
+          let occurred = List.exists (fun level -> level >= n) hits in
+          (* levels at or above n behave identically; cap to bound state *)
+          let spawn_levels =
+            List.sort_uniq compare (List.map (fun l -> min (l + 1) n) hits)
+          in
+          List.iter (fun level -> links := (level, instantiate a) :: !links) spawn_levels;
+          occurred);
+      count = (fun () -> List.fold_left (fun acc (_, i) -> acc + i.count ()) 0 !links);
+    }
+  | Prior (a, b) ->
+    let ia = instantiate a and ib = instantiate b in
+    let seen_a = ref false in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let rb = ib.step ~flags ~mask sym in
+          let ra = ia.step ~flags ~mask sym in
+          let occurred = rb && !seen_a in
+          if ra then seen_a := true;
+          occurred);
+      count = (fun () -> ia.count () + ib.count ());
+    }
+  | Prior_n (n, a) ->
+    let ia = instantiate a in
+    let hits = ref 0 in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          if ia.step ~flags ~mask sym then begin
+            incr hits;
+            !hits >= n
+          end
+          else false);
+      count = ia.count;
+    }
+  | Sequence (a, b) ->
+    let ia = instantiate a and ib = instantiate b in
+    let prev_a = ref false in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let rb = ib.step ~flags ~mask sym in
+          let ra = ia.step ~flags ~mask sym in
+          let occurred = rb && !prev_a in
+          prev_a := ra;
+          occurred);
+      count = (fun () -> ia.count () + ib.count ());
+    }
+  | Sequence_n (n, a) ->
+    let ia = instantiate a in
+    let window = ref [] (* most recent first, at most n-1 entries *) in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let ra = ia.step ~flags ~mask sym in
+          let occurred =
+            ra && List.length !window >= n - 1 && List.for_all Fun.id !window
+          in
+          window :=
+            (if n <= 1 then []
+             else ra :: List.filteri (fun i _ -> i < n - 2) !window);
+          occurred);
+      count = ia.count;
+    }
+  | Choose (n, a) ->
+    let ia = instantiate a in
+    let hits = ref 0 in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          if ia.step ~flags ~mask sym then begin
+            incr hits;
+            !hits = n
+          end
+          else false);
+      count = ia.count;
+    }
+  | Every (n, a) ->
+    let ia = instantiate a in
+    let hits = ref 0 in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          if ia.step ~flags ~mask sym then begin
+            incr hits;
+            !hits mod n = 0
+          end
+          else false);
+      count = ia.count;
+    }
+  | Fa (a, b, g) ->
+    let ia = instantiate a in
+    let live = ref [] in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let occurred = ref false in
+          List.iter
+            (fun fi ->
+              if fi.fi_alive then begin
+                let b_occ = fi.fi_b.step ~flags ~mask sym in
+                let g_occ =
+                  match fi.fi_g with
+                  | Some g -> g.step ~flags ~mask sym
+                  | None -> false
+                in
+                if b_occ then begin
+                  (* first F of this window; G at the same point does not
+                     block (§3.4) *)
+                  occurred := true;
+                  fi.fi_alive <- false
+                end
+                else if g_occ then fi.fi_alive <- false
+              end)
+            !live;
+          live := List.filter (fun fi -> fi.fi_alive) !live;
+          if ia.step ~flags ~mask sym then
+            live :=
+              { fi_b = instantiate b; fi_g = Some (instantiate g); fi_alive = true }
+              :: !live;
+          !occurred);
+      count =
+        (fun () ->
+          ia.count ()
+          + List.fold_left
+              (fun acc fi ->
+                acc + fi.fi_b.count ()
+                + match fi.fi_g with Some g -> g.count () | None -> 0)
+              0 !live);
+    }
+  | Fa_abs (a, b, g) ->
+    let ia = instantiate a in
+    let ig = instantiate g in
+    let live = ref [] in
+    {
+      step =
+        (fun ~flags ~mask sym ->
+          let g_occ = ig.step ~flags ~mask sym in
+          let occurred = ref false in
+          List.iter
+            (fun fi ->
+              if fi.fi_alive then begin
+                let b_occ = fi.fi_b.step ~flags ~mask sym in
+                if b_occ then begin
+                  occurred := true;
+                  fi.fi_alive <- false
+                end
+                else if g_occ then fi.fi_alive <- false
+              end)
+            !live;
+          live := List.filter (fun fi -> fi.fi_alive) !live;
+          if ia.step ~flags ~mask sym then
+            live := { fi_b = instantiate b; fi_g = None; fi_alive = true } :: !live;
+          !occurred);
+      count =
+        (fun () ->
+          ia.count () + ig.count ()
+          + List.fold_left (fun acc fi -> acc + fi.fi_b.count ()) 0 !live);
+    }
+
+(* Replace Masked nodes by marker leaves, collecting (mask id, body)
+   levels innermost-first — the same flattening as Compile. *)
+let strip expr =
+  let levels = ref [] in
+  let n = ref 0 in
+  let rec go (e : Lowered.t) : Lowered.t =
+    match e with
+    | False | Atom _ -> e
+    | Or (a, b) -> Or (go a, go b)
+    | And (a, b) -> And (go a, go b)
+    | Not a -> Not (go a)
+    | Relative (a, b) -> Relative (go a, go b)
+    | Relative_plus a -> Relative_plus (go a)
+    | Relative_n (k, a) -> Relative_n (k, go a)
+    | Prior (a, b) -> Prior (go a, go b)
+    | Prior_n (k, a) -> Prior_n (k, go a)
+    | Sequence (a, b) -> Sequence (go a, go b)
+    | Sequence_n (k, a) -> Sequence_n (k, go a)
+    | Choose (k, a) -> Choose (k, go a)
+    | Every (k, a) -> Every (k, go a)
+    | Fa (a, b, g) -> Fa (go a, go b, go g)
+    | Fa_abs (a, b, g) -> Fa_abs (go a, go b, go g)
+    | Masked (a, mask_id) ->
+      let body = go a in
+      let idx = !n in
+      incr n;
+      levels := (mask_id, body) :: !levels;
+      Masked (False, idx)
+  in
+  let top = go expr in
+  (List.rev !levels, top)
+
+type t = {
+  levels : (int * inst) array;  (* (mask id, global evaluator), innermost first *)
+  top : inst;
+  flags : bool array;
+}
+
+let make expr =
+  let levels, top = strip expr in
+  {
+    levels = Array.of_list (List.map (fun (id, body) -> (id, instantiate body)) levels);
+    top = instantiate top;
+    flags = Array.make (List.length levels) false;
+  }
+
+let post t ~mask sym =
+  Array.iteri
+    (fun i (mask_id, inst) ->
+      let occ = inst.step ~flags:t.flags ~mask sym in
+      t.flags.(i) <- occ && mask mask_id)
+    t.levels;
+  t.top.step ~flags:t.flags ~mask sym
+
+let instance_count t =
+  Array.fold_left (fun acc (_, i) -> acc + i.count ()) (t.top.count ()) t.levels
+
+let state_bytes t = 48 * instance_count t

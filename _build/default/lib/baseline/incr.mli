@@ -1,0 +1,23 @@
+(** Operator-tree detection baseline, in the style of Snoop
+    (Chakravarthy & Mishra 1991, the paper's §8 comparator).
+
+    Each operator node keeps {e partial-match instances}: a [relative]
+    node, for example, spawns a fresh evaluator of its right operand every
+    time its left operand occurs. Per-event cost and memory are
+    proportional to the number of live instances, which grows with the
+    history for sequencing operators — the contrast with the paper's
+    single-automaton, single-integer detection (benchmarks E1/E3). *)
+
+type t
+
+val make : Ode_event.Lowered.t -> t
+
+val post : t -> mask:(int -> bool) -> int -> bool
+(** Feed the next symbol; report whether the event occurs at this point.
+    [mask] gives the current truth of each composite mask. *)
+
+val instance_count : t -> int
+(** Live partial-match instances across the whole tree. *)
+
+val state_bytes : t -> int
+(** Rough resident size: instances × a small per-instance cost. *)

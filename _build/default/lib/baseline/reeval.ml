@@ -1,0 +1,42 @@
+open Ode_event
+
+type t = {
+  expr : Lowered.t;
+  mutable history : int array;  (* capacity-doubling buffer *)
+  mutable len : int;
+  mask_ids : int list;
+  mask_log : (int * int, bool) Hashtbl.t;  (* (mask id, position) -> value *)
+}
+
+let make expr =
+  {
+    expr;
+    history = Array.make 16 0;
+    len = 0;
+    mask_ids = Lowered.mask_ids expr;
+    mask_log = Hashtbl.create 16;
+  }
+
+let append t sym =
+  if t.len = Array.length t.history then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.history 0 bigger 0 t.len;
+    t.history <- bigger
+  end;
+  t.history.(t.len) <- sym;
+  t.len <- t.len + 1
+
+let post t ~mask sym =
+  let pos = t.len in
+  append t sym;
+  List.iter (fun id -> Hashtbl.replace t.mask_log (id, pos) (mask id)) t.mask_ids;
+  let oracle id p = try Hashtbl.find t.mask_log (id, p) with Not_found -> false in
+  let labels =
+    Semantics.eval ~oracle t.expr (Array.sub t.history 0 t.len)
+  in
+  labels.(pos)
+
+let history_length t = t.len
+
+let state_bytes t =
+  (8 * Array.length t.history) + (24 * Hashtbl.length t.mask_log)

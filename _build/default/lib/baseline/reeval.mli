@@ -1,0 +1,21 @@
+(** Naive detection baseline: keep the whole event history and re-run the
+    denotational evaluator after every posting.
+
+    This is what an active database without compiled automata would do;
+    per-event cost grows (at least) linearly with the history, versus the
+    O(1) automaton step of {!Ode_event.Compile}. Used by benchmark E1. *)
+
+type t
+
+val make : Ode_event.Lowered.t -> t
+
+val post : t -> mask:(int -> bool) -> int -> bool
+(** Append a symbol, re-evaluate, and report occurrence at the new point.
+    [mask] gives the current truth of each composite mask; earlier values
+    are remembered, since the §3.2 semantics evaluates each mask as of its
+    event's occurrence time. *)
+
+val history_length : t -> int
+val state_bytes : t -> int
+(** Approximate resident size of the detector state (the stored history
+    plus remembered mask values). *)

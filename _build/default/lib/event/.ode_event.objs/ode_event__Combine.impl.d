@@ -1,0 +1,1 @@
+lib/event/combine.ml: Array Compile Dfa Expr Fun Hashtbl List Rewrite String Symbol

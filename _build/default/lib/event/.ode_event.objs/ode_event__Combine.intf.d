@@ -1,0 +1,1 @@
+lib/event/combine.mli: Expr Mask Rewrite Symbol

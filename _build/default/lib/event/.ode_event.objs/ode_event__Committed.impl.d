@@ -1,0 +1,1 @@
+lib/event/committed.ml: Array Dfa Hashtbl List

@@ -1,0 +1,1 @@
+lib/event/committed.mli: Dfa

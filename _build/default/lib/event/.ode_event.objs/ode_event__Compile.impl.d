@@ -1,0 +1,1 @@
+lib/event/compile.ml: Array Dfa Hashtbl List Lowered Nfa

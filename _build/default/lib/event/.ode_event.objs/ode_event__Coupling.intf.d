@@ -1,0 +1,1 @@
+lib/event/coupling.mli: Expr Mask

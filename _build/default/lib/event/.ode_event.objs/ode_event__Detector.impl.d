@@ -1,0 +1,1 @@
+lib/event/detector.ml: Array Compile Expr List Mask Ode_base Rewrite Symbol

@@ -1,0 +1,1 @@
+lib/event/detector.mli: Compile Expr Mask Ode_base Rewrite Symbol

@@ -1,0 +1,1 @@
+lib/event/dfa.ml: Array Fmt Fun Hashtbl List Printf Queue

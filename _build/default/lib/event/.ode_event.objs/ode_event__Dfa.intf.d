@@ -1,0 +1,1 @@
+lib/event/dfa.mli: Format

@@ -1,0 +1,1 @@
+lib/event/expr.ml: Fmt Format Hashtbl List Mask Symbol

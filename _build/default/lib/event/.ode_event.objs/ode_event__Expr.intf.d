@@ -1,0 +1,1 @@
+lib/event/expr.mli: Format Mask Symbol

@@ -1,0 +1,1 @@
+lib/event/lowered.ml: Array Fmt Hashtbl List

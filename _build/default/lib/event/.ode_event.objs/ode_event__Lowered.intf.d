@@ -1,0 +1,1 @@
+lib/event/lowered.mli: Format

@@ -1,0 +1,1 @@
+lib/event/mask.ml: Fmt Format Hashtbl List Ode_base Stdlib

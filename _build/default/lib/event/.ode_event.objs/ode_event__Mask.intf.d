@@ -1,0 +1,1 @@
+lib/event/mask.mli: Format Ode_base

@@ -1,0 +1,1 @@
+lib/event/nfa.ml: Array Bitset Dfa Hashtbl List

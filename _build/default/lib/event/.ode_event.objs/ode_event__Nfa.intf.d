@@ -1,0 +1,1 @@
+lib/event/nfa.mli: Dfa

@@ -1,0 +1,1 @@
+lib/event/provenance.ml: Array Expr List Mask Ode_base Rewrite Symbol

@@ -1,0 +1,1 @@
+lib/event/provenance.mli: Expr Mask Ode_base Symbol

@@ -1,0 +1,1 @@
+lib/event/regex.ml: Array Dfa Fmt Hashtbl Int List Nfa Option

@@ -1,0 +1,1 @@
+lib/event/regex.mli: Dfa Format Nfa

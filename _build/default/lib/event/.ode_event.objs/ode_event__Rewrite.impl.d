@@ -1,0 +1,1 @@
+lib/event/rewrite.ml: Array Expr Fmt Hashtbl List Lowered Mask Ode_base Symbol

@@ -1,0 +1,1 @@
+lib/event/rewrite.mli: Expr Format Hashtbl Lowered Mask Symbol

@@ -1,0 +1,1 @@
+lib/event/semantics.ml: Array Hashtbl List Lowered

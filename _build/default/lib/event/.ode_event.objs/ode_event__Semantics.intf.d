@@ -1,0 +1,1 @@
+lib/event/semantics.mli: Lowered

@@ -1,0 +1,1 @@
+lib/event/symbol.ml: Fmt List Ode_base Option Stdlib

@@ -1,0 +1,1 @@
+lib/event/symbol.mli: Format Ode_base

@@ -1,0 +1,1 @@
+lib/event/translate.ml: Array Lowered Option Regex

@@ -1,0 +1,1 @@
+lib/event/translate.mli: Lowered Regex

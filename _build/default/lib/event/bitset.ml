@@ -1,0 +1,48 @@
+type t = { cap : int; bits : Bytes.t }
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { cap; bits = Bytes.make ((cap + 7) / 8) '\000' }
+
+let capacity t = t.cap
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let is_empty t = Bytes.for_all (fun c -> c = '\000') t.bits
+let equal t1 t2 = t1.cap = t2.cap && Bytes.equal t1.bits t2.bits
+
+let union_into dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset.union_into";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let b = Char.code (Bytes.get dst.bits i) lor Char.code (Bytes.get src.bits i) in
+    Bytes.set dst.bits i (Char.chr b)
+  done
+
+let iter f t =
+  for i = 0 to t.cap - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+let key t = Bytes.to_string t.bits
+
+let of_list cap xs =
+  let t = create cap in
+  List.iter (add t) xs;
+  t

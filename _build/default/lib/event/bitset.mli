@@ -1,0 +1,27 @@
+(** Fixed-capacity bit sets over [0 .. capacity-1].
+
+    Used as state sets during subset construction. The string key makes a
+    set usable directly as a hash-table key. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set able to hold [0..capacity-1]. *)
+
+val capacity : t -> int
+val copy : t -> t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every element of [src] to [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val key : t -> string
+(** Canonical key: two sets of equal capacity have equal keys iff they are
+    equal. *)
+
+val of_list : int -> int list -> t

@@ -1,0 +1,143 @@
+type t = {
+  union : Rewrite.t;
+  dfa : Dfa.t;
+  accepts : bool array array;  (* state -> trigger -> accept *)
+  relevant : bool array array;  (* union symbol -> trigger -> relevant *)
+  parts_states : int;
+}
+
+let rec has_composite_mask (e : Expr.t) =
+  match e with
+  | Leaf _ -> false
+  | Masked (_, _) -> true
+  | Not e | Relative_plus e | Relative_n (_, e) | Prior_n (_, e)
+  | Sequence_n (_, e) | Choose (_, e) | Every (_, e) ->
+    has_composite_mask e
+  | Or (e1, e2) | And (e1, e2) -> has_composite_mask e1 || has_composite_mask e2
+  | Relative es | Prior es | Sequence es -> List.exists has_composite_mask es
+  | Fa (e, f, g) | Fa_abs (e, f, g) ->
+    has_composite_mask e || has_composite_mask f || has_composite_mask g
+
+(* For one trigger: map each union symbol to the trigger's own symbol, or
+   None when the occurrence is not one of this trigger's logical events. *)
+let symbol_map (union : Rewrite.t) (own : Rewrite.t) =
+  let find_own_key basic =
+    let found = ref None in
+    Array.iteri
+      (fun k b -> if Symbol.equal_basic b basic then found := Some k)
+      own.Rewrite.keys;
+    !found
+  in
+  Array.map
+    (fun (k_u, bits_u) ->
+      let basic = union.Rewrite.keys.(k_u) in
+      match find_own_key basic with
+      | None -> None
+      | Some k_o ->
+        let union_guards = union.Rewrite.guards.(k_u) in
+        let own_guards = own.Rewrite.guards.(k_o) in
+        let bits_o = ref 0 in
+        Array.iteri
+          (fun j g ->
+            Array.iteri
+              (fun ju gu -> if gu = g && bits_u land (1 lsl ju) <> 0 then bits_o := !bits_o lor (1 lsl j))
+              union_guards)
+          own_guards;
+        if !bits_o = 0 then None
+        else Rewrite.atom_lookup own ~key:k_o ~bits:!bits_o)
+    union.Rewrite.atoms
+
+(* Lift a DFA over the trigger's own alphabet to the union alphabet:
+   irrelevant symbols leave the state unchanged (per-trigger history). *)
+let skip_lift ~m_union ~map (d : Dfa.t) : Dfa.t =
+  let n = Dfa.n_states d in
+  let delta =
+    Array.init n (fun q ->
+        Array.init m_union (fun s ->
+            if s >= Array.length map then q (* union "other" *)
+            else match map.(s) with Some o -> d.Dfa.delta.(q).(o) | None -> q))
+  in
+  { Dfa.m = m_union; start = d.Dfa.start; accept = Array.copy d.Dfa.accept; delta }
+
+let make exprs =
+  if exprs = [] then invalid_arg "Combine.make: no triggers";
+  List.iter
+    (fun e ->
+      if has_composite_mask e then
+        invalid_arg "Combine.make: composite masks cannot be combined")
+    exprs;
+  let union_expr =
+    match exprs with e :: rest -> List.fold_left (fun a b -> Expr.Or (a, b)) e rest | [] -> assert false
+  in
+  let union, _, _ = Rewrite.build union_expr in
+  let m_union = Rewrite.n_symbols union in
+  let parts =
+    List.map
+      (fun e ->
+        let own, lowered, _ = Rewrite.build e in
+        let d = Compile.compile_pure ~m:(Rewrite.n_symbols own) lowered in
+        let map = symbol_map union own in
+        (skip_lift ~m_union ~map d, map))
+      exprs
+  in
+  let k = List.length parts in
+  let lifted = Array.of_list (List.map fst parts) in
+  let maps = Array.of_list (List.map snd parts) in
+  let parts_states = Array.fold_left (fun acc d -> acc + Dfa.n_states d) 0 lifted in
+  (* product over reachable tuples *)
+  let index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rows = ref [] in
+  let count = ref 0 in
+  let key_of tuple = String.concat "," (Array.to_list (Array.map string_of_int tuple)) in
+  let rec visit tuple =
+    let key = key_of tuple in
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Dfa.check_limit !count;
+      Hashtbl.add index key i;
+      let row = Array.make m_union 0 in
+      rows := (i, tuple, row) :: !rows;
+      for s = 0 to m_union - 1 do
+        let next = Array.mapi (fun t q -> lifted.(t).Dfa.delta.(q).(s)) tuple in
+        row.(s) <- visit next
+      done;
+      i
+  in
+  let start = visit (Array.map (fun d -> d.Dfa.start) lifted) in
+  let n = !count in
+  let accept = Array.make n false in
+  let delta = Array.make n [||] in
+  let accepts = Array.make n [||] in
+  List.iter
+    (fun (i, tuple, row) ->
+      delta.(i) <- row;
+      accepts.(i) <- Array.mapi (fun t q -> lifted.(t).Dfa.accept.(q)) tuple;
+      accept.(i) <- Array.exists Fun.id accepts.(i))
+    !rows;
+  let dfa = { Dfa.m = m_union; start; accept; delta } in
+  let relevant =
+    Array.init m_union (fun s ->
+        Array.init k (fun t ->
+            s < Array.length union.Rewrite.atoms && maps.(t).(s) <> None))
+  in
+  { union; dfa; accepts; relevant; parts_states }
+
+let n_triggers t = if Array.length t.accepts = 0 then 0 else Array.length t.accepts.(0)
+let n_states t = Dfa.n_states t.dfa
+let sum_of_parts t = t.parts_states
+let initial t = t.dfa.Dfa.start
+let union_alphabet t = t.union
+
+let post t state ~env occurrence =
+  let s = Rewrite.classify t.union ~env occurrence in
+  if s = Rewrite.other t.union then (state, Array.make (n_triggers t) false)
+  else begin
+    let state' = Dfa.step t.dfa state s in
+    let fired =
+      Array.mapi (fun i acc -> acc && t.relevant.(s).(i)) t.accepts.(state')
+    in
+    (state', fired)
+  end

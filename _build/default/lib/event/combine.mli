@@ -1,0 +1,43 @@
+(** One automaton per class (§5, footnote 5).
+
+    The paper's baseline implementation keeps one automaton per trigger
+    definition. Its footnote observes that "in many cases such automata
+    may be combined into one, resulting in a more efficient monitoring".
+    This module performs that optimization: the trigger events of a class
+    are compiled over a {e shared} disjoint alphabet, each trigger's DFA
+    is lifted so that symbols outside its own logical events leave its
+    state unchanged (per-trigger histories, see {!Detector.post}), and
+    the lifted automata are combined into a single product whose states
+    carry one acceptance bit per trigger.
+
+    The object then stores a {e single} integer for the whole trigger
+    section, and each posting costs one classification plus one table
+    lookup, instead of one per trigger. The price is the product state
+    space, measured in benchmark E9.
+
+    Restriction: composite masks ([&& mask] on a composite event) are
+    per-trigger runtime state and are not combined; [make] raises
+    [Invalid_argument] for such expressions. *)
+
+type t
+
+val make : Expr.t list -> t
+(** Compile the trigger events of one class into a combined automaton.
+    Raises [Invalid_argument] on invalid expressions, composite masks, or
+    atom/state blowup (see {!Rewrite.max_atoms}, {!Dfa.state_limit}). *)
+
+val n_triggers : t -> int
+val n_states : t -> int
+
+val sum_of_parts : t -> int
+(** Total states of the individual (lifted) automata, for comparison. *)
+
+val initial : t -> int
+
+val post : t -> int -> env:Mask.env -> Symbol.occurrence -> int * bool array
+(** [post t state ~env occurrence] classifies the occurrence once against
+    the shared alphabet and advances the combined automaton. Returns the
+    new state and, per trigger, whether that trigger's event occurred at
+    this point. The returned array is fresh. *)
+
+val union_alphabet : t -> Rewrite.t

@@ -1,0 +1,75 @@
+let lift (a : Dfa.t) ~tbegin ~tcommit ~tabort =
+  let m = a.Dfa.m in
+  for s = 0 to m - 1 do
+    let count =
+      (if tbegin s then 1 else 0)
+      + (if tcommit s then 1 else 0)
+      + if tabort s then 1 else 0
+    in
+    if count > 1 then invalid_arg "Committed.lift: overlapping classifications"
+  done;
+  let index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rows = ref [] in
+  let count = ref 0 in
+  let rec visit (q, p) =
+    match Hashtbl.find_opt index (q, p) with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.add index (q, p) i;
+      let row = Array.make m 0 in
+      rows := (i, (q, p), row) :: !rows;
+      for s = 0 to m - 1 do
+        let target =
+          if tcommit s then
+            let r = a.delta.(q).(s) in
+            (r, r)
+          else if tabort s then (p, p)
+          else if tbegin s then (a.delta.(q).(s), q)
+          else (a.delta.(q).(s), p)
+        in
+        row.(s) <- visit target
+      done;
+      i
+  in
+  let start = visit (a.start, a.start) in
+  let n = !count in
+  let accept = Array.make n false in
+  let delta = Array.make n [||] in
+  List.iter
+    (fun (i, (q, _), row) ->
+      accept.(i) <- a.accept.(q);
+      delta.(i) <- row)
+    !rows;
+  { Dfa.m; start; accept; delta }
+
+let project history ~tbegin ~tcommit ~tabort =
+  let out = ref [] in
+  (* [pending] buffers the current open transaction (reversed); on commit
+     it is flushed, on abort it is dropped. Symbols outside a transaction
+     go straight out. *)
+  let pending = ref None in
+  Array.iter
+    (fun s ->
+      match !pending with
+      | None ->
+        if tbegin s then pending := Some [ s ]
+        else if tabort s then () (* stray abort: nothing to erase *)
+        else out := s :: !out
+      | Some buf ->
+        if tabort s then pending := None
+        else if tcommit s then begin
+          out := s :: List.rev_append (List.rev buf) !out;
+          pending := None
+        end
+        else if tbegin s then begin
+          (* nested begins are not produced by the database layer; treat
+             the previous transaction as implicitly closed-committed *)
+          out := List.rev_append (List.rev buf) !out;
+          pending := Some [ s ]
+        end
+        else pending := Some (s :: buf))
+    history;
+  let tail = match !pending with None -> [] | Some buf -> buf in
+  Array.of_list (List.rev (List.rev_append (List.rev tail) !out))

@@ -1,0 +1,38 @@
+(** The committed-history construction of paper §6.
+
+    An event expression may be read against the {e committed} history
+    (operations of aborted transactions excised) or the {e full} history.
+    The paper proves that any automaton [A] for the committed reading can
+    be converted into an automaton [A'] over the full history whose states
+    are pairs [(a, b)]: [a] is the state [A] is "really" in, [b] the state
+    [A] was in just before the most recent [after tbegin]. On
+    [after tcommit] the pair solidifies to [(r, r)]; on a [tabort] event
+    it rolls back to [(b, b)].
+
+    The symbol classification is given by predicates because, at the
+    automaton level, several alphabet symbols may represent the same
+    transaction event (mask variants, extended alphabets). *)
+
+val lift :
+  Dfa.t ->
+  tbegin:(int -> bool) ->
+  tcommit:(int -> bool) ->
+  tabort:(int -> bool) ->
+  Dfa.t
+(** [lift a ~tbegin ~tcommit ~tabort] is [A'] as above, restricted to
+    reachable pairs (so its state count is at most [n² ]). The three
+    predicates must be pairwise disjoint on symbols. Acceptance of a
+    prefix of the full history equals [a]'s acceptance of that prefix's
+    committed projection, where an open transaction's operations are
+    included until it aborts. *)
+
+val project :
+  int array ->
+  tbegin:(int -> bool) ->
+  tcommit:(int -> bool) ->
+  tabort:(int -> bool) ->
+  int array
+(** The committed projection of a full history: drop every segment from a
+    [tbegin] symbol through its closing [tabort] symbol, inclusive
+    (operations of an open transaction are kept). Used by tests to state
+    the §6 equivalence. *)

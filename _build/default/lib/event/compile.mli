@@ -1,0 +1,66 @@
+(** Compilation of event expressions to finite automata (paper §5).
+
+    A mask-free expression compiles to a single minimized DFA over the
+    disjoint-atom alphabet; the detection state is then exactly one
+    integer — the paper's "one word per active trigger per object".
+
+    Expressions with composite masks ([Lowered.Masked]) compile to a small
+    stack of {e hierarchical} automata: each masked subexpression gets its
+    own DFA, and its mask-filtered acceptance becomes a {e derived symbol}
+    in the alphabet of the automata above it (base atoms × derived-bit
+    subsets). Detection state is one integer per level. *)
+
+type level = {
+  l_mask : int;  (** mask-table index filtering this level's acceptance *)
+  l_deps : int array;
+      (** derived events this level's expression references (indices of
+          lower levels), ascending *)
+  l_dfa : Dfa.t;  (** over the extended alphabet [m * 2^|l_deps|] *)
+}
+
+type t = {
+  base_m : int;  (** atom alphabet size, including "other" *)
+  levels : level array;  (** innermost first; one per [Masked] node *)
+  top_deps : int array;
+  top_dfa : Dfa.t;
+}
+
+val minimization : bool ref
+(** Minimize intermediate automata during compilation (default [true]).
+    Exposed for the E10 ablation benchmark; leave on in production. *)
+
+val compile : m:int -> Lowered.t -> t
+(** [m] must match the selectors' length in the expression's [Atom]s. *)
+
+val compile_pure : m:int -> Lowered.t -> Dfa.t
+(** Single-automaton compilation; raises [Invalid_argument] if the
+    expression contains [Masked] nodes. *)
+
+val n_state_words : t -> int
+(** Integers of per-object detection state (levels + 1). *)
+
+val total_dfa_states : t -> int
+
+type state = int array
+
+val initial : t -> state
+
+val step : t -> state -> int -> mask:(int -> bool) -> bool
+(** [step t state symbol ~mask] advances every level on the base [symbol]
+    (extended with derived bits computed level by level), consulting
+    [mask mask_id] whenever a level's DFA accepts, and returns whether the
+    top-level event occurs at this point. [state] is updated in place. *)
+
+val run : t -> mask:(int -> int -> bool) -> int array -> bool array
+(** Run over a whole history; [mask mask_id position]. Fresh state. *)
+
+(** Building blocks, exposed for tests and for {!Committed}: *)
+
+val counting :
+  Dfa.t -> [ `Exact of int | `At_least of int | `Mod of int ] -> Dfa.t
+(** Counting construction: occurrences of the argument language are
+    numbered 1, 2, …; accept those whose index matches the condition. *)
+
+val first_match : Dfa.t -> Dfa.t -> Dfa.t
+(** [first_match f g] accepts the words of [L(f)] none of whose proper
+    nonempty prefixes lie in [L(f) ∪ L(g)] — the core of [fa]. *)

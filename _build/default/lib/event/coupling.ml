@@ -1,0 +1,52 @@
+type mode =
+  | Immediate_immediate
+  | Immediate_deferred
+  | Immediate_dependent
+  | Immediate_independent
+  | Deferred_immediate
+  | Deferred_dependent
+  | Deferred_independent
+  | Dependent_immediate
+  | Independent_immediate
+
+let all =
+  [
+    Immediate_immediate; Immediate_deferred; Immediate_dependent;
+    Immediate_independent; Deferred_immediate; Deferred_dependent;
+    Deferred_independent; Dependent_immediate; Independent_immediate;
+  ]
+
+let name = function
+  | Immediate_immediate -> "immediate-immediate"
+  | Immediate_deferred -> "immediate-deferred"
+  | Immediate_dependent -> "immediate-dependent"
+  | Immediate_independent -> "immediate-independent"
+  | Deferred_immediate -> "deferred-immediate"
+  | Deferred_dependent -> "deferred-dependent"
+  | Deferred_independent -> "deferred-independent"
+  | Dependent_immediate -> "dependent-immediate"
+  | Independent_immediate -> "independent-immediate"
+
+let tbegin = Expr.leaf Symbol.Tbegin
+let tcomplete = Expr.leaf Symbol.Tcomplete
+let tcommit = Expr.leaf Symbol.Tcommit
+let tabort = Expr.leaf (Symbol.Tabort After)
+let ended = Expr.(tcommit |: tabort)
+
+(* fa(E, before tcomplete, after tbegin): E's transaction reaches its
+   commit attempt with no new transaction having begun in between. *)
+let deferred event = Expr.fa event tcomplete tbegin
+
+let expression mode ~event ~cond =
+  match mode with
+  | Immediate_immediate -> Expr.masked event cond
+  | Immediate_deferred -> Expr.fa (Expr.masked event cond) tcomplete tbegin
+  | Immediate_dependent -> Expr.fa (Expr.masked event cond) tcommit tbegin
+  | Immediate_independent -> Expr.fa (Expr.masked event cond) ended tbegin
+  | Deferred_immediate -> Expr.masked (deferred event) cond
+  | Deferred_dependent ->
+    Expr.fa (Expr.masked (deferred event) cond) tcommit tbegin
+  | Deferred_independent ->
+    Expr.fa (Expr.masked (deferred event) cond) ended tbegin
+  | Dependent_immediate -> Expr.masked (Expr.fa event tcommit tbegin) cond
+  | Independent_immediate -> Expr.masked (Expr.fa event ended tbegin) cond

@@ -1,0 +1,33 @@
+(** The E-A reading of E-C-A coupling modes (paper §7).
+
+    The E-C-A model needs 4×4 coupling modes between event, condition and
+    action. The paper's point is that with rich enough event expressions
+    no coupling vocabulary is needed: each mode is just an event
+    expression over transaction events. [expression] builds the paper's
+    nine listed encodings verbatim. *)
+
+type mode =
+  | Immediate_immediate
+      (** condition checked when E occurs, action runs immediately in the
+          same transaction *)
+  | Immediate_deferred
+  | Immediate_dependent
+  | Immediate_independent
+  | Deferred_immediate
+      (** identical to deferred-deferred, as the paper notes *)
+  | Deferred_dependent
+  | Deferred_independent
+  | Dependent_immediate
+  | Independent_immediate
+
+val all : mode list
+val name : mode -> string
+
+val tbegin : Expr.t
+val tcomplete : Expr.t
+val tcommit : Expr.t
+val tabort : Expr.t  (** [after tabort] *)
+
+val expression : mode -> event:Expr.t -> cond:Mask.t -> Expr.t
+(** The §7 trigger event for [mode], e.g. [Immediate_deferred] is
+    [fa (E && C, before tcomplete, after tbegin)]. *)

@@ -1,0 +1,67 @@
+module Codec = Ode_base.Codec
+
+type mode = Full_history | Committed
+
+type t = {
+  expr : Expr.t;
+  alphabet : Rewrite.t;
+  masks : Mask.t array;
+  compiled : Compile.t;
+  mode : mode;
+}
+
+type state = int array
+
+let make ?(mode = Full_history) expr =
+  let alphabet, lowered, masks = Rewrite.build expr in
+  let compiled = Compile.compile ~m:(Rewrite.n_symbols alphabet) lowered in
+  { expr; alphabet; masks; compiled; mode }
+
+let initial t = Compile.initial t.compiled
+let n_state_words t = Compile.n_state_words t.compiled
+
+let post t state ~env occurrence =
+  let sym = Rewrite.classify t.alphabet ~env occurrence in
+  (* §5: the automaton is advanced only "for each active trigger for which
+     a logical event has occurred". An occurrence matching none of this
+     trigger's logical events is not part of its history at all — it must
+     not break adjacency (sequence) or feed negations. *)
+  if sym = Rewrite.other t.alphabet then false
+  else
+    let mask id = Mask.eval_bool env t.masks.(id) in
+    Compile.step t.compiled state sym ~mask
+
+let copy_state = Array.copy
+
+let collect t ~env (occurrence : Symbol.occurrence) =
+  let alphabet = t.alphabet in
+  let bindings = ref [] in
+  Array.iteri
+    (fun k basic ->
+      if Symbol.equal_basic basic occurrence.basic then
+        Array.iter
+          (fun (g : Rewrite.guard) ->
+            if g.g_formals <> [] && Rewrite.guard_matches ~env occurrence g then
+              List.iteri
+                (fun i (f : Expr.formal) ->
+                  match List.nth_opt occurrence.args i with
+                  | Some v -> bindings := (f.f_name, v) :: !bindings
+                  | None -> ())
+                g.g_formals)
+          alphabet.Rewrite.guards.(k))
+    alphabet.Rewrite.keys;
+  List.rev !bindings
+
+let encode_state t state =
+  if Array.length state <> n_state_words t then
+    invalid_arg "Detector.encode_state: size mismatch";
+  let w = Codec.writer () in
+  Codec.write_array w Codec.write_int state;
+  Codec.contents w
+
+let decode_state t s =
+  let r = Codec.reader s in
+  let state = Codec.read_array r Codec.read_int in
+  if Array.length state <> n_state_words t then
+    raise (Codec.Corrupt "Detector.decode_state: size mismatch");
+  state

@@ -1,0 +1,66 @@
+(** Runtime event detection for one trigger definition (paper §5).
+
+    A detector is compiled once per trigger {e definition} — in an
+    object-oriented system all objects of a class share it, exactly as the
+    paper stores one transition table per class. Each activated trigger on
+    each object then carries only the automaton state: a single integer
+    per automaton level (one, for mask-free-composite triggers). *)
+
+type mode =
+  | Full_history
+      (** aborted transactions' events remain in the history; the
+          detection state is {e not} rolled back on abort *)
+  | Committed
+      (** the history contains only committed work; the database layer
+          restores the detection state from its undo log on abort (§6's
+          "state is part of the object" option) *)
+
+type t = {
+  expr : Expr.t;
+  alphabet : Rewrite.t;
+  masks : Mask.t array;  (** composite-mask table *)
+  compiled : Compile.t;
+  mode : mode;
+}
+
+type state = int array
+
+val make : ?mode:mode -> Expr.t -> t
+(** Compile a trigger event specification. Raises [Invalid_argument] on
+    invalid expressions (see {!Expr.validate}) or §5 atom blowup beyond
+    {!Rewrite.max_atoms}. Default mode is [Full_history]. *)
+
+val initial : t -> state
+val n_state_words : t -> int
+
+val post : t -> state -> env:Mask.env -> Symbol.occurrence -> bool
+(** Classify the occurrence against the trigger's logical events (basic
+    event kind, arity, masks — evaluated in [env] with the occurrence's
+    arguments bound), advance the automaton stack, and report whether the
+    trigger event occurred at this point. Composite masks are evaluated
+    against [env] "now". [state] is updated in place.
+
+    Per §5, a trigger's history contains only its {e own} logical events:
+    an occurrence that matches none of them leaves the state untouched
+    (it does not break [sequence] adjacency and is invisible to [!]).
+    This is what makes the paper's T8 — "a deposit immediately followed
+    by a withdrawal" — detectable even though every method call also
+    posts access/update events. *)
+
+val copy_state : state -> state
+
+val collect :
+  t -> env:Mask.env -> Symbol.occurrence -> (string * Ode_base.Value.t) list
+(** Parameter collection — the paper's §9 future-work item "incorporation
+    of arguments into composite event specification". For each of this
+    trigger's logical events that the occurrence matches and that declares
+    formals, bind the formal names to the occurrence's arguments. The
+    database layer accumulates these bindings per activation
+    (latest-occurrence-wins) and hands them to the action when the
+    composite event fires. *)
+
+val encode_state : t -> state -> string
+val decode_state : t -> string -> state
+(** Persistence of per-object trigger state. [decode_state] raises
+    [Ode_base.Codec.Corrupt] on malformed input or state/automaton size
+    mismatch. *)

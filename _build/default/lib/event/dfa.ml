@@ -1,0 +1,210 @@
+type t = {
+  m : int;
+  start : int;
+  accept : bool array;
+  delta : int array array;
+}
+
+let n_states t = Array.length t.accept
+
+let state_limit = ref 1_000_000
+
+let check_limit n =
+  if n > !state_limit then
+    invalid_arg
+      (Printf.sprintf "Dfa: automaton exceeds the state limit (%d > %d)" n !state_limit)
+
+let check t =
+  let n = n_states t in
+  if t.m <= 0 then invalid_arg "Dfa: empty alphabet";
+  if n = 0 then invalid_arg "Dfa: no states";
+  if t.start < 0 || t.start >= n then invalid_arg "Dfa: bad start";
+  if Array.length t.delta <> n then invalid_arg "Dfa: delta size";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.m then invalid_arg "Dfa: delta row size";
+      Array.iter (fun q -> if q < 0 || q >= n then invalid_arg "Dfa: bad target") row)
+    t.delta
+
+let step t s c = t.delta.(s).(c)
+let accepts_state t s = t.accept.(s)
+
+let run t word =
+  let s = Array.fold_left (fun s c -> step t s c) t.start word in
+  t.accept.(s)
+
+let run_prefixes t word =
+  let s = ref t.start in
+  Array.map
+    (fun c ->
+      s := step t !s c;
+      t.accept.(!s))
+    word
+
+let empty ~m =
+  { m; start = 0; accept = [| false |]; delta = [| Array.make m 0 |] }
+
+let leaf ~m sel =
+  let row = Array.init m (fun c -> if sel c then 1 else 0) in
+  { m; start = 0; accept = [| false; true |]; delta = [| row; Array.copy row |] }
+
+let reachable t =
+  let n = n_states t in
+  let index = Array.make n (-1) in
+  let order = ref [] in
+  let count = ref 0 in
+  let rec visit s =
+    if index.(s) < 0 then begin
+      index.(s) <- !count;
+      incr count;
+      order := s :: !order;
+      Array.iter visit t.delta.(s)
+    end
+  in
+  visit t.start;
+  if !count = n then t
+  else begin
+    let old_of_new = Array.make !count 0 in
+    List.iter (fun s -> old_of_new.(index.(s)) <- s) !order;
+    {
+      m = t.m;
+      start = index.(t.start);
+      accept = Array.map (fun s -> t.accept.(s)) old_of_new;
+      delta = Array.map (fun s -> Array.map (fun q -> index.(q)) t.delta.(s)) old_of_new;
+    }
+  end
+
+(* Moore's algorithm: refine the accept/reject partition by transition
+   signatures until stable. *)
+let minimize t =
+  let t = reachable t in
+  let n = n_states t in
+  let cls = Array.map (fun a -> if a then 1 else 0) t.accept in
+  let n_cls = ref 2 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let table : (int list, int) Hashtbl.t = Hashtbl.create (2 * n) in
+    let next = Array.make n 0 in
+    let fresh = ref 0 in
+    for s = 0 to n - 1 do
+      let signature = cls.(s) :: Array.to_list (Array.map (fun q -> cls.(q)) t.delta.(s)) in
+      let c =
+        match Hashtbl.find_opt table signature with
+        | Some c -> c
+        | None ->
+          let c = !fresh in
+          incr fresh;
+          Hashtbl.add table signature c;
+          c
+      in
+      next.(s) <- c
+    done;
+    if !fresh <> !n_cls then begin
+      changed := true;
+      n_cls := !fresh
+    end;
+    Array.blit next 0 cls 0 n
+  done;
+  let k = !n_cls in
+  let rep = Array.make k (-1) in
+  for s = n - 1 downto 0 do
+    rep.(cls.(s)) <- s
+  done;
+  {
+    m = t.m;
+    start = cls.(t.start);
+    accept = Array.init k (fun c -> t.accept.(rep.(c)));
+    delta = Array.init k (fun c -> Array.map (fun q -> cls.(q)) t.delta.(rep.(c)));
+  }
+
+let complement t =
+  let accept = Array.map not t.accept in
+  if not accept.(t.start) then { t with accept }
+  else begin
+    (* Clone the start state so the empty word stays rejected while every
+       nonempty word behaves as in the flipped automaton. *)
+    let n = Array.length accept in
+    let accept = Array.append accept [| false |] in
+    let delta = Array.append t.delta [| Array.copy t.delta.(t.start) |] in
+    { m = t.m; start = n; accept; delta }
+  end
+
+let product comb t1 t2 =
+  if t1.m <> t2.m then invalid_arg "Dfa.product: alphabet mismatch";
+  let m = t1.m in
+  let index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let rec visit p =
+    match Hashtbl.find_opt index p with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      check_limit !count;
+      Hashtbl.add index p i;
+      let s1, s2 = p in
+      let row = Array.make m 0 in
+      states := (i, p, row) :: !states;
+      Array.iteri (fun c _ -> row.(c) <- visit (t1.delta.(s1).(c), t2.delta.(s2).(c))) row;
+      i
+  in
+  let start = visit (t1.start, t2.start) in
+  let n = !count in
+  let accept = Array.make n false in
+  let delta = Array.make n [||] in
+  List.iter
+    (fun (i, (s1, s2), row) ->
+      accept.(i) <- comb t1.accept.(s1) t2.accept.(s2);
+      delta.(i) <- row)
+    !states;
+  { m; start; accept; delta }
+
+let inter = product ( && )
+let union = product ( || )
+let diff = product (fun a b -> a && not b)
+
+let is_empty_lang t =
+  let t = reachable t in
+  not (Array.exists Fun.id t.accept)
+
+let counterexample t1 t2 =
+  if t1.m <> t2.m then invalid_arg "Dfa.counterexample: alphabet mismatch";
+  let m = t1.m in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Queue.add ((t1.start, t2.start), []) q;
+  Hashtbl.add seen (t1.start, t2.start) ();
+  let rec bfs () =
+    if Queue.is_empty q then None
+    else begin
+      let (s1, s2), path = Queue.pop q in
+      if t1.accept.(s1) <> t2.accept.(s2) then
+        Some (Array.of_list (List.rev path))
+      else begin
+        for c = 0 to m - 1 do
+          let p = (t1.delta.(s1).(c), t2.delta.(s2).(c)) in
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.add seen p ();
+            Queue.add (p, c :: path) q
+          end
+        done;
+        bfs ()
+      end
+    end
+  in
+  bfs ()
+
+let equal_lang t1 t2 = counterexample t1 t2 = None
+let included t1 t2 = is_empty_lang (diff t1 t2)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dfa: %d states, alphabet %d, start %d@," (n_states t) t.m t.start;
+  Array.iteri
+    (fun s row ->
+      Fmt.pf ppf "  %c%d:" (if t.accept.(s) then '*' else ' ') s;
+      Array.iteri (fun c q -> Fmt.pf ppf " %d->%d" c q) row;
+      Fmt.cut ppf ())
+    t.delta;
+  Fmt.pf ppf "@]"

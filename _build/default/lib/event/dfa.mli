@@ -1,0 +1,72 @@
+(** Deterministic finite automata over a dense alphabet [0 .. m-1].
+
+    Every automaton in this library is complete: [delta.(s).(c)] is defined
+    for all states [s] and symbols [c]. Event languages never contain the
+    empty word (an event needs an occurrence point), and all constructors
+    here preserve that invariant; [complement] is taken within [Σ+]. *)
+
+type t = {
+  m : int;  (** alphabet size *)
+  start : int;
+  accept : bool array;  (** indexed by state; length = number of states *)
+  delta : int array array;  (** [delta.(state).(symbol)] *)
+}
+
+val n_states : t -> int
+
+val state_limit : int ref
+(** Safety cap on constructed automata (default [1_000_000] states).
+    {!Nfa.determinize} and the product constructions raise
+    [Invalid_argument] beyond it — complements of concatenations can
+    otherwise explode exponentially. *)
+
+val check_limit : int -> unit
+(** Raise [Invalid_argument] if the count exceeds {!state_limit}. *)
+
+val check : t -> unit
+(** Validate structural invariants; raises [Invalid_argument]. *)
+
+val step : t -> int -> int -> int
+(** [step dfa state symbol] is the successor state. *)
+
+val accepts_state : t -> int -> bool
+
+val run : t -> int array -> bool
+(** [run dfa word] is acceptance of the whole word from [start]. *)
+
+val run_prefixes : t -> int array -> bool array
+(** [run_prefixes dfa word] gives, for each position [p], acceptance of
+    [word.(0..p)] — i.e. whether the event "occurs at point p". *)
+
+val empty : m:int -> t
+(** The empty language. *)
+
+val leaf : m:int -> (int -> bool) -> t
+(** [leaf ~m sel] recognizes [Σ* · S] where [S = { c | sel c }]: the
+    language of a logical event, "the last point is an occurrence of a
+    symbol in S". *)
+
+val reachable : t -> t
+(** Drop unreachable states. *)
+
+val minimize : t -> t
+(** Moore partition refinement over reachable states. *)
+
+val complement : t -> t
+(** Complement within [Σ+]: the result never accepts the empty word even
+    if the input's start state was accepting. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+(** Reachable product constructions; operands must share [m]. *)
+
+val is_empty_lang : t -> bool
+
+val counterexample : t -> t -> int array option
+(** A shortest word accepted by exactly one of the two automata, if any. *)
+
+val equal_lang : t -> t -> bool
+val included : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

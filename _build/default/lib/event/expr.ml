@@ -1,0 +1,240 @@
+type formal = { f_ty : string option; f_name : string }
+
+type leaf = {
+  basic : Symbol.basic;
+  formals : formal list;
+  mask : Mask.t option;
+}
+
+type t =
+  | Leaf of leaf
+  | Or of t * t
+  | And of t * t
+  | Not of t
+  | Relative of t list
+  | Relative_plus of t
+  | Relative_n of int * t
+  | Prior of t list
+  | Prior_n of int * t
+  | Sequence of t list
+  | Sequence_n of int * t
+  | Choose of int * t
+  | Every of int * t
+  | Fa of t * t * t
+  | Fa_abs of t * t * t
+  | Masked of t * Mask.t
+
+let leaf ?(formals = []) ?mask basic = Leaf { basic; formals; mask }
+let before ?formals ?mask name = leaf ?formals ?mask (Symbol.Method (Before, name))
+let after ?formals ?mask name = leaf ?formals ?mask (Symbol.Method (After, name))
+let method_any name = Or (before name, after name)
+let state_event mask = Masked (Or (leaf (Update After), leaf Create), mask)
+
+let curried op = function
+  | [] -> invalid_arg "event operator needs at least one argument"
+  | [ e ] -> e
+  | es -> op es
+
+let relative es = curried (fun es -> Relative es) es
+let prior es = curried (fun es -> Prior es) es
+let sequence es = curried (fun es -> Sequence es) es
+let fa e f g = Fa (e, f, g)
+let fa_abs e f g = Fa_abs (e, f, g)
+
+let counted op n e =
+  if n < 1 then invalid_arg "event operator count must be >= 1" else op n e
+
+let choose n e = counted (fun n e -> Choose (n, e)) n e
+let every n e = counted (fun n e -> Every (n, e)) n e
+let relative_n n e = counted (fun n e -> Relative_n (n, e)) n e
+let prior_n n e = counted (fun n e -> Prior_n (n, e)) n e
+let sequence_n n e = counted (fun n e -> Sequence_n (n, e)) n e
+let relative_plus e = Relative_plus e
+let ( |: ) e1 e2 = Or (e1, e2)
+let ( &: ) e1 e2 = And (e1, e2)
+let not_ e = Not e
+let masked e m = Masked (e, m)
+
+let equal (e1 : t) (e2 : t) = e1 = e2
+
+(* Flatten an associative/curried operator and drop nothing: used by
+   [simplify]. *)
+let rec simplify (e : t) : t =
+  match e with
+  | Leaf _ -> e
+  | Or (a, b) -> (
+    let a = simplify a and b = simplify b in
+    match a = b with true -> a | false -> Or (a, b))
+  | And (a, b) -> (
+    let a = simplify a and b = simplify b in
+    match a = b with true -> a | false -> And (a, b))
+  | Not a -> (
+    match simplify a with Not inner -> inner | a -> Not a)
+  | Relative es -> (
+    (* relative is fully associative: flatten nested chains *)
+    let rec flat e =
+      match simplify e with Relative inner -> List.concat_map flat inner | e -> [ e ]
+    in
+    match List.concat_map flat es with [ e ] -> e | es -> Relative es)
+  | Prior es -> (
+    (* currying is a left fold: only the head may be flattened *)
+    let es = List.map simplify es in
+    let es = match es with Prior inner :: rest -> inner @ rest | es -> es in
+    match es with [ e ] -> e | es -> Prior es)
+  | Sequence es -> (
+    let es = List.map simplify es in
+    let es = match es with Sequence inner :: rest -> inner @ rest | es -> es in
+    match es with [ e ] -> e | es -> Sequence es)
+  | Relative_plus a -> (
+    match simplify a with
+    | Relative_plus _ as inner -> inner (* (L+)+ = L+ *)
+    | a -> Relative_plus a)
+  | Relative_n (1, a) -> simplify (Relative_plus a)
+  | Relative_n (n, a) -> Relative_n (n, simplify a)
+  | Prior_n (n, a) -> Prior_n (n, simplify a)
+  | Sequence_n (1, a) -> simplify a (* E at p..p: just E *)
+  | Sequence_n (n, a) -> Sequence_n (n, simplify a)
+  | Choose (n, a) -> Choose (n, simplify a)
+  | Every (n, a) -> Every (n, simplify a)
+  | Fa (a, b, g) -> Fa (simplify a, simplify b, simplify g)
+  | Fa_abs (a, b, g) -> Fa_abs (simplify a, simplify b, simplify g)
+  | Masked (a, m) -> (
+    match simplify a with
+    | Masked (inner, m') -> Masked (inner, Mask.And (m', m))
+    | a -> Masked (a, m))
+
+let rec size = function
+  | Leaf _ -> 1
+  | Not e | Relative_plus e | Relative_n (_, e) | Prior_n (_, e)
+  | Sequence_n (_, e) | Choose (_, e) | Every (_, e) | Masked (e, _) ->
+    1 + size e
+  | Or (e1, e2) | And (e1, e2) -> 1 + size e1 + size e2
+  | Relative es | Prior es | Sequence es ->
+    1 + List.fold_left (fun acc e -> acc + size e) 0 es
+  | Fa (e, f, g) | Fa_abs (e, f, g) -> 1 + size e + size f + size g
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Not e | Relative_plus e | Relative_n (_, e) | Prior_n (_, e)
+  | Sequence_n (_, e) | Choose (_, e) | Every (_, e) | Masked (e, _) ->
+    1 + depth e
+  | Or (e1, e2) | And (e1, e2) -> 1 + max (depth e1) (depth e2)
+  | Relative es | Prior es | Sequence es ->
+    1 + List.fold_left (fun acc e -> max acc (depth e)) 0 es
+  | Fa (e, f, g) | Fa_abs (e, f, g) -> 1 + max (depth e) (max (depth f) (depth g))
+
+let leaves expr =
+  let rec go acc = function
+    | Leaf l -> l :: acc
+    | Not e | Relative_plus e | Relative_n (_, e) | Prior_n (_, e)
+    | Sequence_n (_, e) | Choose (_, e) | Every (_, e) | Masked (e, _) ->
+      go acc e
+    | Or (e1, e2) | And (e1, e2) -> go (go acc e1) e2
+    | Relative es | Prior es | Sequence es -> List.fold_left go acc es
+    | Fa (e, f, g) | Fa_abs (e, f, g) -> go (go (go acc e) f) g
+  in
+  List.rev (go [] expr)
+
+let logical_events expr =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun l ->
+      if Hashtbl.mem seen l then false
+      else begin
+        Hashtbl.add seen l ();
+        true
+      end)
+    (leaves expr)
+
+let pp_formal ppf { f_ty; f_name } =
+  match f_ty with
+  | None -> Fmt.string ppf f_name
+  | Some ty -> Fmt.pf ppf "%s %s" ty f_name
+
+let pp_leaf ppf { basic; formals; mask } =
+  (match basic, formals with
+  | Symbol.Method (q, name), _ :: _ ->
+    Fmt.pf ppf "%a %s(%a)" Symbol.pp_qualifier q name
+      Fmt.(list ~sep:(any ", ") pp_formal)
+      formals
+  | (Symbol.Create | Symbol.Delete), _ :: _ ->
+    Fmt.pf ppf "%a(%a)" Symbol.pp_basic basic
+      Fmt.(list ~sep:(any ", ") pp_formal)
+      formals
+  | _, _ -> Symbol.pp_basic ppf basic);
+  match mask with
+  | None -> ()
+  | Some m -> Fmt.pf ppf " && %a" Mask.pp m
+
+(* Operator-call forms are printed with their keyword; the infix levels
+   are [;] < [|] < [&] < [!] < [&& mask]; children needing a lower level
+   are parenthesized. *)
+let rec pp ppf e = pp_union ppf e
+
+and pp_union ppf = function
+  | Or (e1, e2) -> Fmt.pf ppf "%a | %a" pp_union e1 pp_inter e2
+  | e -> pp_inter ppf e
+
+and pp_inter ppf = function
+  | And (e1, e2) -> Fmt.pf ppf "%a & %a" pp_inter e1 pp_unary e2
+  | e -> pp_unary ppf e
+
+and pp_unary ppf = function
+  | Not e -> Fmt.pf ppf "!%a" pp_unary e
+  | e -> pp_postfix ppf e
+
+and pp_postfix ppf = function
+  | Masked (e, m) -> Fmt.pf ppf "%a && %a" pp_atom e Mask.pp m
+  | e -> pp_atom ppf e
+
+and pp_atom ppf = function
+  | Leaf l -> pp_leaf ppf l
+  | Relative es -> pp_call ppf "relative" es
+  | Prior es -> pp_call ppf "prior" es
+  | Sequence es -> pp_call ppf "sequence" es
+  | Relative_plus e -> Fmt.pf ppf "relative+(%a)" pp e
+  | Relative_n (n, e) -> Fmt.pf ppf "relative %d (%a)" n pp e
+  | Prior_n (n, e) -> Fmt.pf ppf "prior %d (%a)" n pp e
+  | Sequence_n (n, e) -> Fmt.pf ppf "sequence %d (%a)" n pp e
+  | Choose (n, e) -> Fmt.pf ppf "choose %d (%a)" n pp e
+  | Every (n, e) -> Fmt.pf ppf "every %d (%a)" n pp e
+  | Fa (e, f, g) -> pp_call ppf "fa" [ e; f; g ]
+  | Fa_abs (e, f, g) -> pp_call ppf "faAbs" [ e; f; g ]
+  | (Or _ | And _ | Not _ | Masked _) as e -> Fmt.pf ppf "(%a)" pp e
+
+and pp_call ppf name es =
+  Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") pp) es
+
+let to_string e = Fmt.str "%a" pp e
+
+let validate expr =
+  let exception Bad of string in
+  let bad fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt in
+  let check_leaf { basic; formals; _ } =
+    match basic with
+    | Symbol.Method _ | Symbol.Create | Symbol.Delete ->
+      (* creation/deletion events carry (oid, class) arguments at database
+         scope, so formals are legal on them too *)
+      ()
+    | _ when formals <> [] -> bad "formals on non-method event %a" Symbol.pp_basic basic
+    | _ -> ()
+  in
+  let rec go = function
+    | Leaf l -> check_leaf l
+    | Not e | Relative_plus e | Masked (e, _) -> go e
+    | Relative_n (n, e) | Prior_n (n, e) | Sequence_n (n, e)
+    | Choose (n, e) | Every (n, e) ->
+      if n < 1 then bad "operator count %d must be >= 1" n;
+      go e
+    | Or (e1, e2) | And (e1, e2) ->
+      go e1;
+      go e2
+    | Relative es | Prior es | Sequence es ->
+      if es = [] then bad "curried operator with no arguments";
+      List.iter go es
+    | Fa (e, f, g) | Fa_abs (e, f, g) ->
+      go e;
+      go f;
+      go g
+  in
+  match go expr with () -> Ok () | exception Bad msg -> Error msg

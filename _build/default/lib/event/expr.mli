@@ -1,0 +1,106 @@
+(** Event expressions — the full O++ composition algebra (paper §3.3–3.4).
+
+    The alphabet of an expression is its set of {e logical events}: basic
+    events optionally guarded by a mask over the event's parameters and
+    the database state at occurrence time. Composite events combine
+    logical events with the operators below; a composite may itself carry
+    a mask, evaluated against the current database state. *)
+
+type formal = { f_ty : string option; f_name : string }
+(** A formal parameter declaration in a method event, e.g.
+    [after withdraw (Item i, int q)] declares [{Item,i}; {int,q}].
+    Formals both disambiguate overloaded methods (by arity) and name the
+    actual arguments for use in masks. *)
+
+type leaf = {
+  basic : Symbol.basic;
+  formals : formal list;
+  mask : Mask.t option;
+}
+
+type t =
+  | Leaf of leaf
+  | Or of t * t  (** [E | F] — union *)
+  | And of t * t  (** [E & F] — intersection *)
+  | Not of t  (** [!E] — complement over the history's points *)
+  | Relative of t list  (** curried; [Relative [e]] means [e] *)
+  | Relative_plus of t
+  | Relative_n of int * t
+  | Prior of t list
+  | Prior_n of int * t
+  | Sequence of t list  (** also written with [;] *)
+  | Sequence_n of int * t
+  | Choose of int * t
+  | Every of int * t
+  | Fa of t * t * t
+  | Fa_abs of t * t * t
+  | Masked of t * Mask.t  (** composite [&& mask] *)
+
+val leaf : ?formals:formal list -> ?mask:Mask.t -> Symbol.basic -> t
+
+val before : ?formals:formal list -> ?mask:Mask.t -> string -> t
+(** [before name] — method-execution event. *)
+
+val after : ?formals:formal list -> ?mask:Mask.t -> string -> t
+
+val method_any : string -> t
+(** The shorthand "[f] used as an event" = [(before f | after f)]. *)
+
+val state_event : Mask.t -> t
+(** The paper's special form: a boolean expression over the object state
+    stands for [(after update | after create) && mask]. *)
+
+val relative : t list -> t
+val prior : t list -> t
+val sequence : t list -> t
+(** Smart constructors: require a non-empty list; a singleton collapses to
+    its element ("[relative (E)] means simply [E]"). *)
+
+val fa : t -> t -> t -> t
+val fa_abs : t -> t -> t -> t
+val choose : int -> t -> t
+val every : int -> t -> t
+(** [choose]/[every]/[Relative_n]/[Prior_n]/[Sequence_n] require a count
+    [>= 1]; the constructors raise [Invalid_argument] otherwise. *)
+
+val relative_n : int -> t -> t
+val prior_n : int -> t -> t
+val sequence_n : int -> t -> t
+val relative_plus : t -> t
+val ( |: ) : t -> t -> t
+val ( &: ) : t -> t -> t
+val not_ : t -> t
+val masked : t -> Mask.t -> t
+
+val equal : t -> t -> bool
+
+val simplify : t -> t
+(** Language-preserving normalization: idempotent boolean laws
+    ([E|E = E], [!!E = E], duplicate branches), flattening of associative
+    [relative] chains and of the curried head of [prior]/[sequence],
+    collapsing of nested [relative+], [relative 1 (E) = relative+(E)],
+    and merging of stacked composite masks. The result never has more AST
+    nodes than the input. *)
+
+val size : t -> int
+(** AST node count. *)
+
+val depth : t -> int
+
+val leaves : t -> leaf list
+(** All leaves, left to right, duplicates preserved. *)
+
+val logical_events : t -> leaf list
+(** Distinct leaves in first-occurrence order — the expression's alphabet
+    of logical events. *)
+
+val pp : Format.formatter -> t -> unit
+(** Concrete O++ syntax, re-parsable by [Ode_lang.Parser]. *)
+
+val to_string : t -> string
+
+val validate : t -> (unit, string) result
+(** Reject specifications the paper forbids or that are ill-formed:
+    [before tcommit] cannot be specified (only [After] commit exists —
+    enforced by construction here), counts must be positive, and curried
+    operators need at least one argument. *)

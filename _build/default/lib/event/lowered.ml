@@ -1,0 +1,74 @@
+type t =
+  | False
+  | Atom of bool array
+  | Or of t * t
+  | And of t * t
+  | Not of t
+  | Relative of t * t
+  | Relative_plus of t
+  | Relative_n of int * t
+  | Prior of t * t
+  | Prior_n of int * t
+  | Sequence of t * t
+  | Sequence_n of int * t
+  | Choose of int * t
+  | Every of int * t
+  | Fa of t * t * t
+  | Fa_abs of t * t * t
+  | Masked of t * int
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | False | Atom _ -> acc
+  | Not e1 | Relative_plus e1 | Relative_n (_, e1) | Prior_n (_, e1)
+  | Sequence_n (_, e1) | Choose (_, e1) | Every (_, e1) | Masked (e1, _) ->
+    fold f acc e1
+  | Or (e1, e2) | And (e1, e2) | Relative (e1, e2) | Prior (e1, e2)
+  | Sequence (e1, e2) ->
+    fold f (fold f acc e1) e2
+  | Fa (e1, e2, e3) | Fa_abs (e1, e2, e3) ->
+    fold f (fold f (fold f acc e1) e2) e3
+
+let alphabet_size e =
+  fold
+    (fun acc n -> match n with Atom sel -> Some (Array.length sel) | _ -> acc)
+    None e
+
+let mask_ids e =
+  let ids =
+    fold (fun acc n -> match n with Masked (_, id) -> id :: acc | _ -> acc) [] e
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun id ->
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    (List.rev ids)
+
+let size e = fold (fun acc _ -> acc + 1) 0 e
+
+let rec pp ppf = function
+  | False -> Fmt.string ppf "false"
+  | Atom sel ->
+    let syms = ref [] in
+    Array.iteri (fun c b -> if b then syms := c :: !syms) sel;
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (List.rev !syms)
+  | Or (e1, e2) -> Fmt.pf ppf "(%a | %a)" pp e1 pp e2
+  | And (e1, e2) -> Fmt.pf ppf "(%a & %a)" pp e1 pp e2
+  | Not e -> Fmt.pf ppf "!%a" pp e
+  | Relative (e1, e2) -> Fmt.pf ppf "relative(%a, %a)" pp e1 pp e2
+  | Relative_plus e -> Fmt.pf ppf "relative+(%a)" pp e
+  | Relative_n (n, e) -> Fmt.pf ppf "relative %d (%a)" n pp e
+  | Prior (e1, e2) -> Fmt.pf ppf "prior(%a, %a)" pp e1 pp e2
+  | Prior_n (n, e) -> Fmt.pf ppf "prior %d (%a)" n pp e
+  | Sequence (e1, e2) -> Fmt.pf ppf "sequence(%a, %a)" pp e1 pp e2
+  | Sequence_n (n, e) -> Fmt.pf ppf "sequence %d (%a)" n pp e
+  | Choose (n, e) -> Fmt.pf ppf "choose %d (%a)" n pp e
+  | Every (n, e) -> Fmt.pf ppf "every %d (%a)" n pp e
+  | Fa (e, f, g) -> Fmt.pf ppf "fa(%a, %a, %a)" pp e pp f pp g
+  | Fa_abs (e, f, g) -> Fmt.pf ppf "faAbs(%a, %a, %a)" pp e pp f pp g
+  | Masked (e, id) -> Fmt.pf ppf "(%a && m%d)" pp e id

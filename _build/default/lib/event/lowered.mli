@@ -1,0 +1,43 @@
+(** Lowered event expressions.
+
+    {!Rewrite} turns a surface {!Expr.t} into this form: logical events
+    are resolved to sets of {e disjoint atoms} (symbols of the automaton
+    alphabet, paper §5), curried operators are folded to binary form, and
+    composite masks are replaced by indices into a mask table. Both the
+    reference evaluator ({!Semantics}) and the compiler ({!Compile})
+    consume this form, which is what makes them comparable point-for-point. *)
+
+type t =
+  | False
+  | Atom of bool array
+      (** [Atom sel] occurs at points whose symbol [c] has [sel.(c)];
+          length is the full alphabet size (the "other" symbol is always
+          false). *)
+  | Or of t * t
+  | And of t * t
+  | Not of t
+  | Relative of t * t
+  | Relative_plus of t
+  | Relative_n of int * t
+  | Prior of t * t
+  | Prior_n of int * t
+  | Sequence of t * t
+  | Sequence_n of int * t
+  | Choose of int * t
+  | Every of int * t
+  | Fa of t * t * t
+  | Fa_abs of t * t * t
+  | Masked of t * int  (** composite mask, by index into the mask table *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every subterm, including the root. *)
+
+val alphabet_size : t -> int option
+(** Size of the [Atom] selectors, if any leaf exists; [None] for
+    atom-free expressions. *)
+
+val mask_ids : t -> int list
+(** Distinct mask indices, in order of first appearance. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+module Value = Ode_base.Value
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Get of t * string
+  | Call of string * t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | Neg of t
+
+type env = {
+  var : string -> Value.t option;
+  deref : int -> string -> Value.t option;
+  call : string -> Value.t list -> Value.t;
+}
+
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let empty_env =
+  {
+    var = (fun _ -> None);
+    deref = (fun _ _ -> None);
+    call = (fun name _ -> error "unknown function %s" name);
+  }
+
+let apply_cmp op v1 v2 =
+  let c = Value.compare v1 v2 in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let apply_arith op v1 v2 =
+  match op with
+  | Add -> Value.add v1 v2
+  | Sub -> Value.sub v1 v2
+  | Mul -> Value.mul v1 v2
+  | Div -> Value.div v1 v2
+
+let rec eval env = function
+  | Const v -> v
+  | Var name -> (
+    match env.var name with
+    | Some v -> v
+    | None -> error "unbound variable %s" name)
+  | Get (e, field) -> (
+    match eval env e with
+    | Value.Oid oid -> (
+      match env.deref oid field with
+      | Some v -> v
+      | None -> error "object @%d has no field %s" oid field)
+    | v -> error "field access .%s on non-object %s" field (Value.to_string v))
+  | Call (name, args) -> env.call name (List.map (eval env) args)
+  | Not e -> Value.Bool (not (eval_bool_exn env e))
+  | And (e1, e2) -> Value.Bool (eval_bool_exn env e1 && eval_bool_exn env e2)
+  | Or (e1, e2) -> Value.Bool (eval_bool_exn env e1 || eval_bool_exn env e2)
+  | Cmp (op, e1, e2) -> Value.Bool (apply_cmp op (eval env e1) (eval env e2))
+  | Arith (op, e1, e2) -> (
+    try apply_arith op (eval env e1) (eval env e2)
+    with Value.Type_error msg -> error "%s" msg)
+  | Neg e -> (
+    try Value.neg (eval env e) with Value.Type_error msg -> error "%s" msg)
+
+and eval_bool_exn env e =
+  match eval env e with
+  | Value.Bool b -> b
+  | v -> error "expected bool, got %s" (Value.to_string v)
+
+let eval_bool = eval_bool_exn
+let equal (m1 : t) (m2 : t) = m1 = m2
+let compare (m1 : t) (m2 : t) = Stdlib.compare m1 m2
+
+let vars mask =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        out := name :: !out
+      end
+    | Get (e, _) | Not e | Neg e -> go e
+    | Call (_, args) -> List.iter go args
+    | And (e1, e2) | Or (e1, e2) | Cmp (_, e1, e2) | Arith (_, e1, e2) ->
+      go e1;
+      go e2
+  in
+  go mask;
+  List.rev !out
+
+let cmp_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+(* Precedence climbing: || < && < comparison < additive < multiplicative
+   < unary < atoms. *)
+let rec pp_prec prec ppf mask =
+  let level = function
+    | Or _ -> 1
+    | And _ -> 2
+    | Cmp _ -> 3
+    | Arith ((Add | Sub), _, _) -> 4
+    | Arith ((Mul | Div), _, _) -> 5
+    | Not _ | Neg _ -> 6
+    | Const _ | Var _ | Get _ | Call _ -> 7
+  in
+  let this = level mask in
+  let atom ppf = function
+    | Const v -> Value.pp ppf v
+    | Var name -> Fmt.string ppf name
+    | Get (e, field) -> Fmt.pf ppf "%a.%s" (pp_prec 7) e field
+    | Call (name, args) ->
+      Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") (pp_prec 0)) args
+    | Not e -> Fmt.pf ppf "!%a" (pp_prec 6) e
+    | Neg e -> Fmt.pf ppf "-%a" (pp_prec 6) e
+    | Or (e1, e2) -> Fmt.pf ppf "%a || %a" (pp_prec 1) e1 (pp_prec 2) e2
+    | And (e1, e2) -> Fmt.pf ppf "%a && %a" (pp_prec 2) e1 (pp_prec 3) e2
+    | Cmp (op, e1, e2) ->
+      Fmt.pf ppf "%a %s %a" (pp_prec 4) e1 (cmp_name op) (pp_prec 4) e2
+    | Arith (((Add | Sub) as op), e1, e2) ->
+      Fmt.pf ppf "%a %s %a" (pp_prec 4) e1 (arith_name op) (pp_prec 5) e2
+    | Arith (op, e1, e2) ->
+      Fmt.pf ppf "%a %s %a" (pp_prec 5) e1 (arith_name op) (pp_prec 6) e2
+  in
+  if this < prec then Fmt.pf ppf "(%a)" atom mask else atom ppf mask
+
+let pp = pp_prec 0
+
+let v_int i = Const (Value.Int i)
+let v_float f = Const (Value.Float f)
+let v_bool b = Const (Value.Bool b)
+let v_str s = Const (Value.String s)
+let var name = Var name
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <>% ) a b = Cmp (Ne, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+let not_ a = Not a

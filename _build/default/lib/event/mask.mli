@@ -1,0 +1,64 @@
+(** Masks — predicates attached to basic or composite events (paper §3.2).
+
+    A mask on a logical event may read the parameters of the basic event
+    and any database state, evaluated as of the instant the basic event
+    occurred. A mask on a composite event can only see the current
+    database state. Both cases evaluate a [t] against an {!env}. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Const of Ode_base.Value.t
+  | Var of string
+      (** resolved as an event parameter first, then as a field of the
+          object the event was posted to *)
+  | Get of t * string  (** field of an object denoted by an [Oid] value *)
+  | Call of string * t list  (** registered database function *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | Neg of t
+
+type env = {
+  var : string -> Ode_base.Value.t option;
+  deref : int -> string -> Ode_base.Value.t option;
+  call : string -> Ode_base.Value.t list -> Ode_base.Value.t;
+}
+
+exception Eval_error of string
+
+val empty_env : env
+(** An environment with no bindings; any lookup raises [Eval_error]. *)
+
+val eval : env -> t -> Ode_base.Value.t
+val eval_bool : env -> t -> bool
+(** [eval_bool] raises [Eval_error] if the mask does not evaluate to a
+    boolean. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val vars : t -> string list
+(** Free [Var] names, without duplicates, in first-use order. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors for embedded use. *)
+
+val v_int : int -> t
+val v_float : float -> t
+val v_bool : bool -> t
+val v_str : string -> t
+val var : string -> t
+val ( <% ) : t -> t -> t
+val ( <=% ) : t -> t -> t
+val ( >% ) : t -> t -> t
+val ( >=% ) : t -> t -> t
+val ( =% ) : t -> t -> t
+val ( <>% ) : t -> t -> t
+val ( &&% ) : t -> t -> t
+val ( ||% ) : t -> t -> t
+val not_ : t -> t

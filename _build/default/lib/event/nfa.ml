@@ -1,0 +1,147 @@
+type t = {
+  m : int;
+  start : int list;
+  accept : bool array;
+  delta : int list array array;
+  eps : int list array;
+}
+
+let n_states t = Array.length t.accept
+
+let check t =
+  let n = n_states t in
+  if t.m <= 0 then invalid_arg "Nfa: empty alphabet";
+  let check_state q = if q < 0 || q >= n then invalid_arg "Nfa: bad state" in
+  List.iter check_state t.start;
+  if Array.length t.delta <> n || Array.length t.eps <> n then
+    invalid_arg "Nfa: table sizes";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.m then invalid_arg "Nfa: delta row size";
+      Array.iter (List.iter check_state) row)
+    t.delta;
+  Array.iter (List.iter check_state) t.eps
+
+let of_dfa (d : Dfa.t) =
+  let n = Array.length d.accept in
+  {
+    m = d.m;
+    start = [ d.start ];
+    accept = Array.copy d.accept;
+    delta = Array.init n (fun s -> Array.map (fun q -> [ q ]) d.delta.(s));
+    eps = Array.make n [];
+  }
+
+(* Disjoint union of state spaces; [b]'s states are shifted by |a|. *)
+let juxtapose a b =
+  if a.m <> b.m then invalid_arg "Nfa: alphabet mismatch";
+  let na = n_states a in
+  let shift = List.map (fun q -> q + na) in
+  let accept = Array.append a.accept b.accept in
+  let delta =
+    Array.append a.delta (Array.map (fun row -> Array.map shift row) b.delta)
+  in
+  let eps = Array.append a.eps (Array.map shift b.eps) in
+  (na, { m = a.m; start = a.start; accept; delta; eps })
+
+let concat a b =
+  let na, t = juxtapose a b in
+  let b_start = List.map (fun q -> q + na) b.start in
+  let eps =
+    Array.mapi
+      (fun s e -> if s < na && a.accept.(s) then b_start @ e else e)
+      t.eps
+  in
+  let accept = Array.mapi (fun s acc -> s >= na && acc) t.accept in
+  { t with accept; eps }
+
+let union a b =
+  let na, t = juxtapose a b in
+  { t with start = a.start @ List.map (fun q -> q + na) b.start }
+
+let plus a =
+  let eps =
+    Array.mapi (fun s e -> if a.accept.(s) then a.start @ e else e) a.eps
+  in
+  { a with eps }
+
+let rec power a n =
+  if n <= 0 then invalid_arg "Nfa.power: n must be >= 1"
+  else if n = 1 then a
+  else concat a (power a (n - 1))
+
+let any_word ~m k =
+  if k < 1 then invalid_arg "Nfa.any_word: k must be >= 1";
+  let n = k + 1 in
+  let all = Array.make m [] in
+  {
+    m;
+    start = [ 0 ];
+    accept = Array.init n (fun s -> s = k);
+    delta = Array.init n (fun s -> if s < k then Array.make m [ s + 1 ] else Array.copy all);
+    eps = Array.make n [];
+  }
+
+let any_plus ~m =
+  {
+    m;
+    start = [ 0 ];
+    accept = [| false; true |];
+    delta = [| Array.make m [ 1 ]; Array.make m [ 1 ] |];
+    eps = [| []; [] |];
+  }
+
+let eps_closure t (set : Bitset.t) =
+  let stack = ref (Bitset.elements set) in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      List.iter
+        (fun q ->
+          if not (Bitset.mem set q) then begin
+            Bitset.add set q;
+            stack := q :: !stack
+          end)
+        t.eps.(s)
+  done
+
+let determinize t =
+  let n = n_states t in
+  let m = t.m in
+  let start_set = Bitset.of_list n t.start in
+  eps_closure t start_set;
+  let index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rows = ref [] in
+  let count = ref 0 in
+  let rec visit set =
+    let k = Bitset.key set in
+    match Hashtbl.find_opt index k with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Dfa.check_limit !count;
+      Hashtbl.add index k i;
+      let acc = Bitset.fold (fun s acc -> acc || t.accept.(s)) set false in
+      let row = Array.make m 0 in
+      rows := (i, acc, row) :: !rows;
+      for c = 0 to m - 1 do
+        let succ = Bitset.create n in
+        Bitset.iter (fun s -> List.iter (Bitset.add succ) t.delta.(s).(c)) set;
+        eps_closure t succ;
+        row.(c) <- visit succ
+      done;
+      i
+  in
+  let start = visit start_set in
+  let nn = !count in
+  let accept = Array.make nn false in
+  let delta = Array.make nn [||] in
+  List.iter
+    (fun (i, acc, row) ->
+      accept.(i) <- acc;
+      delta.(i) <- row)
+    !rows;
+  { Dfa.m; start; accept; delta }

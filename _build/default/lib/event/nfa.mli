@@ -1,0 +1,42 @@
+(** Nondeterministic finite automata with ε-transitions, over the same
+    dense alphabet [0 .. m-1] as {!Dfa}.
+
+    The record is exposed so that specialised constructions (first-match
+    automata for [fa]/[faAbs], the committed-history lift) can build NFAs
+    directly. *)
+
+type t = {
+  m : int;
+  start : int list;
+  accept : bool array;
+  delta : int list array array;  (** [delta.(state).(symbol)] = successors *)
+  eps : int list array;  (** ε-successors *)
+}
+
+val n_states : t -> int
+val check : t -> unit
+
+val of_dfa : Dfa.t -> t
+
+val concat : t -> t -> t
+(** [concat a b] recognizes [L(a)·L(b)]. *)
+
+val union : t -> t -> t
+
+val plus : t -> t
+(** [plus a] recognizes [L(a)+] — one or more concatenations. Event
+    languages are ε-free, so [+] rather than [*] is the primitive. *)
+
+val power : t -> int -> t
+(** [power a n] recognizes [L(a)^n]; [power a 0] raises (ε is not an event
+    language). *)
+
+val any_word : m:int -> int -> t
+(** [any_word ~m k] recognizes [Σ^k] for [k >= 1]. *)
+
+val any_plus : m:int -> t
+(** [Σ+]. *)
+
+val determinize : t -> Dfa.t
+(** Subset construction. The result is complete; an explicit dead state is
+    added if some subset has no successor. *)

@@ -1,0 +1,167 @@
+type t =
+  | Empty
+  | Eps
+  | Sym of int
+  | Any
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+let rec nullable = function
+  | Empty | Sym _ | Any -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> nullable a || nullable b
+  | Seq (a, b) -> nullable a && nullable b
+
+let alt a b =
+  match a, b with
+  | Empty, r | r, Empty -> r
+  | _ -> Alt (a, b)
+
+let seq a b =
+  match a, b with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | _ -> Seq (a, b)
+
+let rec strip_eps = function
+  | Empty | Eps -> Empty
+  | (Sym _ | Any) as r -> r
+  | Alt (a, b) -> alt (strip_eps a) (strip_eps b)
+  | Seq (a, b) ->
+    let fa = strip_eps a and fb = strip_eps b in
+    let r = seq fa fb in
+    let r = if nullable a then alt r fb else r in
+    if nullable b then alt r fa else r
+  | Star a ->
+    let fa = strip_eps a in
+    seq fa (Star fa)
+
+let one_accepting_state m =
+  {
+    Nfa.m;
+    start = [ 0 ];
+    accept = [| true |];
+    delta = [| Array.make m [] |];
+    eps = [| [] |];
+  }
+
+let sym_nfa m sel =
+  {
+    Nfa.m;
+    start = [ 0 ];
+    accept = [| false; true |];
+    delta = [| Array.init m (fun c -> if sel c then [ 1 ] else []); Array.make m [] |];
+    eps = [| []; [] |];
+  }
+
+let star_nfa (a : Nfa.t) =
+  let p = Nfa.plus a in
+  let n = Nfa.n_states p in
+  (* Fresh accepting start with ε into the body, so ε is accepted without
+     making the body's start accepting. *)
+  {
+    Nfa.m = p.m;
+    start = [ n ];
+    accept = Array.append p.accept [| true |];
+    delta = Array.append p.delta [| Array.make p.m [] |];
+    eps = Array.append p.eps [| p.start |];
+  }
+
+let rec to_nfa ~m = function
+  | Empty ->
+    {
+      Nfa.m;
+      start = [ 0 ];
+      accept = [| false |];
+      delta = [| Array.make m [] |];
+      eps = [| [] |];
+    }
+  | Eps -> one_accepting_state m
+  | Sym c ->
+    if c < 0 || c >= m then invalid_arg "Regex.to_nfa: symbol out of range";
+    sym_nfa m (Int.equal c)
+  | Any -> sym_nfa m (fun _ -> true)
+  | Alt (a, b) -> Nfa.union (to_nfa ~m a) (to_nfa ~m b)
+  | Seq (a, b) -> Nfa.concat (to_nfa ~m a) (to_nfa ~m b)
+  | Star a -> star_nfa (to_nfa ~m a)
+
+let to_dfa ~m r = Dfa.minimize (Nfa.determinize (to_nfa ~m r))
+
+let rec simplify r =
+  match r with
+  | Empty | Eps | Sym _ | Any -> r
+  | Alt (a, b) -> (
+    match simplify a, simplify b with
+    | Empty, r | r, Empty -> r
+    | a, b when a = b -> a
+    | a, b -> Alt (a, b))
+  | Seq (a, b) -> (
+    match simplify a, simplify b with
+    | Empty, _ | _, Empty -> Empty
+    | Eps, r | r, Eps -> r
+    | a, b -> Seq (a, b))
+  | Star a -> (
+    match simplify a with
+    | Empty | Eps -> Eps
+    | Star _ as inner -> inner
+    | a -> Star a)
+
+(* Kleene's state-elimination construction over a generalized NFA whose
+   edges carry regexes. *)
+let of_dfa (d : Dfa.t) =
+  let n = Dfa.n_states d in
+  (* states 0..n-1, plus fresh initial [n] and final [n+1] *)
+  let edges : (int * int, t) Hashtbl.t = Hashtbl.create 64 in
+  let get i j = Option.value (Hashtbl.find_opt edges (i, j)) ~default:Empty in
+  let add i j r =
+    match simplify r with
+    | Empty -> ()
+    | r -> Hashtbl.replace edges (i, j) (simplify (alt (get i j) r))
+  in
+  Array.iteri
+    (fun s row -> Array.iteri (fun c q -> add s q (Sym c)) row)
+    d.Dfa.delta;
+  let init = n and final = n + 1 in
+  add init d.Dfa.start Eps;
+  Array.iteri (fun s acc -> if acc then add s final Eps) d.Dfa.accept;
+  (* eliminate original states one by one *)
+  for k = 0 to n - 1 do
+    let loop = get k k in
+    let through = match simplify loop with Empty -> Eps | l -> Star l in
+    let ins =
+      Hashtbl.fold (fun (i, j) r acc -> if j = k && i <> k then (i, r) :: acc else acc) edges []
+    in
+    let outs =
+      Hashtbl.fold (fun (i, j) r acc -> if i = k && j <> k then (j, r) :: acc else acc) edges []
+    in
+    List.iter
+      (fun (i, rin) ->
+        List.iter (fun (j, rout) -> add i j (seq rin (seq through rout))) outs)
+      ins;
+    Hashtbl.filter_map_inplace (fun (i, j) r -> if i = k || j = k then None else Some r) edges
+  done;
+  simplify (get init final)
+
+let rec pp ppf r = pp_alt ppf r
+
+and pp_alt ppf = function
+  | Alt (a, b) -> Fmt.pf ppf "%a|%a" pp_alt a pp_seq b
+  | r -> pp_seq ppf r
+
+and pp_seq ppf = function
+  | Seq (a, b) -> Fmt.pf ppf "%a%a" pp_seq a pp_atom b
+  | r -> pp_atom ppf r
+
+and pp_atom ppf = function
+  | Empty -> Fmt.string ppf "{}"
+  | Eps -> Fmt.string ppf "eps"
+  | Sym c -> Fmt.pf ppf "s%d" c
+  | Any -> Fmt.string ppf "."
+  | Star a -> Fmt.pf ppf "%a*" pp_atom a
+  | (Alt _ | Seq _) as r -> Fmt.pf ppf "(%a)" pp r
+
+let rec size = function
+  | Empty | Eps | Sym _ | Any -> 1
+  | Star a -> 1 + size a
+  | Alt (a, b) | Seq (a, b) -> 1 + size a + size b

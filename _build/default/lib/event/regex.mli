@@ -1,0 +1,45 @@
+(** Regular expressions over the dense symbol alphabet.
+
+    Section 4 of the paper states that the event-specification language is
+    exactly as expressive as regular expressions over logical events. This
+    module provides the regex side of that equivalence: construction,
+    compilation to NFAs, and the ε-analysis used when translating a regex
+    back into an event expression (see {!Translate}). *)
+
+type t =
+  | Empty  (** ∅ *)
+  | Eps  (** {ε} *)
+  | Sym of int
+  | Any  (** any single symbol *)
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+val nullable : t -> bool
+(** Does the language contain the empty word? *)
+
+val strip_eps : t -> t
+(** [strip_eps r] denotes [L(r) \ {ε}]. The result never uses [Eps] or
+    [Star] at a position that would contribute ε (stars are rewritten with
+    [Seq]/[Alt] of their ε-free bodies). *)
+
+val to_nfa : m:int -> t -> Nfa.t
+(** Thompson construction. Symbols must be [< m]. *)
+
+val to_dfa : m:int -> t -> Dfa.t
+(** [determinize ∘ to_nfa], minimized. *)
+
+val of_dfa : Dfa.t -> t
+(** State elimination (Kleene's construction): a regular expression for
+    the DFA's language. Together with {!Translate.of_regex} and
+    {!Compile}, this closes the §4 equivalence loop
+    expression → automaton → regex → expression constructively. *)
+
+val simplify : t -> t
+(** Light algebraic cleanup ([r|∅ = r], [r·ε = r], [∅* = ε], …); applied
+    internally by {!of_dfa}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val size : t -> int
+(** Number of AST nodes, for benchmarks. *)

@@ -1,0 +1,208 @@
+module Value = Ode_base.Value
+
+type guard = {
+  g_formals : Expr.formal list;
+  g_mask : Mask.t option;
+}
+
+type t = {
+  keys : Symbol.basic array;
+  guards : guard array array;
+  atoms : (int * int) array;
+  atom_of : (int, int) Hashtbl.t;
+}
+
+let max_atoms = ref 4096
+
+let n_symbols t = Array.length t.atoms + 1
+let other t = Array.length t.atoms
+
+(* (key, bits) -> table key. Bits are bounded by max_atoms so this cannot
+   collide. *)
+let encode key bits = (key * (!max_atoms * 2)) + bits
+
+let guard_arity g = match g.g_formals with [] -> None | fs -> Some (List.length fs)
+
+(* A truth assignment is statically impossible if two true guards pin the
+   occurrence to different arities. *)
+let assignment_possible guards bits =
+  let arity = ref None in
+  let ok = ref true in
+  Array.iteri
+    (fun i g ->
+      if bits land (1 lsl i) <> 0 then
+        match guard_arity g with
+        | None -> ()
+        | Some a -> (
+          match !arity with
+          | None -> arity := Some a
+          | Some a' -> if a <> a' then ok := false))
+    guards;
+  !ok
+
+let build expr =
+  (match Expr.validate expr with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Rewrite.build: " ^ msg));
+  (* Collect distinct (basic, guard) pairs. *)
+  let keys = ref [] in
+  let n_keys = ref 0 in
+  let key_index : (Symbol.basic, int) Hashtbl.t = Hashtbl.create 16 in
+  let guards_of_key : (int, guard list ref) Hashtbl.t = Hashtbl.create 16 in
+  let guard_index : (Symbol.basic * guard, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let intern_leaf (l : Expr.leaf) =
+    let g = { g_formals = l.formals; g_mask = l.mask } in
+    match Hashtbl.find_opt guard_index (l.basic, g) with
+    | Some (k, gi) -> (k, gi)
+    | None ->
+      let k =
+        match Hashtbl.find_opt key_index l.basic with
+        | Some k -> k
+        | None ->
+          let k = !n_keys in
+          incr n_keys;
+          Hashtbl.add key_index l.basic k;
+          keys := l.basic :: !keys;
+          Hashtbl.add guards_of_key k (ref []);
+          k
+      in
+      let gs = Hashtbl.find guards_of_key k in
+      let gi = List.length !gs in
+      gs := !gs @ [ g ];
+      Hashtbl.add guard_index (l.basic, g) (k, gi);
+      (k, gi)
+  and guard_index_of (l : Expr.leaf) =
+    Hashtbl.find guard_index (l.basic, { g_formals = l.formals; g_mask = l.mask })
+  in
+  List.iter (fun l -> ignore (intern_leaf l)) (Expr.leaves expr);
+  let keys = Array.of_list (List.rev !keys) in
+  let guards =
+    Array.init (Array.length keys) (fun k ->
+        Array.of_list !(Hashtbl.find guards_of_key k))
+  in
+  (* Enumerate atoms. *)
+  let atoms = ref [] in
+  let n_atoms = ref 0 in
+  let atom_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun k gs ->
+      let kg = Array.length gs in
+      if kg >= 20 then invalid_arg "Rewrite.build: too many guards on one basic event";
+      for bits = 1 to (1 lsl kg) - 1 do
+        if assignment_possible gs bits then begin
+          if !n_atoms >= !max_atoms then
+            invalid_arg "Rewrite.build: atom blowup exceeds max_atoms";
+          Hashtbl.add atom_of (encode k bits) !n_atoms;
+          atoms := (k, bits) :: !atoms;
+          incr n_atoms
+        end
+      done)
+    guards;
+  let alphabet =
+    { keys; guards; atoms = Array.of_list (List.rev !atoms); atom_of }
+  in
+  let m = n_symbols alphabet in
+  (* Lower the expression. *)
+  let masks = ref [] in
+  let n_masks = ref 0 in
+  let selector k gi =
+    let sel = Array.make m false in
+    Array.iteri
+      (fun sym (k', bits) -> if k' = k && bits land (1 lsl gi) <> 0 then sel.(sym) <- true)
+      alphabet.atoms;
+    sel
+  in
+  let fold_binary op es =
+    match es with
+    | [] -> assert false (* validate rejects empty curried operators *)
+    | e :: rest -> List.fold_left op e rest
+  in
+  let rec lower (e : Expr.t) : Lowered.t =
+    match e with
+    | Leaf l ->
+      let k, gi = guard_index_of l in
+      Atom (selector k gi)
+    | Or (e1, e2) -> Or (lower e1, lower e2)
+    | And (e1, e2) -> And (lower e1, lower e2)
+    | Not e -> Not (lower e)
+    | Relative es ->
+      fold_binary (fun a b -> Lowered.Relative (a, b)) (List.map lower es)
+    | Relative_plus e -> Relative_plus (lower e)
+    | Relative_n (n, e) -> Relative_n (n, lower e)
+    | Prior es -> fold_binary (fun a b -> Lowered.Prior (a, b)) (List.map lower es)
+    | Prior_n (n, e) -> Prior_n (n, lower e)
+    | Sequence es ->
+      fold_binary (fun a b -> Lowered.Sequence (a, b)) (List.map lower es)
+    | Sequence_n (n, e) -> Sequence_n (n, lower e)
+    | Choose (n, e) -> Choose (n, lower e)
+    | Every (n, e) -> Every (n, lower e)
+    | Fa (e, f, g) -> Fa (lower e, lower f, lower g)
+    | Fa_abs (e, f, g) -> Fa_abs (lower e, lower f, lower g)
+    | Masked (e, mask) ->
+      let id = !n_masks in
+      incr n_masks;
+      masks := mask :: !masks;
+      Masked (lower e, id)
+  in
+  let lowered = lower expr in
+  (alphabet, lowered, Array.of_list (List.rev !masks))
+
+let bind_formals (formals : Expr.formal list) args (base : Mask.env) : Mask.env =
+  let bound =
+    List.map2 (fun (f : Expr.formal) v -> (f.f_name, v)) formals args
+  in
+  {
+    base with
+    var =
+      (fun name ->
+        match List.assoc_opt name bound with
+        | Some v -> Some v
+        | None -> base.var name);
+  }
+
+let guard_matches ~env (o : Symbol.occurrence) g =
+  let arity_ok =
+    match guard_arity g with None -> true | Some a -> a = List.length o.args
+  in
+  arity_ok
+  &&
+  match g.g_mask with
+  | None -> true
+  | Some mask ->
+    let env =
+      if g.g_formals = [] then env else bind_formals g.g_formals o.args env
+    in
+    Mask.eval_bool env mask
+
+let classify t ~env (o : Symbol.occurrence) =
+  let key = ref (-1) in
+  Array.iteri (fun k b -> if Symbol.equal_basic b o.basic then key := k) t.keys;
+  if !key < 0 then other t
+  else begin
+    let gs = t.guards.(!key) in
+    let bits = ref 0 in
+    Array.iteri (fun i g -> if guard_matches ~env o g then bits := !bits lor (1 lsl i)) gs;
+    if !bits = 0 then other t
+    else
+      match Hashtbl.find_opt t.atom_of (encode !key !bits) with
+      | Some sym -> sym
+      | None -> other t (* statically impossible assignment: defensive *)
+  end
+
+let atom_lookup t ~key ~bits = Hashtbl.find_opt t.atom_of (encode key bits)
+
+let guard_selector t ~key ~guard_bit =
+  let sel = Array.make (n_symbols t) false in
+  Array.iteri
+    (fun sym (k, bits) ->
+      if k = key && bits land (1 lsl guard_bit) <> 0 then sel.(sym) <- true)
+    t.atoms;
+  sel
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>alphabet: %d atoms + other@," (Array.length t.atoms);
+  Array.iteri
+    (fun sym (k, bits) ->
+      Fmt.pf ppf "  %d: %a bits=%d@," sym Symbol.pp_basic t.keys.(k) bits)
+    t.atoms;
+  Fmt.pf ppf "@]"

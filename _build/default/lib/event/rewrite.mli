@@ -1,0 +1,66 @@
+(** Disjoint-alphabet construction (paper §5).
+
+    Finite-automaton detection needs the logical events of a trigger to be
+    pairwise disjoint. When several logical events share a basic event but
+    carry different (possibly overlapping) masks, the paper rewrites them
+    into Boolean combinations that {e are} disjoint. This module performs
+    that rewriting: for each basic-event kind with guards [g1..gk] it
+    creates one {e atom} per satisfiable truth assignment with at least
+    one true guard (up to [2^k - 1] atoms — the combinatorial explosion
+    the paper accepts), and each original logical event becomes the union
+    of the atoms in which its guard is true. *)
+
+type guard = {
+  g_formals : Expr.formal list;
+  g_mask : Mask.t option;
+}
+(** What distinguishes logical events over the same basic event. A guard
+    with formals also constrains the occurrence's arity (overload
+    disambiguation). *)
+
+type t = {
+  keys : Symbol.basic array;  (** distinct basic-event kinds *)
+  guards : guard array array;  (** guards, per key *)
+  atoms : (int * int) array;
+      (** symbol -> (key index, guard truth-assignment bits) *)
+  atom_of : (int, int) Hashtbl.t;  (** (key, bits) encoded -> symbol *)
+}
+
+val n_symbols : t -> int
+(** Atoms plus one trailing "other" symbol; this is the DFA alphabet size. *)
+
+val other : t -> int
+(** The symbol fed to automata when an occurrence matches no logical event
+    of this trigger. *)
+
+val build : Expr.t -> t * Lowered.t * Mask.t array
+(** [build expr] computes the disjoint alphabet of [expr], the lowered
+    expression over it, and the table of composite masks referenced by
+    [Lowered.Masked] indices. Raises [Invalid_argument] if [expr] fails
+    {!Expr.validate} or would need more than {!max_atoms} atoms. *)
+
+val max_atoms : int ref
+(** Safety cap on the §5 blowup (default 4096). *)
+
+val classify :
+  t -> env:Mask.env -> Symbol.occurrence -> int
+(** Map an occurrence to its alphabet symbol by evaluating each guard of
+    the occurrence's basic-event kind. [env] supplies object-field,
+    dereference and function bindings; event parameters are bound from the
+    occurrence's arguments by position using each guard's own formals.
+    Mask evaluation errors propagate as {!Mask.Eval_error}. *)
+
+val guard_matches : env:Mask.env -> Symbol.occurrence -> guard -> bool
+(** Does the occurrence satisfy this guard (arity and mask, with the
+    guard's formals bound to the occurrence's arguments)? *)
+
+val atom_lookup : t -> key:int -> bits:int -> int option
+(** The symbol for a (key, guard-truth-assignment) pair, if that
+    assignment is possible. *)
+
+val guard_selector : t -> key:int -> guard_bit:int -> bool array
+(** The atom-set selector (length {!n_symbols}) of one logical event:
+    true at every atom of [key] whose assignment has bit [guard_bit]
+    set. *)
+
+val pp : Format.formatter -> t -> unit

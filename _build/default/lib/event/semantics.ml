@@ -1,0 +1,269 @@
+type oracle = int -> int -> bool
+
+let const_oracle b : oracle = fun _ _ -> b
+
+(* The evaluator works on suffixes H[from..]: [relative] and friends
+   truncate the history, so sub-expressions are evaluated against
+   suffixes. Results are memoized per (node, from) — nodes are numbered by
+   a pre-pass so the memo key is a pair of ints. *)
+
+type node = {
+  id : int;
+  shape : shape;
+}
+
+and shape =
+  | S_false
+  | S_atom of bool array
+  | S_or of node * node
+  | S_and of node * node
+  | S_not of node
+  | S_relative of node * node
+  | S_relative_plus of node
+  | S_relative_n of int * node
+  | S_prior of node * node
+  | S_prior_n of int * node
+  | S_sequence of node * node
+  | S_sequence_n of int * node
+  | S_choose of int * node
+  | S_every of int * node
+  | S_fa of node * node * node
+  | S_fa_abs of node * node * node
+  | S_masked of node * int
+
+let number expr =
+  let count = ref 0 in
+  let fresh shape =
+    let id = !count in
+    incr count;
+    { id; shape }
+  in
+  let rec go (e : Lowered.t) =
+    match e with
+    | False -> fresh S_false
+    | Atom sel -> fresh (S_atom sel)
+    | Or (a, b) ->
+      let a = go a in
+      let b = go b in
+      fresh (S_or (a, b))
+    | And (a, b) ->
+      let a = go a in
+      let b = go b in
+      fresh (S_and (a, b))
+    | Not a -> fresh (S_not (go a))
+    | Relative (a, b) ->
+      let a = go a in
+      let b = go b in
+      fresh (S_relative (a, b))
+    | Relative_plus a -> fresh (S_relative_plus (go a))
+    | Relative_n (n, a) -> fresh (S_relative_n (n, go a))
+    | Prior (a, b) ->
+      let a = go a in
+      let b = go b in
+      fresh (S_prior (a, b))
+    | Prior_n (n, a) -> fresh (S_prior_n (n, go a))
+    | Sequence (a, b) ->
+      let a = go a in
+      let b = go b in
+      fresh (S_sequence (a, b))
+    | Sequence_n (n, a) -> fresh (S_sequence_n (n, go a))
+    | Choose (n, a) -> fresh (S_choose (n, go a))
+    | Every (n, a) -> fresh (S_every (n, go a))
+    | Fa (a, b, g) ->
+      let a = go a in
+      let b = go b in
+      let g = go g in
+      fresh (S_fa (a, b, g))
+    | Fa_abs (a, b, g) ->
+      let a = go a in
+      let b = go b in
+      let g = go g in
+      fresh (S_fa_abs (a, b, g))
+    | Masked (a, id) -> fresh (S_masked (go a, id))
+  in
+  go expr
+
+let eval ?(oracle = const_oracle true) expr history =
+  let n = Array.length history in
+  let root = number expr in
+  let memo : (int * int, bool array) Hashtbl.t = Hashtbl.create 64 in
+  let rec eval_at node from : bool array =
+    match Hashtbl.find_opt memo (node.id, from) with
+    | Some res -> res
+    | None ->
+      let len = n - from in
+      let res = Array.make (max len 0) false in
+      (match node.shape with
+      | S_false -> ()
+      | S_atom sel ->
+        for i = 0 to len - 1 do
+          res.(i) <- sel.(history.(from + i))
+        done
+      | S_or (a, b) ->
+        let ra = eval_at a from and rb = eval_at b from in
+        for i = 0 to len - 1 do
+          res.(i) <- ra.(i) || rb.(i)
+        done
+      | S_and (a, b) ->
+        let ra = eval_at a from and rb = eval_at b from in
+        for i = 0 to len - 1 do
+          res.(i) <- ra.(i) && rb.(i)
+        done
+      | S_not a ->
+        let ra = eval_at a from in
+        for i = 0 to len - 1 do
+          res.(i) <- not ra.(i)
+        done
+      | S_relative (a, b) ->
+        let ra = eval_at a from in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            let rb = eval_at b (from + i + 1) in
+            Array.iteri (fun j occ -> if occ then res.(i + 1 + j) <- true) rb
+          end
+        done
+      | S_relative_plus a ->
+        let seed = eval_at a from in
+        Array.blit seed 0 res 0 len;
+        for i = 0 to len - 1 do
+          if res.(i) then begin
+            let occ = eval_at a (from + i + 1) in
+            Array.iteri (fun j b -> if b then res.(i + 1 + j) <- true) occ
+          end
+        done
+      | S_relative_n (count, a) ->
+        (* Chains of length >= count: [count-1] exact links, then closure. *)
+        let cur = ref (Array.copy (eval_at a from)) in
+        for _level = 2 to count do
+          let next = Array.make len false in
+          Array.iteri
+            (fun i reached ->
+              if reached then begin
+                let occ = eval_at a (from + i + 1) in
+                Array.iteri (fun j b -> if b then next.(i + 1 + j) <- true) occ
+              end)
+            !cur;
+          cur := next
+        done;
+        Array.blit !cur 0 res 0 len;
+        for i = 0 to len - 1 do
+          if res.(i) then begin
+            let occ = eval_at a (from + i + 1) in
+            Array.iteri (fun j b -> if b then res.(i + 1 + j) <- true) occ
+          end
+        done
+      | S_prior (a, b) ->
+        let ra = eval_at a from and rb = eval_at b from in
+        let seen_a = ref false in
+        for i = 0 to len - 1 do
+          res.(i) <- rb.(i) && !seen_a;
+          if ra.(i) then seen_a := true
+        done
+      | S_prior_n (count, a) ->
+        let ra = eval_at a from in
+        let occurrences_so_far = ref 0 in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            incr occurrences_so_far;
+            res.(i) <- !occurrences_so_far >= count
+          end
+        done
+      | S_sequence (a, b) ->
+        let ra = eval_at a from and rb = eval_at b from in
+        for i = 1 to len - 1 do
+          res.(i) <- rb.(i) && ra.(i - 1)
+        done
+      | S_sequence_n (count, a) ->
+        let ra = eval_at a from in
+        for i = count - 1 to len - 1 do
+          let ok = ref true in
+          for k = 0 to count - 1 do
+            if not ra.(i - k) then ok := false
+          done;
+          res.(i) <- !ok
+        done
+      | S_choose (count, a) ->
+        let ra = eval_at a from in
+        let occurrences_so_far = ref 0 in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            incr occurrences_so_far;
+            res.(i) <- !occurrences_so_far = count
+          end
+        done
+      | S_every (count, a) ->
+        let ra = eval_at a from in
+        let occurrences_so_far = ref 0 in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            incr occurrences_so_far;
+            res.(i) <- !occurrences_so_far mod count = 0
+          end
+        done
+      | S_fa (a, b, g) ->
+        let ra = eval_at a from in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            let rb = eval_at b (from + i + 1) in
+            let rg = eval_at g (from + i + 1) in
+            let sub_len = len - i - 1 in
+            let j = ref 0 in
+            let first_f = ref (-1) in
+            while !first_f < 0 && !j < sub_len do
+              if rb.(!j) then first_f := !j;
+              incr j
+            done;
+            if !first_f >= 0 then begin
+              let blocked = ref false in
+              for k = 0 to !first_f - 1 do
+                if rg.(k) then blocked := true
+              done;
+              if not !blocked then res.(i + 1 + !first_f) <- true
+            end
+          end
+        done
+      | S_fa_abs (a, b, g) ->
+        let ra = eval_at a from in
+        let rg = eval_at g from in
+        for i = 0 to len - 1 do
+          if ra.(i) then begin
+            let rb = eval_at b (from + i + 1) in
+            let sub_len = len - i - 1 in
+            let j = ref 0 in
+            let first_f = ref (-1) in
+            while !first_f < 0 && !j < sub_len do
+              if rb.(!j) then first_f := !j;
+              incr j
+            done;
+            if !first_f >= 0 then begin
+              (* points strictly between i and p = i+1+first_f *)
+              let blocked = ref false in
+              for k = i + 1 to i + !first_f do
+                if rg.(k) then blocked := true
+              done;
+              if not !blocked then res.(i + 1 + !first_f) <- true
+            end
+          end
+        done
+      | S_masked (a, id) ->
+        (* A masked composite is a standalone derived event: it is
+           detected against the object's full history (that is what lets
+           §5 share one automaton per class), then filtered by the mask at
+           the point of occurrence. Truncating operators around it shift
+           which points are considered, not how it is detected. *)
+        let ra = eval_at a 0 in
+        for i = 0 to len - 1 do
+          res.(i) <- ra.(from + i) && oracle id (from + i)
+        done);
+      Hashtbl.add memo (node.id, from) res;
+      res
+  in
+  Array.copy (eval_at root 0)
+
+let occurs_at ?oracle expr history p = (eval ?oracle expr history).(p)
+
+let occurrences ?oracle expr history =
+  let res = eval ?oracle expr history in
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := i :: !out) res;
+  List.rev !out

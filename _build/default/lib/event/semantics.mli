@@ -1,0 +1,27 @@
+(** Reference (denotational) semantics of event expressions — paper §4.
+
+    An expression evaluated against a history [H] (an array of alphabet
+    symbols) denotes the set of points of [H] at which the event occurs.
+    This evaluator follows the set definitions directly, with no automata
+    involved; it is the ground truth the compiled automata are
+    property-tested against, and doubles as the "re-evaluate on every
+    event" baseline in the benchmarks.
+
+    Composite masks ([Lowered.Masked]) are resolved through an {e oracle}
+    mapping (mask id, absolute point) to a boolean — in the real system
+    that is "evaluate the mask against the database now"; in tests it is a
+    scripted stream. *)
+
+type oracle = int -> int -> bool
+(** [oracle mask_id position]. *)
+
+val const_oracle : bool -> oracle
+
+val eval : ?oracle:oracle -> Lowered.t -> int array -> bool array
+(** [eval expr history] labels each point of [history] with whether the
+    event occurs there. The default oracle is [const_oracle true]. *)
+
+val occurs_at : ?oracle:oracle -> Lowered.t -> int array -> int -> bool
+
+val occurrences : ?oracle:oracle -> Lowered.t -> int array -> int list
+(** Positions labeled true, ascending. *)

@@ -1,0 +1,85 @@
+type qualifier = Before | After
+
+type time_pattern = {
+  year : int option;
+  mon : int option;
+  day : int option;
+  hr : int option;
+  min : int option;
+  sec : int option;
+  ms : int option;
+}
+
+type time_spec =
+  | At of time_pattern
+  | Every of int64
+  | After_period of int64
+
+type basic =
+  | Create
+  | Delete
+  | Update of qualifier
+  | Read of qualifier
+  | Access of qualifier
+  | Method of qualifier * string
+  | Tbegin
+  | Tcomplete
+  | Tcommit
+  | Tabort of qualifier
+  | Time of time_spec
+
+type occurrence = {
+  basic : basic;
+  args : Ode_base.Value.t list;
+  at : int64;
+}
+
+let wildcard_pattern =
+  { year = None; mon = None; day = None; hr = None; min = None; sec = None; ms = None }
+
+let pattern ?year ?mon ?day ?hr ?min ?sec ?ms () =
+  { year; mon; day; hr; min; sec; ms }
+
+let equal_basic (b1 : basic) (b2 : basic) = b1 = b2
+let compare_basic (b1 : basic) (b2 : basic) = Stdlib.compare b1 b2
+
+let is_transactional = function
+  | Tbegin | Tcomplete | Tcommit | Tabort _ -> true
+  | Create | Delete | Update _ | Read _ | Access _ | Method _ | Time _ -> false
+
+let pp_qualifier ppf = function
+  | Before -> Fmt.string ppf "before"
+  | After -> Fmt.string ppf "after"
+
+let pp_pattern ppf p =
+  let fields =
+    [ "YR", p.year; "MON", p.mon; "DAY", p.day; "HR", p.hr; "M", p.min;
+      "SEC", p.sec; "MS", p.ms ]
+  in
+  let present = List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) v) fields in
+  Fmt.pf ppf "time(%a)"
+    Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+    present
+
+let pp_time_spec ppf = function
+  | At p -> Fmt.pf ppf "at %a" pp_pattern p
+  | Every ms -> Fmt.pf ppf "every time(MS=%Ld)" ms
+  | After_period ms -> Fmt.pf ppf "after time(MS=%Ld)" ms
+
+let pp_basic ppf = function
+  | Create -> Fmt.string ppf "after create"
+  | Delete -> Fmt.string ppf "before delete"
+  | Update q -> Fmt.pf ppf "%a update" pp_qualifier q
+  | Read q -> Fmt.pf ppf "%a read" pp_qualifier q
+  | Access q -> Fmt.pf ppf "%a access" pp_qualifier q
+  | Method (q, name) -> Fmt.pf ppf "%a %s" pp_qualifier q name
+  | Tbegin -> Fmt.string ppf "after tbegin"
+  | Tcomplete -> Fmt.string ppf "before tcomplete"
+  | Tcommit -> Fmt.string ppf "after tcommit"
+  | Tabort q -> Fmt.pf ppf "%a tabort" pp_qualifier q
+  | Time spec -> pp_time_spec ppf spec
+
+let pp_occurrence ppf o =
+  Fmt.pf ppf "%a(%a)@%Ld" pp_basic o.basic
+    Fmt.(list ~sep:(any ", ") Ode_base.Value.pp)
+    o.args o.at

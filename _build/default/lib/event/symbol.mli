@@ -1,0 +1,60 @@
+(** Basic events — the alphabet of happenings an Ode object can observe
+    (paper §3.1).
+
+    A basic event names a kind of happening; an {e occurrence} is one
+    concrete happening posted to an object, carrying the method arguments
+    and the simulated timestamp. *)
+
+type qualifier = Before | After
+
+type time_pattern = {
+  year : int option;
+  mon : int option;  (** 1..12 *)
+  day : int option;  (** 1..31 *)
+  hr : int option;  (** 0..23 *)
+  min : int option;
+  sec : int option;
+  ms : int option;
+}
+(** O++'s [time(YR=…, MON=…, …)] with omitted fields acting as wildcards;
+    an [at] event with wildcards recurs at every matching instant. *)
+
+type time_spec =
+  | At of time_pattern
+  | Every of int64  (** period in milliseconds *)
+  | After_period of int64  (** delay from trigger activation, ms *)
+
+type basic =
+  | Create  (** immediately after an object is created *)
+  | Delete  (** immediately before an object is deleted *)
+  | Update of qualifier
+  | Read of qualifier
+  | Access of qualifier
+  | Method of qualifier * string
+  | Tbegin  (** immediately after a transaction begins *)
+  | Tcomplete  (** immediately before a transaction attempts to commit *)
+  | Tcommit  (** immediately after a transaction commits *)
+  | Tabort of qualifier
+  | Time of time_spec
+
+type occurrence = {
+  basic : basic;
+  args : Ode_base.Value.t list;  (** actual method arguments, else [] *)
+  at : int64;  (** simulated timestamp, ms *)
+}
+
+val wildcard_pattern : time_pattern
+val pattern :
+  ?year:int -> ?mon:int -> ?day:int -> ?hr:int -> ?min:int -> ?sec:int ->
+  ?ms:int -> unit -> time_pattern
+
+val equal_basic : basic -> basic -> bool
+val compare_basic : basic -> basic -> int
+
+val is_transactional : basic -> bool
+(** The five transaction events of §3.1(4). *)
+
+val pp_qualifier : Format.formatter -> qualifier -> unit
+val pp_time_spec : Format.formatter -> time_spec -> unit
+val pp_basic : Format.formatter -> basic -> unit
+val pp_occurrence : Format.formatter -> occurrence -> unit

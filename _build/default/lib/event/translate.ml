@@ -1,0 +1,63 @@
+(* The encoding obstacle: an event-language atom denotes [Σ*·a] ("the last
+   point is an [a]"), not the single-word language [{a}]. We recover exact
+   single-symbol languages with the paper's own operators:
+
+     len1     = any & !prior(any, any)          — words of length exactly 1
+     single a = a & len1                        — the word "a"
+
+   and then concatenation is exactly [relative], [L+] is [relative+]. The
+   translation tracks nullability so [Star] can be decomposed as
+   [ε ∪ L+]. *)
+
+let any_selector m = Array.make m true
+
+let selector m c =
+  let sel = Array.make m false in
+  sel.(c) <- true;
+  sel
+
+let len1 m : Lowered.t =
+  let any : Lowered.t = Atom (any_selector m) in
+  And (any, Not (Prior (any, any)))
+
+let single m c : Lowered.t = And (Atom (selector m c), len1 m)
+
+let or_opt a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Lowered.Or (a, b))
+
+(* Returns (nullable, expression for L \ {ε} or None when that set is
+   empty). *)
+let rec go ~m (r : Regex.t) : bool * Lowered.t option =
+  match r with
+  | Empty -> (false, None)
+  | Eps -> (true, None)
+  | Sym c ->
+    if c < 0 || c >= m then invalid_arg "Translate.of_regex: symbol out of range";
+    (false, Some (single m c))
+  | Any -> (false, Some (len1 m))
+  | Alt (a, b) ->
+    let na, ea = go ~m a in
+    let nb, eb = go ~m b in
+    (na || nb, or_opt ea eb)
+  | Seq (a, b) ->
+    let na, ea = go ~m a in
+    let nb, eb = go ~m b in
+    let both =
+      match ea, eb with
+      | Some ea, Some eb -> Some (Lowered.Relative (ea, eb))
+      | _ -> None
+    in
+    let left = if nb then ea else None in
+    let right = if na then eb else None in
+    (na && nb, or_opt both (or_opt left right))
+  | Star a ->
+    let _, ea = go ~m a in
+    (true, Option.map (fun e -> Lowered.Relative_plus e) ea)
+
+let of_regex ~m r =
+  match go ~m r with
+  | true, _ -> None
+  | false, None -> Some Lowered.False
+  | false, Some e -> Some e

@@ -1,0 +1,13 @@
+(** Regular expressions → event expressions (paper §4).
+
+    Section 4 claims the event language is exactly as expressive as
+    regular expressions over logical events. One direction is witnessed by
+    {!Compile} (every event expression becomes a DFA); this module is the
+    other: any regular language not containing the empty word is the
+    language of an event expression. *)
+
+val of_regex : m:int -> Regex.t -> Lowered.t option
+(** [of_regex ~m r] is an event expression [e] with [L(e) = L(r)], or
+    [None] when [L(r)] contains ε (event languages are ε-free: an event
+    needs an occurrence point). The result uses only union, intersection,
+    complement, [relative], [relative+] and [prior] — the paper's core. *)

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Expr Format Int64 Lexer List Mask Ode_base Ode_event Printf String Symbol

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Lexer Ode_event

@@ -1,0 +1,192 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | SEMI
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BANG
+  | AMP
+  | AMPAMP
+  | BAR
+  | BARBAR
+  | EQ
+  | ARROW
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : token; pos : int }
+
+exception Lex_error of string * int
+
+let error msg pos = raise (Lex_error (msg, pos))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok pos = out := { tok; pos } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let pos = !i in
+    let c = src.[pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then error "unterminated comment" pos
+    end
+    else if is_ident_start c then begin
+      let j = ref pos in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      emit (IDENT (String.sub src pos (!j - pos))) pos;
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref pos in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      (* A fractional part requires a digit after the dot, so that
+         [5(e)]-style counts followed by [.] elsewhere stay ints. *)
+      if !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1] then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        emit (FLOAT (float_of_string (String.sub src pos (!j - pos)))) pos
+      end
+      else emit (INT (int_of_string (String.sub src pos (!j - pos)))) pos;
+      i := !j
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (pos + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if src.[!j] = '"' then closed := true
+        else if src.[!j] = '\\' && !j + 1 < n then begin
+          Buffer.add_char buf src.[!j + 1];
+          j := !j + 2
+        end
+        else begin
+          Buffer.add_char buf src.[!j];
+          incr j
+        end
+      done;
+      if not !closed then error "unterminated string" pos;
+      emit (STRING (Buffer.contents buf)) pos;
+      i := !j + 1
+    end
+    else begin
+      let two tok = emit tok pos; i := !i + 2 in
+      let one tok = emit tok pos; incr i in
+      let three tok = emit tok pos; i := !i + 3 in
+      match c, peek 1 with
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two BARBAR
+      | '=', Some '=' -> if peek 2 = Some '>' then three ARROW else two EQEQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', _ -> one AMP
+      | '|', _ -> one BAR
+      | '=', _ -> one EQ
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ':', _ -> one COLON
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | '.', _ -> one DOT
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | _ -> error (Printf.sprintf "unexpected character %C" c) pos
+    end
+  done;
+  emit EOF n;
+  Array.of_list (List.rev !out)
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT k -> Printf.sprintf "integer %d" k
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | BANG -> "'!'"
+  | AMP -> "'&'"
+  | AMPAMP -> "'&&'"
+  | BAR -> "'|'"
+  | BARBAR -> "'||'"
+  | EQ -> "'='"
+  | ARROW -> "'==>'"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"
+
+let position src offset =
+  let line = ref 1 in
+  let col = ref 1 in
+  let stop = min offset (String.length src) in
+  for k = 0 to stop - 1 do
+    if src.[k] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)

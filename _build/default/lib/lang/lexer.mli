@@ -1,0 +1,46 @@
+(** Lexer for the O++ event-specification sub-language (paper §3.3). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | SEMI
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BANG
+  | AMP  (** [&] — event intersection *)
+  | AMPAMP  (** [&&] — mask attachment / mask conjunction *)
+  | BAR  (** [|] — event union *)
+  | BARBAR  (** [||] — mask disjunction *)
+  | EQ  (** [=] — inside time patterns *)
+  | ARROW  (** [==>] — trigger bodies in ODL *)
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : token; pos : int }
+(** [pos] is a byte offset into the source, for error reporting. *)
+
+exception Lex_error of string * int
+
+val tokenize : string -> spanned array
+(** Supports [//] line comments and [/* */] block comments. Raises
+    {!Lex_error} on unknown characters or malformed literals. *)
+
+val describe : token -> string
+val position : string -> int -> int * int
+(** [position src offset] is the 1-based (line, column). *)

@@ -1,0 +1,500 @@
+open Ode_event
+module L = Lexer
+
+exception Parse_error of string * int
+
+type state = { toks : L.spanned array; mutable pos : int }
+
+let error st fmt =
+  let pos = st.toks.(min st.pos (Array.length st.toks - 1)).pos in
+  Format.kasprintf (fun msg -> raise (Parse_error (msg, pos))) fmt
+
+let peek st = st.toks.(st.pos).tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok else L.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then
+    error { st with pos = st.pos - 1 } "expected %s, found %s" (L.describe tok)
+      (L.describe got)
+
+let expect_ident st =
+  match next st with
+  | L.IDENT name -> name
+  | got -> error { st with pos = st.pos - 1 } "expected identifier, found %s" (L.describe got)
+
+let expect_int st =
+  match next st with
+  | L.INT k -> k
+  | got -> error { st with pos = st.pos - 1 } "expected integer, found %s" (L.describe got)
+
+(* ------------------------------------------------------------------ *)
+(* Masks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_mask_expr st : Mask.t = mask_or st
+
+and mask_or st =
+  let left = ref (mask_and st) in
+  while peek st = L.BARBAR do
+    advance st;
+    left := Mask.Or (!left, mask_and st)
+  done;
+  !left
+
+and mask_and st =
+  let left = ref (mask_cmp st) in
+  while peek st = L.AMPAMP do
+    advance st;
+    left := Mask.And (!left, mask_cmp st)
+  done;
+  !left
+
+and mask_cmp st =
+  let left = mask_add st in
+  let op =
+    match peek st with
+    | L.EQEQ -> Some Mask.Eq
+    | L.NE -> Some Mask.Ne
+    | L.LT -> Some Mask.Lt
+    | L.LE -> Some Mask.Le
+    | L.GT -> Some Mask.Gt
+    | L.GE -> Some Mask.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    advance st;
+    Mask.Cmp (op, left, mask_add st)
+
+and mask_add st =
+  let left = ref (mask_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.PLUS ->
+      advance st;
+      left := Mask.Arith (Mask.Add, !left, mask_mul st)
+    | L.MINUS ->
+      advance st;
+      left := Mask.Arith (Mask.Sub, !left, mask_mul st)
+    | _ -> continue := false
+  done;
+  !left
+
+and mask_mul st =
+  let left = ref (mask_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.STAR ->
+      advance st;
+      left := Mask.Arith (Mask.Mul, !left, mask_unary st)
+    | L.SLASH ->
+      advance st;
+      left := Mask.Arith (Mask.Div, !left, mask_unary st)
+    | _ -> continue := false
+  done;
+  !left
+
+and mask_unary st =
+  match peek st with
+  | L.BANG ->
+    advance st;
+    Mask.Not (mask_unary st)
+  | L.MINUS ->
+    advance st;
+    Mask.Neg (mask_unary st)
+  | _ -> mask_postfix st
+
+and mask_postfix st =
+  let base = ref (mask_atom st) in
+  while peek st = L.DOT do
+    advance st;
+    base := Mask.Get (!base, expect_ident st)
+  done;
+  !base
+
+and mask_atom st =
+  match next st with
+  | L.INT k -> Mask.Const (Ode_base.Value.Int k)
+  | L.FLOAT f -> Mask.Const (Ode_base.Value.Float f)
+  | L.STRING s -> Mask.Const (Ode_base.Value.String s)
+  | L.IDENT "true" -> Mask.Const (Ode_base.Value.Bool true)
+  | L.IDENT "false" -> Mask.Const (Ode_base.Value.Bool false)
+  | L.IDENT name ->
+    if peek st = L.LPAREN then begin
+      advance st;
+      let args = ref [] in
+      if peek st <> L.RPAREN then begin
+        args := [ parse_mask_expr st ];
+        while peek st = L.COMMA do
+          advance st;
+          args := parse_mask_expr st :: !args
+        done
+      end;
+      expect st L.RPAREN;
+      Mask.Call (name, List.rev !args)
+    end
+    else Mask.Var name
+  | L.LPAREN ->
+    let inner = parse_mask_expr st in
+    expect st L.RPAREN;
+    inner
+  | got -> error { st with pos = st.pos - 1 } "expected a mask term, found %s" (L.describe got)
+
+(* ------------------------------------------------------------------ *)
+(* Time patterns                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_time_pattern st : Symbol.time_pattern =
+  expect st (L.IDENT "time");
+  expect st L.LPAREN;
+  let pat = ref Symbol.wildcard_pattern in
+  let set key value =
+    let p = !pat in
+    pat :=
+      (match String.uppercase_ascii key with
+      | "YR" -> { p with year = Some value }
+      | "MON" -> { p with mon = Some value }
+      | "DAY" -> { p with day = Some value }
+      | "HR" -> { p with hr = Some value }
+      | "M" | "MIN" -> { p with min = Some value }
+      | "SEC" -> { p with sec = Some value }
+      | "MS" -> { p with ms = Some value }
+      | _ -> error st "unknown time field %s" key)
+  in
+  if peek st <> L.RPAREN then begin
+    let field () =
+      let key = expect_ident st in
+      expect st L.EQ;
+      set key (expect_int st)
+    in
+    field ();
+    while peek st = L.COMMA do
+      advance st;
+      field ()
+    done
+  end;
+  expect st L.RPAREN;
+  !pat
+
+let period_ms (p : Symbol.time_pattern) : int64 =
+  let get = function None -> 0L | Some v -> Int64.of_int v in
+  let ( * ) = Int64.mul and ( + ) = Int64.add in
+  (get p.year * 31_536_000_000L)
+  + (get p.mon * 2_592_000_000L)
+  + (get p.day * 86_400_000L)
+  + (get p.hr * 3_600_000L)
+  + (get p.min * 60_000L)
+  + (get p.sec * 1_000L)
+  + get p.ms
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let basic_keywords =
+  [ "create"; "delete"; "update"; "read"; "access"; "tbegin"; "tcomplete";
+    "tcommit"; "tabort" ]
+
+let reserved =
+  [ "relative"; "prior"; "sequence"; "choose"; "every"; "fa"; "faAbs";
+    "before"; "after"; "at"; "time" ]
+  @ basic_keywords
+
+let parse_formals st : Expr.formal list =
+  expect st L.LPAREN;
+  let formals = ref [] in
+  if peek st <> L.RPAREN then begin
+    let formal () =
+      let first = expect_ident st in
+      match peek st with
+      | L.IDENT second ->
+        advance st;
+        { Expr.f_ty = Some first; f_name = second }
+      | _ -> { Expr.f_ty = None; f_name = first }
+    in
+    formals := [ formal () ];
+    while peek st = L.COMMA do
+      advance st;
+      formals := formal () :: !formals
+    done
+  end;
+  expect st L.RPAREN;
+  List.rev !formals
+
+let qualified_basic st (q : Symbol.qualifier) name : Expr.t =
+  let bad () =
+    error st "'%s %s' is not a valid basic event"
+      (match q with Before -> "before" | After -> "after")
+      name
+  in
+  match name, q with
+  | "create", After -> Expr.leaf Symbol.Create
+  | "create", Before -> bad ()
+  | "delete", Before -> Expr.leaf Symbol.Delete
+  | "delete", After -> bad ()
+  | "update", _ -> Expr.leaf (Symbol.Update q)
+  | "read", _ -> Expr.leaf (Symbol.Read q)
+  | "access", _ -> Expr.leaf (Symbol.Access q)
+  | "tbegin", After -> Expr.leaf Symbol.Tbegin
+  | "tbegin", Before -> bad ()
+  | "tcomplete", Before -> Expr.leaf Symbol.Tcomplete
+  | "tcomplete", After -> bad ()
+  | "tcommit", After -> Expr.leaf Symbol.Tcommit
+  | "tcommit", Before ->
+    error st "'before tcommit' is not allowed: a transaction's commit cannot be foreseen"
+  | "tabort", _ -> Expr.leaf (Symbol.Tabort q)
+  | _ -> assert false
+
+(* Tokens that may legally follow a complete event atom. Anything else
+   after a would-be '(event)' means the parenthesis actually opened a
+   mask (an object-state event like [(a + b) > 0]). *)
+let event_follow = function
+  | L.AMP | L.AMPAMP | L.BAR | L.SEMI | L.COMMA | L.RPAREN | L.EOF -> true
+  | _ -> false
+
+let rec parse_event_expr st : Expr.t =
+  let first = parse_union st in
+  if peek st <> L.SEMI then first
+  else begin
+    let parts = ref [ first ] in
+    while peek st = L.SEMI do
+      advance st;
+      parts := parse_union st :: !parts
+    done;
+    Expr.sequence (List.rev !parts)
+  end
+
+and parse_union st =
+  let left = ref (parse_inter st) in
+  while peek st = L.BAR do
+    advance st;
+    left := Expr.Or (!left, parse_inter st)
+  done;
+  !left
+
+and parse_inter st =
+  let left = ref (parse_unary st) in
+  while peek st = L.AMP do
+    advance st;
+    left := Expr.And (!left, parse_unary st)
+  done;
+  !left
+
+and parse_unary st =
+  if peek st = L.BANG then begin
+    advance st;
+    Expr.Not (parse_unary st)
+  end
+  else parse_postfix st
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  if peek st <> L.AMPAMP then atom
+  else begin
+    advance st;
+    let mask = parse_mask_expr st in
+    match atom with
+    | Expr.Leaf l ->
+      (* attach to the logical event, merging with any existing mask *)
+      let mask =
+        match l.mask with None -> mask | Some m -> Mask.And (m, mask)
+      in
+      Expr.Leaf { l with mask = Some mask }
+    | composite -> Expr.Masked (composite, mask)
+  end
+
+and parse_event_list st =
+  let events = ref [ parse_event_expr st ] in
+  while peek st = L.COMMA do
+    advance st;
+    events := parse_event_expr st :: !events
+  done;
+  List.rev !events
+
+and parse_curried st name build counted =
+  advance st;
+  match peek st with
+  | L.PLUS ->
+    advance st;
+    if name <> "relative" then
+      error st "the + modifier applies only to relative (it is the identity on %s)" name;
+    expect st L.LPAREN;
+    let body = parse_event_expr st in
+    expect st L.RPAREN;
+    Expr.relative_plus body
+  | L.INT n ->
+    advance st;
+    if n < 1 then error st "%s count must be >= 1" name;
+    expect st L.LPAREN;
+    let body = parse_event_expr st in
+    expect st L.RPAREN;
+    counted n body
+  | L.LPAREN ->
+    advance st;
+    let events = parse_event_list st in
+    expect st L.RPAREN;
+    build events
+  | got -> error st "expected '+', a count, or '(' after %s, found %s" name (L.describe got)
+
+and parse_counted_only st name counted =
+  advance st;
+  let n = expect_int st in
+  if n < 1 then error st "%s count must be >= 1" name;
+  expect st L.LPAREN;
+  let body = parse_event_expr st in
+  expect st L.RPAREN;
+  counted n body
+
+and parse_triple st name build =
+  advance st;
+  expect st L.LPAREN;
+  match parse_event_list st with
+  | [ e; f; g ] ->
+    expect st L.RPAREN;
+    build e f g
+  | events -> error st "%s takes exactly 3 arguments, got %d" name (List.length events)
+
+and parse_method_leaf st q =
+  let name = expect_ident st in
+  if List.mem name reserved && name <> "time" then
+    error st "%S cannot be used as a method name" name
+  else begin
+    let formals = if peek st = L.LPAREN then parse_formals st else [] in
+    Expr.leaf ~formals (Symbol.Method (q, name))
+  end
+
+and parse_qualified st q =
+  advance st;
+  match peek st with
+  | L.IDENT name when List.mem name basic_keywords ->
+    advance st;
+    let leaf = qualified_basic st q name in
+    (* creation/deletion events may declare formals for their database-
+       scope arguments (oid, class) *)
+    (match leaf, peek st with
+    | Expr.Leaf ({ basic = Symbol.Create | Symbol.Delete; _ } as l), L.LPAREN ->
+      let formals = parse_formals st in
+      Expr.Leaf { l with formals }
+    | _ -> leaf)
+  | L.IDENT "time" ->
+    if q = Symbol.Before then error st "'before time' is not a basic event"
+    else begin
+      let pat = parse_time_pattern st in
+      Expr.leaf (Symbol.Time (After_period (period_ms pat)))
+    end
+  | L.IDENT _ -> parse_method_leaf st q
+  | got -> error st "expected an event name after the qualifier, found %s" (L.describe got)
+
+and parse_state_event st =
+  let mask = parse_mask_expr st in
+  Expr.state_event mask
+
+and parse_atom st =
+  match peek st with
+  | L.IDENT "relative" ->
+    parse_curried st "relative" Expr.relative Expr.relative_n
+  | L.IDENT "prior" -> parse_curried st "prior" Expr.prior Expr.prior_n
+  | L.IDENT "sequence" ->
+    parse_curried st "sequence" Expr.sequence Expr.sequence_n
+  | L.IDENT "choose" -> parse_counted_only st "choose" Expr.choose
+  | L.IDENT "every" -> (
+    match peek2 st with
+    | L.INT _ -> parse_counted_only st "every" Expr.every
+    | L.IDENT "time" ->
+      advance st;
+      let pat = parse_time_pattern st in
+      Expr.leaf (Symbol.Time (Every (period_ms pat)))
+    | got ->
+      error st "expected a count or time(...) after 'every', found %s" (L.describe got))
+  | L.IDENT "fa" -> parse_triple st "fa" Expr.fa
+  | L.IDENT "faAbs" -> parse_triple st "faAbs" Expr.fa_abs
+  | L.IDENT "before" -> parse_qualified st Symbol.Before
+  | L.IDENT "after" -> parse_qualified st Symbol.After
+  | L.IDENT "at" ->
+    advance st;
+    let pat = parse_time_pattern st in
+    Expr.leaf (Symbol.Time (At pat))
+  | L.IDENT _ -> (
+    (* Method shorthand [f = (before f | after f)] versus an object-state
+       event such as [balance < 500]: decide by what follows the
+       identifier. *)
+    match peek2 st with
+    | L.DOT | L.LPAREN | L.PLUS | L.MINUS | L.STAR | L.SLASH | L.EQEQ | L.NE
+    | L.LT | L.LE | L.GT | L.GE | L.BARBAR ->
+      parse_state_event st
+    | _ ->
+      let name = expect_ident st in
+      Expr.method_any name)
+  | L.INT _ | L.FLOAT _ | L.STRING _ | L.MINUS -> parse_state_event st
+  | L.LPAREN -> (
+    (* Try a parenthesized event; if the parse fails, or succeeds but is
+       followed by mask-only operators, it was a parenthesized mask. *)
+    let saved = st.pos in
+    let backtrack () =
+      st.pos <- saved;
+      parse_state_event st
+    in
+    match
+      advance st;
+      let inner = parse_event_expr st in
+      expect st L.RPAREN;
+      inner
+    with
+    | exception Parse_error _ -> backtrack ()
+    | inner -> if event_follow (peek st) then inner else backtrack ())
+  | got -> error st "expected an event, found %s" (L.describe got)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run src parse =
+  let toks =
+    try L.tokenize src with L.Lex_error (msg, pos) -> raise (Parse_error (msg, pos))
+  in
+  let st = { toks; pos = 0 } in
+  let result = parse st in
+  (match peek st with
+  | L.EOF -> ()
+  | got -> error st "trailing input: %s" (L.describe got));
+  result
+
+let parse_event src = run src parse_event_expr
+let parse_mask src = run src parse_mask_expr
+
+type stream = state
+
+let stream_of_tokens toks = { toks; pos = 0 }
+let stream_index st = st.pos
+let stream_seek st pos = st.pos <- pos
+let stream_peek = peek
+let stream_peek2 = peek2
+let stream_next = next
+let stream_expect = expect
+let stream_ident = expect_ident
+let stream_int = expect_int
+let stream_fail st msg = error st "%s" msg
+let event_prefix = parse_event_expr
+let mask_prefix = parse_mask_expr
+
+let with_nice_errors src f =
+  match f src with
+  | v -> Ok v
+  | exception Parse_error (msg, pos) ->
+    let line, col = L.position src pos in
+    Error (Printf.sprintf "%d:%d: %s" line col msg)
+
+let event_of_string src = with_nice_errors src parse_event
+let mask_of_string src = with_nice_errors src parse_mask

@@ -1,0 +1,64 @@
+(** Recursive-descent parser for the O++ event-specification sub-language
+    (the BNF of paper §3.3).
+
+    Grammar, loosest to tightest binding:
+    {v
+    event   := union (';' union)*                      sequence
+    union   := inter ('|' inter)*
+    inter   := unary ('&' unary)*
+    unary   := '!' unary | postfix
+    postfix := atom ['&&' mask]
+    atom    := '(' event ')'
+             | relative|prior|sequence ['+' | INT] '(' event-list ')'
+             | choose|every INT '(' event ')'
+             | fa|faAbs '(' event ',' event ',' event ')'
+             | before|after basic-or-method [formals]
+             | after time '(' pattern ')'              delay event
+             | at time '(' pattern ')'
+             | every time '(' pattern ')'              periodic event
+             | IDENT                                   method shorthand
+             | object-state mask                       (after update |
+                                                        after create) && mask
+    v}
+
+    The paper's restrictions are enforced: [before tcommit] is rejected,
+    [create]/[tbegin]/[tcommit] only take [after], [delete]/[tcomplete]
+    only [before], and the [+] modifier is refused on [prior] and
+    [sequence] (where it would be the identity). *)
+
+exception Parse_error of string * int
+(** Message and byte offset. *)
+
+val parse_event : string -> Ode_event.Expr.t
+val parse_mask : string -> Ode_event.Mask.t
+
+val event_of_string : string -> (Ode_event.Expr.t, string) result
+(** Like {!parse_event} but formatting errors as ["line:col: message"]. *)
+
+val mask_of_string : string -> (Ode_event.Mask.t, string) result
+
+(** {1 Streaming interface}
+
+    For embedding the event sub-language inside larger grammars (the ODL
+    schema language): a mutable cursor over a token array, from which an
+    event expression or a mask can be parsed as a prefix. *)
+
+type stream
+
+val stream_of_tokens : Lexer.spanned array -> stream
+val stream_index : stream -> int
+val stream_seek : stream -> int -> unit
+val stream_peek : stream -> Lexer.token
+val stream_peek2 : stream -> Lexer.token
+val stream_next : stream -> Lexer.token
+val stream_expect : stream -> Lexer.token -> unit
+val stream_ident : stream -> string
+val stream_int : stream -> int
+val stream_fail : stream -> string -> 'a
+(** Raise {!Parse_error} at the cursor's position. *)
+
+val event_prefix : stream -> Ode_event.Expr.t
+(** Parse an event expression starting at the cursor, consuming exactly
+    its tokens (stops at the first token that cannot extend it). *)
+
+val mask_prefix : stream -> Ode_event.Mask.t

@@ -1,0 +1,1 @@
+lib/odb/clock.ml: Fmt Int64 List Ode_event Option

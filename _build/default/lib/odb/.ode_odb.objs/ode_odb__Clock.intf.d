@@ -1,0 +1,1 @@
+lib/odb/clock.mli: Format Ode_event

@@ -1,0 +1,1 @@
+lib/odb/database.ml: Array Clock Hashtbl History Int64 List Lock Ode_base Ode_event Ode_lang Option Printf Types

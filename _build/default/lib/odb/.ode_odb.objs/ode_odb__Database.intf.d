@@ -1,0 +1,1 @@
+lib/odb/database.mli: History Ode_base Ode_event

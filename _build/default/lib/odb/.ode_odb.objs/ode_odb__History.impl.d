@@ -1,0 +1,1 @@
+lib/odb/history.ml: Fmt List Ode_event

@@ -1,0 +1,1 @@
+lib/odb/history.mli: Format Ode_event

@@ -1,0 +1,1 @@
+lib/odb/lock.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/odb/types.ml: Format Hashtbl History Lock Ode_base Ode_event

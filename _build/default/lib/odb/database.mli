@@ -1,0 +1,293 @@
+(** An Ode-style active object database (paper §2, §5–§7).
+
+    This is the substrate the paper's event machinery runs on: persistent
+    objects with identity, classes with member functions and trigger
+    declarations, flat transactions under object-level strict locking, a
+    simulated clock for time events, and the event-posting pipeline of §5
+    (basic events posted to objects, per-class automata advanced, fired
+    triggers' actions executed inside the posting transaction; commit- and
+    abort-events posted by a system transaction).
+
+    {1 Conventions}
+
+    - All object access happens inside a transaction; [after tbegin] is
+      posted to an object lazily, immediately before the transaction's
+      first access to it (§3.1).
+    - A public member-function call on an object posts, in order:
+      [before access], [before read]/[before update], [before f], the
+      body, [after f], [after read]/[after update], [after access].
+    - Trigger actions run immediately, as part of the transaction that
+      posted the event. Actions of triggers fired by [after tcommit] /
+      [after tabort] run in a {e system} transaction (§5). A trigger
+      action may raise {!Tabort} to abort the surrounding transaction.
+    - [before tcomplete] is posted repeatedly at commit until a round
+      fires no triggers (§6); then the transaction commits.
+    - Masks are evaluated against the database with {e no} events posted:
+      conditions are required to be side-effect-free (§7). *)
+
+module Value = Ode_base.Value
+
+type t
+type txn
+type oid = int
+
+exception Tabort
+(** Raised by trigger actions (or user code) to abort the transaction —
+    O++'s [tabort] statement. *)
+
+exception Lock_conflict of oid
+(** An incompatible lock request; the requesting transaction should
+    abort. *)
+
+exception Ode_error of string
+(** Schema violations, use outside transactions, commit livelock, etc. *)
+
+type method_kind = Read_only | Updating
+
+(** {1 Schema definition} *)
+
+type class_builder
+
+val define_class :
+  ?constructor:(t -> oid -> Value.t list -> unit) -> string -> class_builder
+(** Start a class definition. The constructor body runs during
+    {!create}, before [after create] is posted — the usual place to
+    activate triggers. *)
+
+val field : class_builder -> string -> Value.t -> class_builder
+(** Declare a field with its default value. *)
+
+val method_ :
+  class_builder ->
+  ?arity:int ->
+  kind:method_kind ->
+  string ->
+  (t -> oid -> Value.t list -> Value.t) ->
+  class_builder
+(** Declare a public member function. [kind] drives the [read]/[update]
+    basic events; [arity] (default: any) is checked at call time. *)
+
+type fire_context = {
+  fc_oid : oid;  (** the object the event was posted to *)
+  fc_params : Value.t list;  (** activation-time trigger arguments *)
+  fc_occurrence : Ode_event.Symbol.occurrence;
+      (** the occurrence that completed the event — its [args] are the
+          method parameters of the last basic event, usable by actions
+          such as the paper's T2 [order(i)] *)
+  fc_collected : (string * Value.t) list;
+      (** the paper's §9 "incorporation of arguments into composite event
+          specification": every formal declared by one of the trigger's
+          logical events is bound to the argument of its most recent
+          matching occurrence (rolled back on abort for [Committed]-mode
+          triggers, reset on re-activation). *)
+  fc_witnesses : (string * Value.t) list list option;
+      (** [Some matches] for triggers declared with [~witnesses:true]:
+          the full {!Ode_event.Provenance} of this firing — one binding
+          environment per way the composite event matched. [None]
+          otherwise. Witness tracking keeps growing partial-match state
+          (it is not one word per object) and is not rolled back on
+          abort nor persisted by {!save}. *)
+}
+
+val trigger :
+  class_builder ->
+  ?perpetual:bool ->
+  ?mode:Ode_event.Detector.mode ->
+  ?witnesses:bool ->
+  string ->
+  event:Ode_event.Expr.t ->
+  action:(t -> fire_context -> unit) ->
+  class_builder
+(** Declare a trigger. The event specification is compiled to its
+    automaton here — once per class (§5). [mode] selects whether the
+    detection state observes the full history or only committed work
+    (default [Full_history]); [perpetual] defaults to [false] (the
+    trigger deactivates when it fires, §2). *)
+
+val trigger_str :
+  class_builder ->
+  ?perpetual:bool ->
+  ?mode:Ode_event.Detector.mode ->
+  ?witnesses:bool ->
+  string ->
+  event:string ->
+  action:(t -> fire_context -> unit) ->
+  class_builder
+(** Like {!trigger} but the event is parsed from O++ concrete syntax.
+    Raises {!Ode_error} on a parse error. *)
+
+val register_class : t -> class_builder -> unit
+
+val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
+(** Register a database function callable from masks, e.g.
+    [authorized(user())]. *)
+
+(** {1 Database lifecycle} *)
+
+val create_db : ?start_time:int64 -> unit -> t
+val now : t -> int64
+
+val advance_clock : t -> int64 -> unit
+(** Advance simulated time by a span (ms), firing due time events in
+    order. Each timer delivery runs in its own system transaction. *)
+
+val advance_to : t -> int64 -> unit
+
+val save : t -> string -> unit
+(** Persist all objects (fields, trigger activations and their automaton
+    states), pending timers, the object counter and the clock. Fails if a
+    transaction is open. Not saved: the schema itself (closures are
+    code), database-scope trigger activations (re-activate after
+    {!load}), the history log, provenance partial matches, and the
+    {!enable_history} setting. *)
+
+val load : t -> string -> unit
+(** Restore a {!save}d image into a database whose classes have been
+    registered again. Existing objects are discarded. *)
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> txn
+(** Also makes the new transaction current. Multiple transactions may be
+    open (interleaved) at once; see {!switch_txn}. *)
+
+val switch_txn : t -> txn -> unit
+val current_txn : t -> txn option
+val txn_id : txn -> int
+
+val commit : t -> txn -> (unit, [ `Aborted ]) result
+(** Runs the [before tcomplete] rounds, then commits and posts
+    [after tcommit] via a system transaction. If a trigger action raises
+    {!Tabort} during the rounds, the transaction is aborted instead and
+    [Error `Aborted] is returned. *)
+
+val abort : t -> txn -> unit
+(** Posts [before tabort], undoes all effects (fields, created/deleted
+    objects, committed-mode trigger states), releases locks, then posts
+    [after tabort] via a system transaction. *)
+
+val with_txn : t -> (txn -> 'a) -> ('a, [ `Aborted ]) result
+(** [begin_txn]; run; [commit]. {!Tabort} (from an action or the body)
+    aborts and yields [Error `Aborted]; {!Lock_conflict} likewise aborts
+    and re-raises; any other exception aborts and re-raises. *)
+
+(** {1 Objects} *)
+
+val create : t -> string -> Value.t list -> oid
+(** Instantiate a class: allocate identity, set field defaults, run the
+    constructor, post [after create]. *)
+
+val delete : t -> oid -> unit
+(** Post [before delete], then delete. *)
+
+val exists : t -> oid -> bool
+val class_of : t -> oid -> string
+
+val objects : t -> oid list
+(** Live objects, ascending oid. *)
+
+val objects_of_class : t -> string -> oid list
+
+val call : t -> oid -> string -> Value.t list -> Value.t
+(** Invoke a public member function, posting the §3.1 basic events around
+    the body. *)
+
+val has_method : t -> oid -> string -> bool
+
+val apply_fun : t -> string -> Value.t list -> Value.t
+(** Call a function registered with {!register_fun}; raises {!Ode_error}
+    if unknown. *)
+
+val get_field : t -> oid -> string -> Value.t
+(** Raw field read for method bodies and examples; posts no events. *)
+
+val set_field : t -> oid -> string -> Value.t -> unit
+(** Raw field write (undo-logged); posts no events. Must run inside a
+    transaction. *)
+
+(** {1 Triggers} *)
+
+val activate : t -> oid -> string -> Value.t list -> unit
+(** Activate a trigger by name with parameters — the paper's
+    "invoking its name just as an ordinary member function". Time events
+    in its specification are scheduled from the activation instant. *)
+
+val deactivate : t -> oid -> string -> unit
+val is_active : t -> oid -> string -> bool
+
+val trigger_state_words : t -> oid -> string -> int
+(** Number of state integers this activation stores — 1 for any trigger
+    whose event has no composite masks (the §5 claim). *)
+
+val trigger_state : t -> oid -> string -> int array
+(** A copy of the activation's automaton state, for diagnostics and
+    tests. *)
+
+type firing = {
+  f_trigger : string;
+  f_class : string;
+  f_oid : oid;
+  f_at : int64;
+  f_txn : int;
+}
+
+val take_firings : t -> firing list
+(** Drain the log of trigger firings (oldest first) — for tests, examples
+    and benchmarks. *)
+
+(** {1 Database-scope triggers (§3 "events have a scope")}
+
+    Some events are not local to one object: schema modification and
+    object creation/deletion across the database. Database-scope triggers
+    observe, with the same event algebra:
+
+    - [after defclass] — a class was registered (argument: class name);
+    - [after create] — any object was created (arguments: oid, class);
+    - [before delete] — any object is being deleted (arguments: oid,
+      class).
+
+    They are always [Full_history] (no per-transaction rollback: schema
+    events may happen outside transactions) and their actions run in
+    whatever transaction — possibly none — posted the event. *)
+
+val db_trigger :
+  t ->
+  ?perpetual:bool ->
+  string ->
+  event:Ode_event.Expr.t ->
+  action:(t -> fire_context -> unit) ->
+  unit
+
+val db_trigger_str :
+  t ->
+  ?perpetual:bool ->
+  string ->
+  event:string ->
+  action:(t -> fire_context -> unit) ->
+  unit
+
+val activate_db_trigger : t -> string -> Value.t list -> unit
+val deactivate_db_trigger : t -> string -> unit
+
+(** {1 Event histories (§9)} *)
+
+val enable_history : t -> limit:int -> unit
+(** Keep the last [limit] basic events posted to each object (the {e
+    true} history of §6: aborted transactions' events included). Query
+    with {!object_history} and {!History}. *)
+
+val object_history : t -> oid -> History.t
+(** Oldest first; empty when recording is disabled. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  n_objects : int;
+  n_classes : int;
+  n_active_triggers : int;
+  n_timers : int;
+  state_bytes : int;
+      (** total bytes of automaton state across all activations *)
+}
+
+val stats : t -> stats

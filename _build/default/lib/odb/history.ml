@@ -1,0 +1,39 @@
+module Symbol = Ode_event.Symbol
+
+type record = {
+  h_occurrence : Symbol.occurrence;
+  h_txn : int;
+}
+
+type t = record list
+
+let of_basic basic =
+  List.filter (fun r -> Symbol.equal_basic r.h_occurrence.Symbol.basic basic)
+
+let methods_named name =
+  List.filter (fun r ->
+      match r.h_occurrence.Symbol.basic with
+      | Symbol.Method (_, n) -> n = name
+      | _ -> false)
+
+let transactional =
+  List.filter (fun r -> Symbol.is_transactional r.h_occurrence.Symbol.basic)
+
+let in_txn id = List.filter (fun r -> r.h_txn = id)
+
+let between ~since ~until =
+  List.filter (fun r ->
+      let at = r.h_occurrence.Symbol.at in
+      since <= at && at < until)
+
+let count p h = List.length (List.filter p h)
+
+let last p h =
+  List.fold_left (fun acc r -> if p r then Some r else acc) None h
+
+let fold f init h = List.fold_left f init h
+
+let pp_record ppf r =
+  Fmt.pf ppf "%a [txn %d]" Symbol.pp_occurrence r.h_occurrence r.h_txn
+
+let pp ppf h = Fmt.(list ~sep:cut pp_record) ppf h

@@ -1,0 +1,36 @@
+(** Recorded event histories and history queries.
+
+    §9 of the paper lists "explicit manipulation of event histories … to
+    define history expressions and to integrate them with event
+    expressions" as future work. This module provides the first half:
+    when recording is enabled ({!Database.enable_history}), every basic
+    event posted to an object is kept (with its transaction), and these
+    combinators query the log. Histories are the {e true} histories of §6
+    — they include the operations of transactions that later aborted. *)
+
+type record = {
+  h_occurrence : Ode_event.Symbol.occurrence;
+  h_txn : int;  (** posting transaction *)
+}
+
+type t = record list
+(** Oldest first. *)
+
+val of_basic : Ode_event.Symbol.basic -> t -> t
+val methods_named : string -> t -> t
+(** Before- and after-method events with this name. *)
+
+val transactional : t -> t
+(** Only the five transaction events. *)
+
+val in_txn : int -> t -> t
+
+val between : since:int64 -> until:int64 -> t -> t
+(** Records with [since <= at < until]. *)
+
+val count : (record -> bool) -> t -> int
+val last : (record -> bool) -> t -> record option
+val fold : ('a -> record -> 'a) -> 'a -> t -> 'a
+
+val pp_record : Format.formatter -> record -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type t = Free | Shared of int list | Exclusive of int
+
+type request = Read | Write
+
+let compatible lock ~holder request =
+  match lock, request with
+  | Free, _ -> true
+  | Shared _, Read -> true
+  | Shared [ h ], Write -> h = holder (* upgrade by sole holder *)
+  | Shared _, Write -> false
+  | Exclusive h, _ -> h = holder
+
+let acquire lock ~holder request =
+  if not (compatible lock ~holder request) then None
+  else
+    Some
+      (match lock, request with
+      | Free, Read -> Shared [ holder ]
+      | Free, Write -> Exclusive holder
+      | Shared hs, Read -> if List.mem holder hs then lock else Shared (holder :: hs)
+      | Shared _, Write -> Exclusive holder
+      | Exclusive _, _ -> lock)
+
+let release lock ~holder =
+  match lock with
+  | Free -> Free
+  | Exclusive h -> if h = holder then Free else lock
+  | Shared hs -> (
+    match List.filter (fun h -> h <> holder) hs with
+    | [] -> Free
+    | hs -> Shared hs)
+
+let holders = function Free -> [] | Shared hs -> hs | Exclusive h -> [ h ]
+
+let pp ppf = function
+  | Free -> Fmt.string ppf "free"
+  | Shared hs -> Fmt.pf ppf "shared(%a)" Fmt.(list ~sep:(any ",") int) hs
+  | Exclusive h -> Fmt.pf ppf "exclusive(%d)" h

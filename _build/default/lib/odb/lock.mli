@@ -1,0 +1,21 @@
+(** Object-level locks (paper §6 assumes object-level locking).
+
+    Strict two-phase: locks are taken as objects are accessed and released
+    only at commit/abort. There is no blocking in this single-threaded
+    simulation — an incompatible request fails immediately and the caller
+    is expected to abort (a simple deadlock-free policy). *)
+
+type t = Free | Shared of int list  (** holder transaction ids *) | Exclusive of int
+
+type request = Read | Write
+
+val compatible : t -> holder:int -> request -> bool
+(** Would [holder] be granted [request]? Re-entrant requests and
+    shared-to-exclusive upgrades by a sole holder are granted. *)
+
+val acquire : t -> holder:int -> request -> t option
+(** The new lock state, or [None] when incompatible. *)
+
+val release : t -> holder:int -> t
+val holders : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+(* Internal mutually-recursive state of the Ode database. The public API
+   lives in [Database]; examples and tests should not use this module
+   directly. *)
+
+module Value = Ode_base.Value
+module Symbol = Ode_event.Symbol
+module Detector = Ode_event.Detector
+
+type oid = int
+type method_kind = Read_only | Updating
+type txn_status = Active | Committed | Aborted
+
+type db = {
+  objects : (oid, obj) Hashtbl.t;
+  classes : (string, klass) Hashtbl.t;
+  functions : (string, db -> Value.t list -> Value.t) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_txn_id : int;
+  mutable clock_ms : int64;
+  mutable timers : timer list;  (* sorted by due time *)
+  mutable current : txn option;
+  mutable open_txns : txn list;
+  mutable firings : firing list;  (* newest first; drained by take_firings *)
+  mutable in_abort : bool;  (* guards against tabort-during-abort loops *)
+  mutable history_limit : int;  (* 0 = recording off *)
+  db_trigger_defs : (string, trigger_def) Hashtbl.t;  (* database scope (§3) *)
+  db_triggers : (string, active_trigger) Hashtbl.t;
+}
+
+and klass = {
+  k_name : string;
+  k_fields : (string * Value.t) list;  (* declaration order, with defaults *)
+  k_methods : (string, meth) Hashtbl.t;
+  k_triggers : (string, trigger_def) Hashtbl.t;
+  k_constructor : (db -> oid -> Value.t list -> unit) option;
+}
+
+and meth = {
+  m_name : string;
+  m_kind : method_kind;
+  m_arity : int option;  (* None = variadic *)
+  m_impl : db -> oid -> Value.t list -> Value.t;
+}
+
+and trigger_def = {
+  t_name : string;
+  t_class : string;
+  t_event : Ode_event.Expr.t;
+  t_detector : Detector.t;  (* compiled once per class, as in §5 *)
+  t_perpetual : bool;
+  t_witnesses : bool;  (* track full per-match provenance (§9) *)
+  t_action : db -> fire_context -> unit;
+}
+
+and fire_context = {
+  fc_oid : oid;  (* the object the event was posted to *)
+  fc_params : Value.t list;  (* activation-time trigger arguments *)
+  fc_occurrence : Symbol.occurrence;  (* the occurrence completing the event *)
+  fc_collected : (string * Value.t) list;
+      (* formal-name bindings collected across the constituent logical
+         events (paper §9), latest occurrence winning *)
+  fc_witnesses : (string * Value.t) list list option;
+      (* full per-match provenance when the trigger was declared with
+         [~witnesses:true]; one binding list per way the event matched *)
+}
+
+and active_trigger = {
+  at_def : trigger_def;
+  mutable at_params : Value.t list;  (* activation arguments, passed to the action *)
+  mutable at_state : Detector.state;
+  mutable at_collected : (string * Value.t) list;  (* §9 parameter collection *)
+  mutable at_provenance : Ode_event.Provenance.t option;  (* when t_witnesses *)
+  mutable at_last_witnesses : (string * Value.t) list list;
+  mutable at_active : bool;
+  mutable at_epoch : int;  (* bumped on (re)activation; stale timers check it *)
+}
+
+and obj = {
+  o_id : oid;
+  o_class : klass;
+  o_fields : (string, Value.t) Hashtbl.t;
+  o_triggers : (string, active_trigger) Hashtbl.t;
+  mutable o_deleted : bool;
+  mutable o_lock : Lock.t;
+  mutable o_history : History.record list;  (* newest first; see §9 *)
+  mutable o_history_len : int;
+}
+
+and txn = {
+  tx_id : int;
+  tx_system : bool;  (* transaction events are not posted for system txns *)
+  mutable tx_status : txn_status;
+  mutable tx_accessed : oid list;  (* reverse order of first access *)
+  mutable tx_undo : undo_entry list;  (* newest first *)
+}
+
+and undo_entry =
+  | U_field of obj * string * Value.t
+  | U_create of obj
+  | U_delete of obj
+  | U_trigger_state of active_trigger * Detector.state
+  | U_trigger_collected of active_trigger * (string * Value.t) list
+  | U_trigger_active of active_trigger * bool
+  | U_trigger_added of obj * string
+
+and timer = {
+  tm_due : int64;
+  tm_oid : oid;
+  tm_trigger : string;
+  tm_epoch : int;
+  tm_spec : Symbol.time_spec;
+  tm_anchor : int64;  (* activation time, for Every/After_period *)
+}
+
+and firing = {
+  f_trigger : string;
+  f_class : string;
+  f_oid : oid;
+  f_at : int64;
+  f_txn : int;
+}
+
+exception Tabort
+exception Lock_conflict of oid
+exception Ode_error of string
+
+let ode_error fmt = Format.kasprintf (fun s -> raise (Ode_error s)) fmt

@@ -1,0 +1,1 @@
+lib/odl/odl.ml: Fmt Format Hashtbl Int64 List Ode_base Ode_event Ode_lang Ode_odb Option Printf

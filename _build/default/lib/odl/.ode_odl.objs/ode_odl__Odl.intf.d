@@ -1,0 +1,1 @@
+lib/odl/odl.mli: Format Ode_odb

@@ -1,0 +1,580 @@
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+module L = Ode_lang.Lexer
+module P = Ode_lang.Parser
+module Mask = Ode_event.Mask
+module Expr = Ode_event.Expr
+
+exception Odl_error of string * int
+
+let error_position = L.position
+
+(* ------------------------------------------------------------------ *)
+(* Statement AST                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type lvalue =
+  | L_self of string  (* field of self *)
+  | L_of of string * string  (* field of the object held in a variable *)
+
+type stmt =
+  | S_assign of lvalue * Mask.t
+  | S_call of string option * string * Mask.t list  (* receiver, name, args *)
+  | S_tabort
+  | S_activate of string * Mask.t list
+  | S_deactivate of string
+  | S_return of Mask.t
+  | S_if of Mask.t * stmt list * stmt list
+
+type meth_decl = {
+  md_kind : D.method_kind;
+  md_name : string;
+  md_formals : string list;
+  md_body : stmt list;
+}
+
+type trigger_decl = {
+  td_name : string;
+  td_formals : string list;  (* activation parameters *)
+  td_perpetual : bool;
+  td_committed : bool;
+  td_event : Expr.t;
+  td_body : stmt list;
+}
+
+type class_decl = {
+  cd_name : string;
+  cd_fields : (string * Value.t) list;
+  cd_ctor : (string list * stmt list) option;
+  cd_methods : meth_decl list;
+  cd_triggers : trigger_decl list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_parse src f =
+  try f () with
+  | P.Parse_error (msg, pos) -> raise (Odl_error (msg, pos))
+  | L.Lex_error (msg, pos) ->
+    ignore src;
+    raise (Odl_error (msg, pos))
+
+let default_of_type st = function
+  | "int" -> Value.Int 0
+  | "float" -> Value.Float 0.0
+  | "bool" -> Value.Bool false
+  | "string" -> Value.String ""
+  | "void" -> P.stream_fail st "void is not a field type"
+  | _ (* a class: object reference *) -> Value.Oid 0
+
+let literal st : Value.t =
+  match P.stream_next st with
+  | L.INT n -> Value.Int n
+  | L.FLOAT f -> Value.Float f
+  | L.STRING s -> Value.String s
+  | L.IDENT "true" -> Value.Bool true
+  | L.IDENT "false" -> Value.Bool false
+  | L.MINUS -> (
+    match P.stream_next st with
+    | L.INT n -> Value.Int (-n)
+    | L.FLOAT f -> Value.Float (-.f)
+    | t -> P.stream_fail st ("expected a number after '-', found " ^ L.describe t))
+  | t -> P.stream_fail st ("expected a literal, found " ^ L.describe t)
+
+let parse_arg_list st =
+  P.stream_expect st L.LPAREN;
+  let args = ref [] in
+  if P.stream_peek st <> L.RPAREN then begin
+    args := [ P.mask_prefix st ];
+    while P.stream_peek st = L.COMMA do
+      ignore (P.stream_next st);
+      args := P.mask_prefix st :: !args
+    done
+  end;
+  P.stream_expect st L.RPAREN;
+  List.rev !args
+
+(* formal parameters: [type] name pairs, types optional *)
+let parse_formal_names st =
+  P.stream_expect st L.LPAREN;
+  let names = ref [] in
+  if P.stream_peek st <> L.RPAREN then begin
+    let one () =
+      let first = P.stream_ident st in
+      match P.stream_peek st with
+      | L.IDENT second ->
+        ignore (P.stream_next st);
+        names := second :: !names
+      | _ -> names := first :: !names
+    in
+    one ();
+    while P.stream_peek st = L.COMMA do
+      ignore (P.stream_next st);
+      one ()
+    done
+  end;
+  P.stream_expect st L.RPAREN;
+  List.rev !names
+
+let rec parse_stmt st : stmt =
+  match P.stream_peek st with
+  | L.IDENT "tabort" ->
+    ignore (P.stream_next st);
+    P.stream_expect st L.SEMI;
+    S_tabort
+  | L.IDENT "activate" ->
+    ignore (P.stream_next st);
+    let name = P.stream_ident st in
+    let args = if P.stream_peek st = L.LPAREN then parse_arg_list st else [] in
+    P.stream_expect st L.SEMI;
+    S_activate (name, args)
+  | L.IDENT "deactivate" ->
+    ignore (P.stream_next st);
+    let name = P.stream_ident st in
+    P.stream_expect st L.SEMI;
+    S_deactivate name
+  | L.IDENT "return" ->
+    ignore (P.stream_next st);
+    let e = P.mask_prefix st in
+    P.stream_expect st L.SEMI;
+    S_return e
+  | L.IDENT "if" ->
+    ignore (P.stream_next st);
+    P.stream_expect st L.LPAREN;
+    let cond = P.mask_prefix st in
+    P.stream_expect st L.RPAREN;
+    let then_branch = parse_block st in
+    let else_branch =
+      if P.stream_peek st = L.IDENT "else" then begin
+        ignore (P.stream_next st);
+        parse_block st
+      end
+      else []
+    in
+    S_if (cond, then_branch, else_branch)
+  | L.IDENT x -> (
+    match P.stream_peek2 st with
+    | L.EQ ->
+      ignore (P.stream_next st);
+      ignore (P.stream_next st);
+      let e = P.mask_prefix st in
+      P.stream_expect st L.SEMI;
+      S_assign (L_self x, e)
+    | L.LPAREN ->
+      ignore (P.stream_next st);
+      let args = parse_arg_list st in
+      P.stream_expect st L.SEMI;
+      S_call (None, x, args)
+    | L.DOT -> (
+      ignore (P.stream_next st);
+      ignore (P.stream_next st);
+      let field_or_meth = P.stream_ident st in
+      match P.stream_peek st with
+      | L.LPAREN ->
+        let args = parse_arg_list st in
+        P.stream_expect st L.SEMI;
+        S_call (Some x, field_or_meth, args)
+      | L.EQ ->
+        ignore (P.stream_next st);
+        let e = P.mask_prefix st in
+        P.stream_expect st L.SEMI;
+        S_assign (L_of (x, field_or_meth), e)
+      | t -> P.stream_fail st ("expected '(' or '=' after '.', found " ^ L.describe t))
+    | t -> P.stream_fail st ("unexpected " ^ L.describe t ^ " in statement"))
+  | t -> P.stream_fail st ("expected a statement, found " ^ L.describe t)
+
+and parse_block st : stmt list =
+  P.stream_expect st L.LBRACE;
+  let stmts = ref [] in
+  while P.stream_peek st <> L.RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  P.stream_expect st L.RBRACE;
+  List.rev !stmts
+
+(* a trigger body is either a block or a single statement *)
+let parse_body st =
+  if P.stream_peek st = L.LBRACE then parse_block st else [ parse_stmt st ]
+
+let parse_trigger st : trigger_decl =
+  let name = P.stream_ident st in
+  let formals = parse_formal_names st in
+  P.stream_expect st L.COLON;
+  let perpetual = ref false and committed = ref false in
+  let rec flags () =
+    match P.stream_peek st with
+    | L.IDENT "perpetual" ->
+      ignore (P.stream_next st);
+      perpetual := true;
+      flags ()
+    | L.IDENT "committed" ->
+      ignore (P.stream_next st);
+      committed := true;
+      flags ()
+    | _ -> ()
+  in
+  flags ();
+  let event = P.event_prefix st in
+  P.stream_expect st L.ARROW;
+  let body = parse_body st in
+  {
+    td_name = name;
+    td_formals = formals;
+    td_perpetual = !perpetual;
+    td_committed = !committed;
+    td_event = event;
+    td_body = body;
+  }
+
+let parse_class st : class_decl =
+  P.stream_expect st (L.IDENT "class");
+  let cname = P.stream_ident st in
+  P.stream_expect st L.LBRACE;
+  let fields = ref [] in
+  let methods = ref [] in
+  let triggers = ref [] in
+  let ctor = ref None in
+  let in_trigger_section = ref false in
+  while P.stream_peek st <> L.RBRACE do
+    match P.stream_peek st, P.stream_peek2 st with
+    | L.IDENT ("public" | "private"), L.COLON ->
+      ignore (P.stream_next st);
+      ignore (P.stream_next st);
+      in_trigger_section := false
+    | L.IDENT "trigger", L.COLON ->
+      ignore (P.stream_next st);
+      ignore (P.stream_next st);
+      in_trigger_section := true
+    | _ when !in_trigger_section -> triggers := parse_trigger st :: !triggers
+    | L.IDENT ("update" | "read"), _ ->
+      let kind =
+        match P.stream_next st with
+        | L.IDENT "update" -> D.Updating
+        | _ -> D.Read_only
+      in
+      let _return_type = P.stream_ident st in
+      let name = P.stream_ident st in
+      let formals = parse_formal_names st in
+      let body = parse_block st in
+      methods :=
+        { md_kind = kind; md_name = name; md_formals = formals; md_body = body }
+        :: !methods
+    | L.IDENT name, L.LPAREN when name = cname ->
+      (* constructor *)
+      ignore (P.stream_next st);
+      let formals = parse_formal_names st in
+      let body = parse_block st in
+      if !ctor <> None then P.stream_fail st "duplicate constructor";
+      ctor := Some (formals, body)
+    | L.IDENT ty, L.IDENT _ ->
+      (* field declaration *)
+      ignore (P.stream_next st);
+      let name = P.stream_ident st in
+      let default =
+        if P.stream_peek st = L.EQ then begin
+          ignore (P.stream_next st);
+          literal st
+        end
+        else default_of_type st ty
+      in
+      P.stream_expect st L.SEMI;
+      fields := (name, default) :: !fields
+    | t, _ -> P.stream_fail st ("unexpected " ^ L.describe t ^ " in class body")
+  done;
+  P.stream_expect st L.RBRACE;
+  if P.stream_peek st = L.SEMI then ignore (P.stream_next st);
+  {
+    cd_name = cname;
+    cd_fields = List.rev !fields;
+    cd_ctor = !ctor;
+    cd_methods = List.rev !methods;
+    cd_triggers = List.rev !triggers;
+  }
+
+let parse_schema src : class_decl list =
+  wrap_parse src (fun () ->
+      let st = P.stream_of_tokens (L.tokenize src) in
+      let classes = ref [] in
+      while P.stream_peek st <> L.EOF do
+        classes := parse_class st :: !classes
+      done;
+      List.rev !classes)
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Return_value of Value.t
+
+let env_for db self bindings : Mask.env =
+  {
+    var =
+      (fun name ->
+        match List.assoc_opt name bindings with
+        | Some v -> Some v
+        | None -> (
+          match D.get_field db self name with
+          | v -> Some v
+          | exception D.Ode_error _ -> None));
+    deref =
+      (fun oid field ->
+        match D.get_field db oid field with
+        | v -> Some v
+        | exception D.Ode_error _ -> None);
+    call = (fun name args -> D.apply_fun db name args);
+  }
+
+let rec exec db self bindings stmts =
+  let env = env_for db self bindings in
+  let eval e = Mask.eval env e in
+  let lookup_oid x =
+    let v =
+      match List.assoc_opt x bindings with
+      | Some v -> v
+      | None -> D.get_field db self x
+    in
+    match v with
+    | Value.Oid o -> o
+    | v ->
+      raise (D.Ode_error (Printf.sprintf "%s is not an object (%s)" x (Value.to_string v)))
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | S_assign (L_self f, e) -> D.set_field db self f (eval e)
+      | S_assign (L_of (x, f), e) -> D.set_field db (lookup_oid x) f (eval e)
+      | S_call (None, name, args) ->
+        let vals = List.map eval args in
+        if D.has_method db self name then ignore (D.call db self name vals)
+        else ignore (D.apply_fun db name vals)
+      | S_call (Some x, name, args) ->
+        ignore (D.call db (lookup_oid x) name (List.map eval args))
+      | S_tabort -> raise D.Tabort
+      | S_activate (name, args) -> D.activate db self name (List.map eval args)
+      | S_deactivate name -> D.deactivate db self name
+      | S_return e -> raise (Return_value (eval e))
+      | S_if (cond, then_branch, else_branch) ->
+        if Mask.eval_bool env cond then exec db self bindings then_branch
+        else exec db self bindings else_branch)
+    stmts
+
+let bind_positional names args =
+  let rec go names args acc =
+    match names, args with
+    | [], _ -> List.rev acc
+    | n :: names, v :: args -> go names args ((n, v) :: acc)
+    | n :: names, [] -> go names [] ((n, Value.Unit) :: acc)
+  in
+  go names args []
+
+let builder_of_class (cd : class_decl) : D.class_builder =
+  let b =
+    D.define_class cd.cd_name
+      ?constructor:
+        (Option.map
+           (fun (formals, body) db oid args ->
+             let bindings = bind_positional formals args in
+             try exec db oid bindings body with Return_value _ -> ())
+           cd.cd_ctor)
+  in
+  let b = List.fold_left (fun b (name, v) -> D.field b name v) b cd.cd_fields in
+  let b =
+    List.fold_left
+      (fun b md ->
+        D.method_ b ~arity:(List.length md.md_formals) ~kind:md.md_kind md.md_name
+          (fun db oid args ->
+            let bindings = bind_positional md.md_formals args in
+            try
+              exec db oid bindings md.md_body;
+              Value.Unit
+            with Return_value v -> v))
+      b cd.cd_methods
+  in
+  List.fold_left
+    (fun b td ->
+      let mode =
+        if td.td_committed then Ode_event.Detector.Committed
+        else Ode_event.Detector.Full_history
+      in
+      D.trigger b ~perpetual:td.td_perpetual ~mode td.td_name ~event:td.td_event
+        ~action:(fun db (ctx : D.fire_context) ->
+          (* §9 collected event parameters shadow activation parameters *)
+          let bindings =
+            ctx.D.fc_collected @ bind_positional td.td_formals ctx.D.fc_params
+          in
+          try exec db ctx.D.fc_oid bindings td.td_body with Return_value _ -> ()))
+    b cd.cd_triggers
+
+let load_schema db src =
+  let classes = parse_schema src in
+  List.map
+    (fun cd ->
+      D.register_class db (builder_of_class cd);
+      cd.cd_name)
+    classes
+
+let load_schema_file db path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  load_schema db src
+
+(* ------------------------------------------------------------------ *)
+(* Scripts                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type script_state = {
+  db : D.t;
+  out : Format.formatter;
+  vars : (string, Value.t) Hashtbl.t;
+  mutable open_txn : D.txn option;
+}
+
+let script_value ss st : Value.t =
+  match P.stream_peek st with
+  | L.IDENT name
+    when name <> "true" && name <> "false" && Hashtbl.mem ss.vars name ->
+    ignore (P.stream_next st);
+    Hashtbl.find ss.vars name
+  | _ -> literal st
+
+let script_args ss st =
+  P.stream_expect st L.LPAREN;
+  let args = ref [] in
+  if P.stream_peek st <> L.RPAREN then begin
+    args := [ script_value ss st ];
+    while P.stream_peek st = L.COMMA do
+      ignore (P.stream_next st);
+      args := script_value ss st :: !args
+    done
+  end;
+  P.stream_expect st L.RPAREN;
+  List.rev !args
+
+(* run [f] in the open transaction if any, else in a fresh one *)
+let transactionally ss f =
+  match ss.open_txn with
+  | Some _ -> (
+    match f () with
+    | () -> ()
+    | exception D.Tabort ->
+      (match ss.open_txn with
+      | Some tx ->
+        D.abort ss.db tx;
+        ss.open_txn <- None
+      | None -> ());
+      Fmt.pf ss.out "(transaction aborted)@.")
+  | None -> (
+    match D.with_txn ss.db (fun _ -> f ()) with
+    | Ok () -> ()
+    | Error `Aborted -> Fmt.pf ss.out "(transaction aborted)@.")
+
+let exec_script_stmt ss st =
+  match P.stream_next st with
+  | L.IDENT "new" ->
+    let var = P.stream_ident st in
+    P.stream_expect st L.EQ;
+    let cls = P.stream_ident st in
+    let args = script_args ss st in
+    P.stream_expect st L.SEMI;
+    transactionally ss (fun () ->
+        Hashtbl.replace ss.vars var (Value.Oid (D.create ss.db cls args)))
+  | L.IDENT "begin" ->
+    P.stream_expect st L.SEMI;
+    if ss.open_txn <> None then P.stream_fail st "a transaction is already open";
+    ss.open_txn <- Some (D.begin_txn ss.db)
+  | L.IDENT "commit" -> (
+    P.stream_expect st L.SEMI;
+    match ss.open_txn with
+    | None -> P.stream_fail st "no open transaction to commit"
+    | Some tx ->
+      ss.open_txn <- None;
+      (match D.commit ss.db tx with
+      | Ok () -> ()
+      | Error `Aborted -> Fmt.pf ss.out "(transaction aborted at commit)@."))
+  | L.IDENT "abort" -> (
+    P.stream_expect st L.SEMI;
+    match ss.open_txn with
+    | None -> P.stream_fail st "no open transaction to abort"
+    | Some tx ->
+      ss.open_txn <- None;
+      D.abort ss.db tx)
+  | L.IDENT "call" -> (
+    let var = P.stream_ident st in
+    P.stream_expect st L.DOT;
+    let meth = P.stream_ident st in
+    let args = script_args ss st in
+    P.stream_expect st L.SEMI;
+    match Hashtbl.find_opt ss.vars var with
+    | Some (Value.Oid oid) ->
+      transactionally ss (fun () -> ignore (D.call ss.db oid meth args))
+    | _ -> P.stream_fail st (var ^ " is not a known object"))
+  | L.IDENT "set" -> (
+    let var = P.stream_ident st in
+    P.stream_expect st L.DOT;
+    let field = P.stream_ident st in
+    P.stream_expect st L.EQ;
+    let v = script_value ss st in
+    P.stream_expect st L.SEMI;
+    match Hashtbl.find_opt ss.vars var with
+    | Some (Value.Oid oid) -> transactionally ss (fun () -> D.set_field ss.db oid field v)
+    | _ -> P.stream_fail st (var ^ " is not a known object"))
+  | L.IDENT "activate" -> (
+    let var = P.stream_ident st in
+    P.stream_expect st L.DOT;
+    let name = P.stream_ident st in
+    let args = if P.stream_peek st = L.LPAREN then script_args ss st else [] in
+    P.stream_expect st L.SEMI;
+    match Hashtbl.find_opt ss.vars var with
+    | Some (Value.Oid oid) -> transactionally ss (fun () -> D.activate ss.db oid name args)
+    | _ -> P.stream_fail st (var ^ " is not a known object"))
+  | L.IDENT "advance" -> (
+    match P.stream_next st with
+    | L.INT ms ->
+      P.stream_expect st L.SEMI;
+      D.advance_clock ss.db (Int64.of_int ms)
+    | t -> P.stream_fail st ("expected a millisecond count, found " ^ L.describe t))
+  | L.IDENT "show" -> (
+    let var = P.stream_ident st in
+    match P.stream_peek st with
+    | L.DOT -> (
+      ignore (P.stream_next st);
+      let field = P.stream_ident st in
+      P.stream_expect st L.SEMI;
+      match Hashtbl.find_opt ss.vars var with
+      | Some (Value.Oid oid) ->
+        Fmt.pf ss.out "%s.%s = %a@." var field Value.pp (D.get_field ss.db oid field)
+      | _ -> P.stream_fail st (var ^ " is not a known object"))
+    | _ -> (
+      P.stream_expect st L.SEMI;
+      match Hashtbl.find_opt ss.vars var with
+      | Some v -> Fmt.pf ss.out "%s = %a@." var Value.pp v
+      | None -> P.stream_fail st (var ^ " is not bound")))
+  | L.IDENT "firings" ->
+    P.stream_expect st L.SEMI;
+    List.iter
+      (fun (f : D.firing) ->
+        Fmt.pf ss.out "fired %s.%s on @%d@." f.D.f_class f.D.f_trigger f.D.f_oid)
+      (D.take_firings ss.db)
+  | t -> P.stream_fail st ("unexpected " ^ L.describe t ^ " in script")
+
+let run_script ?(out = Fmt.stdout) db src =
+  wrap_parse src (fun () ->
+      let st = P.stream_of_tokens (L.tokenize src) in
+      let ss = { db; out; vars = Hashtbl.create 16; open_txn = None } in
+      while P.stream_peek st <> L.EOF do
+        exec_script_stmt ss st
+      done;
+      match ss.open_txn with
+      | Some tx ->
+        ss.open_txn <- None;
+        ignore (D.commit db tx)
+      | None -> ())
+
+let run_script_file ?out db path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  run_script ?out db src

@@ -1,0 +1,76 @@
+(** ODL — an O++-style schema definition language (paper §2).
+
+    The paper declares classes with fields, public member functions and a
+    trigger section:
+
+    {v
+    class stockRoom {
+      int n = 0;
+    public:
+      stockRoom(int start) { n = start; }
+      update void deposit(item i, int q) { i.balance = i.balance + q; }
+      read int size() { return n; }
+    trigger:
+      T1() : perpetual before withdraw && !authorized(user()) ==> tabort;
+      T2() : after withdraw(i, q) && i.balance < reorder(i) ==> order(i);
+    };
+    v}
+
+    [load_schema] parses such declarations and registers the classes with
+    a database. Method bodies and trigger actions are written in a small
+    statement language, interpreted at run time:
+
+    - [lvalue = expr;] — assign a field of [self] or of an object held in
+      a variable ([i.balance = …]);
+    - [name(args);] — invoke a member function of [self] (or a registered
+      database function);
+    - [x.name(args);] — invoke a member function of the object in [x];
+    - [tabort;] — abort the surrounding transaction;
+    - [activate T(args);] / [deactivate T;] — arm or disarm a trigger of
+      [self];
+    - [if (expr) { … } else { … }];
+    - [return expr;].
+
+    Expressions are the mask language of {!Ode_lang.Parser}. Inside a
+    trigger action, the variables in scope are the §9 {e collected}
+    parameters of the trigger's event (so T2's [order(i)] sees the [i] of
+    the completing [after withdraw(i, q)]), then the activation
+    parameters, then [self]'s fields.
+
+    [run_script] executes a transaction script against the database:
+
+    {v
+    new room = stockRoom(0);
+    new widget = item("widgets", 100);
+    begin;
+    call room.deposit(widget, 5);
+    commit;
+    advance 3600000;
+    show widget.balance;
+    firings;
+    v}
+
+    Each [new]/[call]/[set] outside an explicit [begin]…[commit] runs in
+    its own transaction. *)
+
+module D = Ode_odb.Database
+
+exception Odl_error of string * int
+(** Message and byte offset into the source. *)
+
+val load_schema : D.t -> string -> string list
+(** Parse and register every class in the source; returns the class names
+    in declaration order. Raises {!Odl_error} on syntax errors and
+    [D.Ode_error] on semantic ones (duplicate class, bad event, …). *)
+
+val load_schema_file : D.t -> string -> string list
+
+val run_script : ?out:Format.formatter -> D.t -> string -> unit
+(** Execute a script. [show]/[firings] print to [out] (default stdout).
+    Raises {!Odl_error} on syntax errors; a [tabort] outside an explicit
+    transaction aborts only the implicit statement transaction. *)
+
+val run_script_file : ?out:Format.formatter -> D.t -> string -> unit
+
+val error_position : string -> int -> int * int
+(** Map an {!Odl_error} offset to (line, column) in the source. *)

@@ -1,0 +1,1 @@
+lib/scenarios/fulfillment.ml: Int64 List Ode_base Ode_event Ode_lang Ode_odb

@@ -1,0 +1,1 @@
+lib/scenarios/fulfillment.mli: Ode_odb

@@ -1,0 +1,1 @@
+lib/scenarios/process_control.ml: Ode_base Ode_odb Printf

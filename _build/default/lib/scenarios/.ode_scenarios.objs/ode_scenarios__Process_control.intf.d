@@ -1,0 +1,1 @@
+lib/scenarios/process_control.mli: Ode_odb

@@ -1,0 +1,1 @@
+lib/scenarios/stockroom.ml: Hashtbl List Ode_base Ode_event Ode_odb Printf

@@ -1,0 +1,1 @@
+lib/scenarios/stockroom.mli: Hashtbl Ode_odb

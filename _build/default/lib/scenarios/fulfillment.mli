@@ -1,0 +1,39 @@
+(** Order fulfillment — a long-running-activity workflow (the paper's §1
+    cites Dayal–Hsu–Ladin's long-running activities as a motivating
+    setting for triggers).
+
+    Each [order] object moves through
+    [placed → picked → shipped → delivered]; triggers enforce and react
+    to the process:
+
+    - {b pick_check}: picking an order that was never placed aborts the
+      transaction (sequence enforcement with [prior]);
+    - {b bill_on_ship}: when shipping commits, billing runs in a system
+      transaction — the §7 immediate-dependent coupling;
+    - {b escalate}: an order not shipped within 48 simulated hours of
+      placement escalates (footnote-1 timeout via a periodic sweep);
+    - {b audit_volume}: a database-scope trigger reports every 10th order
+      placed anywhere. *)
+
+module D = Ode_odb.Database
+
+type t = {
+  db : D.t;
+  mutable billed : int list;  (** orders billed at commit (oldest first) *)
+  mutable escalated : int list;
+  mutable volume_reports : int;
+}
+
+val setup : unit -> t
+(** Time starts at 1992-06-02 00:00; the sweep timer runs hourly. *)
+
+val place : t -> D.oid
+(** Create an order and mark it placed (own transaction). *)
+
+val pick : t -> D.oid -> (unit, [ `Aborted ]) result
+val ship : t -> D.oid -> (unit, [ `Aborted ]) result
+val deliver : t -> D.oid -> (unit, [ `Aborted ]) result
+
+val status : t -> D.oid -> string
+val hours : t -> int -> unit
+(** Advance the simulated clock by whole hours. *)

@@ -1,0 +1,56 @@
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+
+type t = { db : D.t; vessel : D.oid }
+
+let p_drop = "pressure < low_limit"
+let valve_open = "relative(after motorStart, after motorStop)"
+
+let vessel_class =
+  D.define_class "vessel" ~constructor:(fun db oid _ -> D.activate db oid "T" [])
+  |> (fun b -> D.field b "low_limit" (Value.Float 1.0))
+  |> (fun b -> D.field b "pressure" (Value.Float 10.0))
+  |> (fun b -> D.field b "checks" (Value.Int 0))
+  |> (fun b ->
+       D.method_ b ~arity:1 ~kind:D.Updating "set_pressure" (fun db oid args ->
+           match args with
+           | [ p ] ->
+             D.set_field db oid "pressure" p;
+             Value.Unit
+           | _ -> assert false))
+  |> (fun b -> D.method_ b ~kind:D.Updating "motorStart" (fun _ _ _ -> Value.Unit))
+  |> (fun b -> D.method_ b ~kind:D.Updating "motorStop" (fun _ _ _ -> Value.Unit))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "checkPressure" (fun db oid _ ->
+           D.set_field db oid "checks"
+             (Value.add (D.get_field db oid "checks") (Value.Int 1));
+           Value.Unit))
+  |> fun b ->
+  D.trigger_str b "T"
+    ~event:(Printf.sprintf "relative(%s, %s)" p_drop valve_open)
+    ~action:(fun db ctx -> ignore (D.call db ctx.D.fc_oid "checkPressure" []))
+
+let setup ?(low_limit = 1.0) () =
+  let db = D.create_db () in
+  D.register_class db vessel_class;
+  match
+    D.with_txn db (fun _ ->
+        let vessel = D.create db "vessel" [] in
+        D.set_field db vessel "low_limit" (Value.Float low_limit);
+        vessel)
+  with
+  | Ok vessel -> { db; vessel }
+  | Error `Aborted -> raise (D.Ode_error "vessel setup aborted")
+
+let in_txn t f =
+  match D.with_txn t.db (fun _ -> f ()) with
+  | Ok v -> v
+  | Error `Aborted -> raise (D.Ode_error "vessel transaction aborted")
+
+let set_pressure t p =
+  in_txn t (fun () -> ignore (D.call t.db t.vessel "set_pressure" [ Value.Float p ]))
+
+let motor_start t = in_txn t (fun () -> ignore (D.call t.db t.vessel "motorStart" []))
+let motor_stop t = in_txn t (fun () -> ignore (D.call t.db t.vessel "motorStop" []))
+let checks t = Value.to_int (D.get_field t.db t.vessel "checks")
+let rearm t = in_txn t (fun () -> D.activate t.db t.vessel "T" [])

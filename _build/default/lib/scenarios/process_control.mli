@@ -1,0 +1,28 @@
+(** The paper's §3.5 process-control example.
+
+    A [vessel] whose trigger watches for a {e pressure drop} (the state
+    event [pressure < low_limit]) followed by a {e valve open} (the
+    composite [relative(after motorStart, after motorStop)]):
+
+    {v
+    T(): relative(pDrop, valveOpen) ==> check pressure
+    v} *)
+
+module D = Ode_odb.Database
+
+type t = { db : D.t; vessel : D.oid }
+
+val setup : ?low_limit:float -> unit -> t
+(** Creates the vessel and activates [T]. *)
+
+val set_pressure : t -> float -> unit
+val motor_start : t -> unit
+val motor_stop : t -> unit
+(** Each in its own transaction. *)
+
+val checks : t -> int
+(** How many times the trigger action ([check pressure]) has run. *)
+
+val rearm : t -> unit
+(** [T] is an ordinary (one-shot) trigger, as in the paper; re-arm it
+    after it has fired. *)

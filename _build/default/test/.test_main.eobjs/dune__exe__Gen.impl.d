@@ -1,0 +1,1 @@
+test/gen.ml: Array Expr Fmt List Lowered Mask Ode_base Ode_event Printf QCheck Regex Semantics Symbol

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Compile Dfa List Nfa Ode_event QCheck QCheck_alcotest

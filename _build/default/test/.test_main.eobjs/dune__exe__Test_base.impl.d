@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Bitset List Ode_base Ode_event Ode_odb Option QCheck QCheck_alcotest

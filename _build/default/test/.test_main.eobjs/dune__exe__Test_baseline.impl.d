@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Fmt Gen List Lowered Ode_baseline Ode_event QCheck QCheck_alcotest Semantics

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Clock Int64 List Ode_event Ode_odb QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_combine.ml: Alcotest Array Combine Detector Expr Fmt Gen List Mask Ode_event Ode_lang QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_committed.ml: Alcotest Array Committed Compile Dfa Gen List Lowered Ode_event QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_committed_integration.ml: Alcotest Detector Dump Fmt List Mask Ode_base Ode_event Ode_lang Ode_odb QCheck QCheck_alcotest Symbol

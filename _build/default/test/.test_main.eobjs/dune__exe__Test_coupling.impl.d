@@ -1,0 +1,1 @@
+test/test_coupling.ml: Alcotest Coupling Database Expr List Mask Ode_base Ode_event Ode_odb

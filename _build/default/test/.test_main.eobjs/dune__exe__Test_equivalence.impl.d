@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Array Compile Dfa Fmt Gen List Ode_event QCheck QCheck_alcotest Regex Semantics Translate

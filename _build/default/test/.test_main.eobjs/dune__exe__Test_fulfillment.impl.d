@@ -1,0 +1,1 @@
+test/test_fulfillment.ml: Alcotest Fulfillment Ode_base Ode_odb Ode_scenarios

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Array Compile Dfa Expr Gen List Lowered Mask Ode_event Printf QCheck QCheck_alcotest Rewrite Semantics

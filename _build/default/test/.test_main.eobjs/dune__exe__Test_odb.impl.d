@@ -1,0 +1,1 @@
+test/test_odb.ml: Alcotest Database List Ode_base Ode_event Ode_lang Ode_odb

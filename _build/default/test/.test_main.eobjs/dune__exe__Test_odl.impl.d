@@ -1,0 +1,1 @@
+test/test_odl.ml: Alcotest Buffer Format Ode_base Ode_odb Ode_odl String

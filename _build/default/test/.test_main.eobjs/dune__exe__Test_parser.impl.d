@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Expr Fmt List Mask Ode_event Ode_lang Printf Symbol

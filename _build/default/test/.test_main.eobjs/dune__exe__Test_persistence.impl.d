@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Database Filename List Ode_base Ode_lang Ode_odb

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Array Detector Expr Fmt Gen List Lowered Mask Ode_base Ode_event Ode_lang Printexc QCheck QCheck_alcotest Regex Rewrite Semantics String Translate

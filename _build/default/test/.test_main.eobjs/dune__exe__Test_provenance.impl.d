@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Detector Expr Fmt Gen List Mask Ode_base Ode_event Provenance QCheck QCheck_alcotest Rewrite Symbol

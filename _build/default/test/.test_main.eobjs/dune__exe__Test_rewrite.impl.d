@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Detector Expr List Mask Ode_base Ode_event Ode_lang Printf Rewrite Symbol

@@ -1,0 +1,1 @@
+test/test_scope.ml: Alcotest Database History List Ode_base Ode_event Ode_lang Ode_odb

@@ -1,0 +1,1 @@
+test/test_soak.ml: Filename Int64 List Ode_base Ode_lang Ode_odb QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_stockroom.ml: Alcotest Int64 Ode_odb Ode_scenarios Stockroom

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Clock Database Filename Int64 List Ode_base Ode_lang Ode_odb Sys

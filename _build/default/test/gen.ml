@@ -1,0 +1,229 @@
+(* QCheck generators shared by the property-test suites. *)
+
+open Ode_event
+
+let selector m syms =
+  let sel = Array.make m false in
+  List.iter (fun c -> sel.(c) <- true) syms;
+  sel
+
+(* Random non-empty atom selector over symbols 0..m-2 (the last symbol
+   plays "other" and is matched by no logical event, as in Rewrite). *)
+let gen_atom ~m : Lowered.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let+ bits = int_range 1 ((1 lsl (m - 1)) - 1) in
+  Lowered.Atom (Array.init m (fun c -> c < m - 1 && bits land (1 lsl c) <> 0))
+
+(* Sized generator of mask-free lowered expressions. Counts are kept small
+   so counting automata stay small. [max_size] bounds the AST size —
+   instance-tree baselines blow up exponentially in nesting depth, so
+   their tests pass a smaller bound. *)
+let gen_lowered_pure ?(max_size = 12) ~m () : Lowered.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_range 1 max_size) @@ fix (fun self size ->
+      if size <= 1 then gen_atom ~m
+      else
+        let sub = self (size / 2) in
+        let sub3 = self (size / 3) in
+        let count = int_range 1 4 in
+        frequency
+          [
+            (2, gen_atom ~m);
+            (2, map2 (fun a b -> Lowered.Or (a, b)) sub sub);
+            (2, map2 (fun a b -> Lowered.And (a, b)) sub sub);
+            (1, map (fun a -> Lowered.Not a) (self (size - 1)));
+            (3, map2 (fun a b -> Lowered.Relative (a, b)) sub sub);
+            (1, map (fun a -> Lowered.Relative_plus a) (self (size - 1)));
+            (1, map2 (fun n a -> Lowered.Relative_n (n, a)) count (self (size - 1)));
+            (2, map2 (fun a b -> Lowered.Prior (a, b)) sub sub);
+            (1, map2 (fun n a -> Lowered.Prior_n (n, a)) count (self (size - 1)));
+            (2, map2 (fun a b -> Lowered.Sequence (a, b)) sub sub);
+            (1, map2 (fun n a -> Lowered.Sequence_n (n, a)) count (self (size - 1)));
+            (1, map2 (fun n a -> Lowered.Choose (n, a)) count (self (size - 1)));
+            (1, map2 (fun n a -> Lowered.Every (n, a)) count (self (size - 1)));
+            (2, map3 (fun a b g -> Lowered.Fa (a, b, g)) sub3 sub3 sub3);
+            (2, map3 (fun a b g -> Lowered.Fa_abs (a, b, g)) sub3 sub3 sub3);
+          ])
+
+(* Like [gen_lowered_pure] but sprinkles composite-mask nodes; mask ids
+   are assigned 0.. in post-order by a renumbering pass. *)
+let gen_lowered_masked ?max_size ~m () : (Lowered.t * int) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* base = gen_lowered_pure ?max_size ~m () in
+  let* salt = int_bound 1000 in
+  (* Wrap some subterms in Masked; deterministic walk driven by salt. *)
+  let counter = ref 0 in
+  let wrap_p i = (i * 7919 + salt) mod 3 = 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let pos = ref 0 in
+  let rec walk (e : Lowered.t) : Lowered.t =
+    let e' : Lowered.t =
+      match e with
+      | False | Atom _ -> e
+      | Or (a, b) -> Or (walk a, walk b)
+      | And (a, b) -> And (walk a, walk b)
+      | Not a -> Not (walk a)
+      | Relative (a, b) -> Relative (walk a, walk b)
+      | Relative_plus a -> Relative_plus (walk a)
+      | Relative_n (n, a) -> Relative_n (n, walk a)
+      | Prior (a, b) -> Prior (walk a, walk b)
+      | Prior_n (n, a) -> Prior_n (n, walk a)
+      | Sequence (a, b) -> Sequence (walk a, walk b)
+      | Sequence_n (n, a) -> Sequence_n (n, walk a)
+      | Choose (n, a) -> Choose (n, walk a)
+      | Every (n, a) -> Every (n, walk a)
+      | Fa (a, b, g) -> Fa (walk a, walk b, walk g)
+      | Fa_abs (a, b, g) -> Fa_abs (walk a, walk b, walk g)
+      | Masked (a, id) -> Masked (walk a, id)
+    in
+    incr pos;
+    if wrap_p !pos && !counter < 4 then Lowered.Masked (e', fresh ()) else e'
+  in
+  let wrapped = walk base in
+  return (wrapped, !counter)
+
+let gen_history ~m ~len : int array QCheck.Gen.t =
+  QCheck.Gen.(array_size (return len) (int_bound (m - 1)))
+
+(* A deterministic pseudo-random oracle: mask [id] at position [p]. *)
+let oracle_of_seed seed : Semantics.oracle =
+ fun id p -> (seed + (id * 101) + (p * 7919)) land 7 < 5
+
+let gen_regex ~m : Regex.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized_size (int_range 1 15) @@ fix (fun self size ->
+      if size <= 1 then
+        frequency
+          [
+            (1, return Regex.Empty);
+            (1, return Regex.Eps);
+            (1, return Regex.Any);
+            (4, map (fun c -> Regex.Sym c) (int_bound (m - 1)));
+          ]
+      else
+        let sub = self (size / 2) in
+        frequency
+          [
+            (3, map2 (fun a b -> Regex.Alt (a, b)) sub sub);
+            (3, map2 (fun a b -> Regex.Seq (a, b)) sub sub);
+            (2, map (fun a -> Regex.Star a) (self (size - 1)));
+          ])
+
+let lowered_print e = Fmt.str "%a" Lowered.pp e
+let history_print h = Fmt.str "[%a]" Fmt.(array ~sep:(any ";") int) h
+
+(* Nesting depth of instance-spawning operators: per level, instance-tree
+   baselines multiply live instances by O(history), so tests bound this. *)
+let rec growth_depth (e : Lowered.t) =
+  match e with
+  | False | Atom _ -> 0
+  | Or (a, b) | And (a, b) | Prior (a, b) | Sequence (a, b) ->
+    max (growth_depth a) (growth_depth b)
+  | Not a | Prior_n (_, a) | Sequence_n (_, a) | Choose (_, a) | Every (_, a)
+  | Masked (a, _) ->
+    growth_depth a
+  | Relative (a, b) -> max (growth_depth a) (1 + growth_depth b)
+  | Relative_plus a | Relative_n (_, a) -> 1 + growth_depth a
+  | Fa (a, b, g) | Fa_abs (a, b, g) ->
+    max (growth_depth a) (1 + max (growth_depth b) (growth_depth g))
+
+(* Surface-expression generator over a small pool of method events (some
+   overloaded / masked), for Detector- and Combine-level tests. *)
+let leaf_pool : Expr.t list =
+  [
+    Expr.after "f";
+    Expr.before "f";
+    Expr.after "g";
+    Expr.after ~formals:[ { Expr.f_ty = None; f_name = "x" } ]
+      ~mask:Mask.(var "x" >% v_int 0)
+      "g";
+    Expr.after ~formals:[ { Expr.f_ty = None; f_name = "x" } ]
+      ~mask:Mask.(var "x" >% v_int 5)
+      "g";
+    Expr.leaf Symbol.Tcommit;
+  ]
+
+let gen_surface_expr ?(max_size = 8) () : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf = map (List.nth leaf_pool) (int_bound (List.length leaf_pool - 1)) in
+  sized_size (int_range 1 max_size) @@ fix (fun self size ->
+      if size <= 1 then leaf
+      else
+        let sub = self (size / 2) in
+        let count = int_range 1 3 in
+        frequency
+          [
+            (3, leaf);
+            (2, map2 (fun a b -> Expr.Or (a, b)) sub sub);
+            (1, map2 (fun a b -> Expr.And (a, b)) sub sub);
+            (1, map (fun a -> Expr.Not a) (self (size - 1)));
+            (3, map2 (fun a b -> Expr.relative [ a; b ]) sub sub);
+            (2, map2 (fun a b -> Expr.prior [ a; b ]) sub sub);
+            (2, map2 (fun a b -> Expr.sequence [ a; b ]) sub sub);
+            (1, map2 Expr.choose count (self (size - 1)));
+            (1, map2 Expr.every count (self (size - 1)));
+            (1, map2 Expr.relative_n count (self (size - 1)));
+            (1, map2 Expr.prior_n count (self (size - 1)));
+            (1, map2 Expr.sequence_n count (self (size - 1)));
+            (1, map (fun e -> Expr.relative_plus e) (self (size - 1)));
+            (1, map3 Expr.fa sub sub sub);
+            (1, map3 Expr.fa_abs sub sub sub);
+          ])
+
+(* Occurrences matching the pool: f/g method events with an int argument
+   for g's overloads, and transaction commits. *)
+let gen_occurrence : Ode_event.Symbol.occurrence QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* pick = int_bound 5 in
+  let+ x = int_range (-2) 10 in
+  let basic, args =
+    match pick with
+    | 0 -> (Symbol.Method (After, "f"), [])
+    | 1 -> (Symbol.Method (Before, "f"), [])
+    | 2 -> (Symbol.Method (After, "g"), [])
+    | 3 | 4 -> (Symbol.Method (After, "g"), [ Ode_base.Value.Int x ])
+    | _ -> (Symbol.Tcommit, [])
+  in
+  { Symbol.basic; args; at = 0L }
+
+(* Wrap random subexpressions of a surface expression in composite masks
+   [&& cm<i>], for end-to-end detector tests. *)
+let gen_surface_masked ?max_size () : Expr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* base = gen_surface_expr ?max_size () in
+  let* salt = int_bound 1000 in
+  let counter = ref 0 in
+  let pos = ref 0 in
+  let rec walk (e : Expr.t) : Expr.t =
+    let e' : Expr.t =
+      match e with
+      | Leaf _ -> e
+      | Or (a, b) -> Or (walk a, walk b)
+      | And (a, b) -> And (walk a, walk b)
+      | Not a -> Not (walk a)
+      | Relative es -> Relative (List.map walk es)
+      | Relative_plus a -> Relative_plus (walk a)
+      | Relative_n (n, a) -> Relative_n (n, walk a)
+      | Prior es -> Prior (List.map walk es)
+      | Prior_n (n, a) -> Prior_n (n, walk a)
+      | Sequence es -> Sequence (List.map walk es)
+      | Sequence_n (n, a) -> Sequence_n (n, walk a)
+      | Choose (n, a) -> Choose (n, walk a)
+      | Every (n, a) -> Every (n, walk a)
+      | Fa (a, b, g) -> Fa (walk a, walk b, walk g)
+      | Fa_abs (a, b, g) -> Fa_abs (walk a, walk b, walk g)
+      | Masked (a, m) -> Masked (walk a, m)
+    in
+    incr pos;
+    if (!pos * 31 + salt) mod 4 = 0 && !counter < 3 then begin
+      let name = Printf.sprintf "cm%d" !counter in
+      incr counter;
+      Expr.Masked (e', Mask.Cmp (Mask.Eq, Mask.Var name, Mask.Const (Ode_base.Value.Bool true)))
+    end
+    else e'
+  in
+  return (walk base)

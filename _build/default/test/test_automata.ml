@@ -1,0 +1,170 @@
+(* The automaton substrate (DESIGN.md P1): determinization, minimization,
+   products, complement and the specialised constructions behave. *)
+
+open Ode_event
+
+let m = 3
+
+(* Direct NFA simulation, as ground truth for determinize. *)
+let nfa_accepts (t : Nfa.t) word =
+  let n = Nfa.n_states t in
+  let closure set =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for s = 0 to n - 1 do
+        if set.(s) then
+          List.iter
+            (fun q ->
+              if not set.(q) then begin
+                set.(q) <- true;
+                changed := true
+              end)
+            t.eps.(s)
+      done
+    done
+  in
+  let cur = Array.make n false in
+  List.iter (fun s -> cur.(s) <- true) t.start;
+  closure cur;
+  let step sym =
+    let next = Array.make n false in
+    Array.iteri
+      (fun s on -> if on then List.iter (fun q -> next.(q) <- true) t.delta.(s).(sym))
+      cur;
+    closure next;
+    Array.blit next 0 cur 0 n
+  in
+  Array.iter step word;
+  Array.exists2 (fun on acc -> on && acc) cur t.accept
+
+let gen_nfa : Nfa.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 1 6 in
+  let state = int_bound (n - 1) in
+  let* start = list_size (int_range 1 2) state in
+  let* accept = array_size (return n) bool in
+  let* delta =
+    array_size (return n) (array_size (return m) (list_size (int_bound 2) state))
+  in
+  let* eps = array_size (return n) (list_size (int_bound 1) state) in
+  return { Nfa.m; start; accept; delta; eps }
+
+let gen_word = QCheck.Gen.(list_size (int_bound 10) (int_bound (m - 1)))
+
+let determinize_correct =
+  QCheck.Test.make ~count:500 ~name:"determinize preserves the language"
+    (QCheck.make QCheck.Gen.(pair gen_nfa gen_word))
+    (fun (nfa, word) ->
+      let word = Array.of_list word in
+      let dfa = Nfa.determinize nfa in
+      Dfa.run dfa word = nfa_accepts nfa word)
+
+let minimize_correct =
+  QCheck.Test.make ~count:500 ~name:"minimize preserves the language and shrinks"
+    (QCheck.make gen_nfa)
+    (fun nfa ->
+      let dfa = Nfa.determinize nfa in
+      let md = Dfa.minimize dfa in
+      Dfa.n_states md <= Dfa.n_states dfa
+      && Dfa.equal_lang md dfa
+      && Dfa.n_states (Dfa.minimize md) = Dfa.n_states md)
+
+let complement_correct =
+  QCheck.Test.make ~count:500 ~name:"complement = Sigma+ minus L"
+    (QCheck.make QCheck.Gen.(pair gen_nfa gen_word))
+    (fun (nfa, word) ->
+      let word = Array.of_list word in
+      let dfa = Nfa.determinize nfa in
+      let cd = Dfa.complement dfa in
+      if Array.length word = 0 then not (Dfa.run cd word)
+      else Dfa.run cd word = not (Dfa.run dfa word))
+
+let products_correct =
+  QCheck.Test.make ~count:500 ~name:"union/inter/diff products"
+    (QCheck.make QCheck.Gen.(triple gen_nfa gen_nfa gen_word))
+    (fun (n1, n2, word) ->
+      let word = Array.of_list word in
+      let d1 = Nfa.determinize n1 and d2 = Nfa.determinize n2 in
+      let r1 = Dfa.run d1 word and r2 = Dfa.run d2 word in
+      Dfa.run (Dfa.union d1 d2) word = (r1 || r2)
+      && Dfa.run (Dfa.inter d1 d2) word = (r1 && r2)
+      && Dfa.run (Dfa.diff d1 d2) word = (r1 && not r2))
+
+let concat_correct =
+  QCheck.Test.make ~count:300 ~name:"concat via split points"
+    (QCheck.make QCheck.Gen.(triple gen_nfa gen_nfa gen_word))
+    (fun (n1, n2, word) ->
+      let word = Array.of_list word in
+      let got = Dfa.run (Nfa.determinize (Nfa.concat n1 n2)) word in
+      let len = Array.length word in
+      let expected = ref false in
+      for k = 0 to len do
+        if
+          nfa_accepts n1 (Array.sub word 0 k)
+          && nfa_accepts n2 (Array.sub word k (len - k))
+        then expected := true
+      done;
+      got = !expected)
+
+let test_leaf () =
+  let d = Dfa.leaf ~m (fun c -> c = 1) in
+  Alcotest.(check bool) "ends in 1" true (Dfa.run d [| 0; 2; 1 |]);
+  Alcotest.(check bool) "ends in 0" false (Dfa.run d [| 1; 0 |]);
+  Alcotest.(check bool) "empty word" false (Dfa.run d [||])
+
+let test_counting () =
+  let d = Dfa.leaf ~m (fun c -> c = 0) in
+  let word = [| 0; 1; 0; 0; 2; 0 |] in
+  (* occurrences of symbol 0 at positions 0,2,3,5 *)
+  let run cond = Dfa.run_prefixes (Compile.counting d cond) word in
+  Alcotest.(check (list bool))
+    "exact 2"
+    [ false; false; true; false; false; false ]
+    (Array.to_list (run (`Exact 2)));
+  Alcotest.(check (list bool))
+    "at least 3"
+    [ false; false; false; true; false; true ]
+    (Array.to_list (run (`At_least 3)));
+  Alcotest.(check (list bool))
+    "every 2"
+    [ false; false; true; false; false; true ]
+    (Array.to_list (run (`Mod 2)))
+
+let test_first_match () =
+  let f = Dfa.leaf ~m (fun c -> c = 1) in
+  let g = Dfa.leaf ~m (fun c -> c = 2) in
+  let d = Compile.first_match f g in
+  Alcotest.(check bool) "first f, clean" true (Dfa.run d [| 0; 0; 1 |]);
+  Alcotest.(check bool) "g intervenes" false (Dfa.run d [| 0; 2; 1 |]);
+  Alcotest.(check bool) "second f rejected" false (Dfa.run d [| 1; 0; 1 |]);
+  (* an accepting-g state at the match point itself does not block *)
+  let g' = Dfa.leaf ~m (fun c -> c = 1 || c = 2) in
+  let d' = Compile.first_match f g' in
+  Alcotest.(check bool) "g at the match point ok" true (Dfa.run d' [| 0; 1 |]);
+  Alcotest.(check bool) "g strictly before blocks" false (Dfa.run d' [| 2; 1 |])
+
+let test_any_word () =
+  let d2 = Nfa.determinize (Nfa.any_word ~m 2) in
+  Alcotest.(check bool) "len 2" true (Dfa.run d2 [| 0; 1 |]);
+  Alcotest.(check bool) "len 1" false (Dfa.run d2 [| 0 |]);
+  Alcotest.(check bool) "len 3" false (Dfa.run d2 [| 0; 1; 2 |])
+
+let test_check_validates () =
+  Alcotest.check_raises "bad start"
+    (Invalid_argument "Dfa: bad start") (fun () ->
+      Dfa.check { Dfa.m = 2; start = 5; accept = [| false |]; delta = [| [| 0; 0 |] |] })
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      determinize_correct; minimize_correct; complement_correct; products_correct;
+      concat_correct;
+    ]
+  @ [
+      Alcotest.test_case "leaf automaton" `Quick test_leaf;
+      Alcotest.test_case "counting constructions" `Quick test_counting;
+      Alcotest.test_case "first-match construction" `Quick test_first_match;
+      Alcotest.test_case "any-word automaton" `Quick test_any_word;
+      Alcotest.test_case "structural validation" `Quick test_check_validates;
+    ]

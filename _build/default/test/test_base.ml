@@ -1,0 +1,138 @@
+(* The base substrate: dynamic values, the binary codec, bit sets and the
+   lock table. *)
+
+module Value = Ode_base.Value
+module Codec = Ode_base.Codec
+open Ode_event
+
+let test_value_arith () =
+  let open Value in
+  Alcotest.(check bool) "int add" true (equal (add (Int 2) (Int 3)) (Int 5));
+  Alcotest.(check bool) "promotion" true (equal (add (Int 2) (Float 0.5)) (Float 2.5));
+  Alcotest.(check bool) "string concat" true
+    (equal (add (String "a") (String "b")) (String "ab"));
+  Alcotest.(check bool) "neg" true (equal (neg (Int 5)) (Int (-5)));
+  Alcotest.check_raises "bool arithmetic rejected"
+    (Type_error "add: unexpected bool, bool") (fun () ->
+      ignore (add (Bool true) (Bool false)));
+  Alcotest.(check bool) "div" true (equal (div (Int 7) (Int 2)) (Int 3));
+  Alcotest.(check bool) "float div" true (equal (div (Int 7) (Float 2.0)) (Float 3.5))
+
+let test_value_compare () =
+  let open Value in
+  Alcotest.(check bool) "int < int" true (compare (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "int vs float" true (compare (Int 2) (Float 1.5) > 0);
+  Alcotest.(check bool) "cross-type total" true (compare (Bool true) (Int 0) <> 0);
+  Alcotest.(check bool) "oids" true (compare (Oid 3) (Oid 3) = 0);
+  Alcotest.(check bool) "equal via compare" true (equal (Float 2.0) (Int 2))
+
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      (1, return Value.Unit);
+      (2, map (fun b -> Value.Bool b) bool);
+      (4, map (fun i -> Value.Int i) int);
+      (3, map (fun f -> Value.Float f) (float_bound_inclusive 1e12));
+      (3, map (fun s -> Value.String s) string_printable);
+      (2, map (fun o -> Value.Oid (abs o)) small_int);
+    ]
+
+let codec_value_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"codec round-trips values"
+    (QCheck.make ~print:Value.to_string value_gen)
+    (fun v ->
+      let w = Codec.writer () in
+      Codec.write_value w v;
+      let r = Codec.reader (Codec.contents w) in
+      let v' = Codec.read_value r in
+      Codec.at_end r && Value.compare v v' = 0)
+
+let codec_int_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"codec round-trips ints (zig-zag)"
+    (QCheck.make QCheck.Gen.int)
+    (fun i ->
+      let w = Codec.writer () in
+      Codec.write_int w i;
+      Codec.read_int (Codec.reader (Codec.contents w)) = i)
+
+let test_codec_structures () =
+  let w = Codec.writer () in
+  Codec.write_list w Codec.write_string [ "a"; "bc"; "" ];
+  Codec.write_option w Codec.write_float (Some 1.5);
+  Codec.write_option w Codec.write_float None;
+  Codec.write_array w Codec.write_bool [| true; false |];
+  Codec.write_pair w Codec.write_int Codec.write_string (7, "x");
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check (list string)) "list" [ "a"; "bc"; "" ] (Codec.read_list r Codec.read_string);
+  Alcotest.(check (option (float 0.0))) "some" (Some 1.5) (Codec.read_option r Codec.read_float);
+  Alcotest.(check (option (float 0.0))) "none" None (Codec.read_option r Codec.read_float);
+  Alcotest.(check (array bool)) "array" [| true; false |] (Codec.read_array r Codec.read_bool);
+  let a, b = Codec.read_pair r Codec.read_int Codec.read_string in
+  Alcotest.(check int) "pair fst" 7 a;
+  Alcotest.(check string) "pair snd" "x" b;
+  Alcotest.(check bool) "consumed" true (Codec.at_end r)
+
+let test_codec_corrupt () =
+  let check_corrupt name f =
+    Alcotest.(check bool) name true (match f () with _ -> false | exception Codec.Corrupt _ -> true)
+  in
+  check_corrupt "truncated varint" (fun () -> Codec.read_int (Codec.reader "\x80"));
+  check_corrupt "bad bool" (fun () -> Codec.read_bool (Codec.reader "\x07"));
+  check_corrupt "truncated string" (fun () ->
+      let w = Codec.writer () in
+      Codec.write_int w 100;
+      Codec.read_string (Codec.reader (Codec.contents w)));
+  check_corrupt "bad value tag" (fun () ->
+      let w = Codec.writer () in
+      Codec.write_int w 99;
+      Codec.read_value (Codec.reader (Codec.contents w)))
+
+let bitset_ops =
+  QCheck.Test.make ~count:300 ~name:"bitset behaves like a set of ints"
+    (QCheck.make
+       QCheck.Gen.(
+         let* cap = int_range 1 200 in
+         let* xs = list_size (int_bound 50) (int_bound (cap - 1)) in
+         let* ys = list_size (int_bound 50) (int_bound (cap - 1)) in
+         return (cap, xs, ys)))
+    (fun (cap, xs, ys) ->
+      let s1 = Bitset.of_list cap xs and s2 = Bitset.of_list cap ys in
+      let u = Bitset.copy s1 in
+      Bitset.union_into u s2;
+      let model = List.sort_uniq compare (xs @ ys) in
+      Bitset.elements u = model
+      && List.for_all (fun x -> Bitset.mem u x) model
+      && Bitset.equal s1 (Bitset.of_list cap xs)
+      && (Bitset.is_empty s1 = (xs = []))
+      && Bitset.key u = Bitset.key (Bitset.of_list cap model))
+
+let test_lock_table () =
+  let open Ode_odb.Lock in
+  Alcotest.(check bool) "free grants read" true (compatible Free ~holder:1 Read);
+  Alcotest.(check bool) "free grants write" true (compatible Free ~holder:1 Write);
+  let s = Option.get (acquire Free ~holder:1 Read) in
+  let s = Option.get (acquire s ~holder:2 Read) in
+  Alcotest.(check (list int)) "two readers" [ 2; 1 ] (holders s);
+  Alcotest.(check bool) "no writer past readers" true (acquire s ~holder:3 Write = None);
+  Alcotest.(check bool) "reader cannot upgrade past another" true
+    (acquire s ~holder:1 Write = None);
+  let s = release s ~holder:2 in
+  let s = Option.get (acquire s ~holder:1 Write) in
+  Alcotest.(check bool) "sole reader upgraded" true (s = Exclusive 1);
+  Alcotest.(check bool) "reentrant write" true (acquire s ~holder:1 Write = Some s);
+  Alcotest.(check bool) "reentrant read under write" true (acquire s ~holder:1 Read = Some s);
+  Alcotest.(check bool) "other blocked" true (acquire s ~holder:2 Read = None);
+  Alcotest.(check bool) "release frees" true (release s ~holder:1 = Free);
+  Alcotest.(check bool) "stranger release is no-op" true (release s ~holder:9 = s)
+
+let suite =
+  [
+    Alcotest.test_case "value arithmetic" `Quick test_value_arith;
+    Alcotest.test_case "value comparison" `Quick test_value_compare;
+    Alcotest.test_case "codec structures" `Quick test_codec_structures;
+    Alcotest.test_case "codec corruption" `Quick test_codec_corrupt;
+    Alcotest.test_case "lock table" `Quick test_lock_table;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ codec_value_roundtrip; codec_int_roundtrip; bitset_ops ]

@@ -1,0 +1,55 @@
+(* The two baseline detectors (full re-evaluation; Snoop-style instance
+   trees) must agree with the denotational semantics and hence with the
+   compiled automata — otherwise benchmark E1 would compare engines
+   computing different things. *)
+
+open Ode_event
+
+let count = 250
+
+let agree ~name make_engine =
+  let m = 4 in
+  QCheck.Test.make ~count ~name
+    (QCheck.make
+       ~print:(fun ((e, _), h, seed) ->
+         Fmt.str "%s on %s (seed %d)" (Gen.lowered_print e) (Gen.history_print h) seed)
+       QCheck.Gen.(
+         let* em = Gen.gen_lowered_masked ~max_size:8 ~m () in
+         let* len = int_range 0 14 in
+         let* h = Gen.gen_history ~m ~len in
+         let* seed = int_bound 10_000 in
+         return (em, h, seed)))
+    (fun ((e, _), h, seed) ->
+      QCheck.assume (Gen.growth_depth e <= 3);
+      let oracle = Gen.oracle_of_seed seed in
+      let reference = Semantics.eval ~oracle e h in
+      let engine = make_engine e in
+      let got = Array.mapi (fun p sym -> engine ~mask:(fun id -> oracle id p) sym) h in
+      reference = got)
+
+let reeval_agrees =
+  agree ~name:"re-evaluation baseline = semantics" (fun e ->
+      let t = Ode_baseline.Reeval.make e in
+      fun ~mask sym -> Ode_baseline.Reeval.post t ~mask sym)
+
+let incr_agrees =
+  agree ~name:"instance-tree baseline = semantics" (fun e ->
+      let t = Ode_baseline.Incr.make e in
+      fun ~mask sym -> Ode_baseline.Incr.post t ~mask sym)
+
+let instance_growth () =
+  (* relative(a, b) keeps one instance per a-occurrence: the growth that
+     motivates automaton-based detection. *)
+  let a = Lowered.Atom [| true; false; false |] in
+  let b = Lowered.Atom [| false; true; false |] in
+  let t = Ode_baseline.Incr.make (Lowered.Relative (a, b)) in
+  for _ = 1 to 100 do
+    ignore (Ode_baseline.Incr.post t ~mask:(fun _ -> true) 0)
+  done;
+  Alcotest.(check bool)
+    "instances grow with history" true
+    (Ode_baseline.Incr.instance_count t > 100)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ reeval_agrees; incr_agrees ]
+  @ [ Alcotest.test_case "instance growth" `Quick instance_growth ]

@@ -1,0 +1,116 @@
+(* §6: the lifted automaton A' over full histories must agree with A over
+   committed projections, with at most |A|² states. *)
+
+open Ode_event
+
+(* Alphabet convention for these tests: 0 = after tbegin, 1 = after
+   tcommit, 2 = tabort, 3..5 ordinary events. *)
+let m = 6
+let is_tbegin s = s = 0
+let is_tcommit s = s = 1
+let is_tabort s = s = 2
+
+let atom syms = Lowered.Atom (Gen.selector m syms)
+
+(* Histories are sequences of segments: either a bare ordinary event or a
+   transaction block [tbegin; body...; tcommit|tabort]. *)
+let gen_history : int array QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ordinary = int_range 3 5 in
+  let segment =
+    frequency
+      [
+        (2, map (fun s -> [ s ]) ordinary);
+        (3,
+         let* body = list_size (int_bound 4) ordinary in
+         let* commits = bool in
+         return ((0 :: body) @ [ (if commits then 1 else 2) ]));
+      ]
+  in
+  let* segs = list_size (int_bound 6) segment in
+  return (Array.of_list (List.concat segs))
+
+let gen_expr : Lowered.t QCheck.Gen.t = Gen.gen_lowered_pure ~max_size:8 ~m ()
+
+let project h =
+  Committed.project h ~tbegin:is_tbegin ~tcommit:is_tcommit ~tabort:is_tabort
+
+let lift a = Committed.lift a ~tbegin:is_tbegin ~tcommit:is_tcommit ~tabort:is_tabort
+
+let lift_agrees =
+  QCheck.Test.make ~count:300 ~name:"lift A agrees with A on committed projection"
+    (QCheck.make
+       ~print:(fun (e, h) -> Gen.lowered_print e ^ " on " ^ Gen.history_print h)
+       QCheck.Gen.(
+         let* e = gen_expr in
+         let* h = gen_history in
+         return (e, h)))
+    (fun (e, h) ->
+      match Compile.compile_pure ~m e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | a ->
+      let a' = lift a in
+      (* check at every prefix of the full history *)
+      let ok = ref true in
+      for p = 0 to Array.length h - 1 do
+        let prefix = Array.sub h 0 (p + 1) in
+        let full = Dfa.run a' prefix in
+        let committed = Dfa.run a (project prefix) in
+        if full <> committed then ok := false
+      done;
+      !ok)
+
+let state_bound =
+  QCheck.Test.make ~count:200 ~name:"lift stays within |A|^2 states"
+    (QCheck.make ~print:Gen.lowered_print gen_expr)
+    (fun e ->
+      match Compile.compile_pure ~m e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | a ->
+        let n = Dfa.n_states a in
+        Dfa.n_states (lift a) <= n * n)
+
+let test_projection () =
+  (* [t x t] aborted then [t y c] committed: only the committed block and
+     loose events survive. *)
+  let h = [| 3; 0; 4; 2; 0; 5; 1; 4 |] in
+  Alcotest.(check (list int))
+    "aborted segment erased" [ 3; 0; 5; 1; 4 ]
+    (Array.to_list (project h));
+  (* open transaction at the end is kept *)
+  let h2 = [| 0; 3; 4 |] in
+  Alcotest.(check (list int)) "open txn kept" [ 0; 3; 4 ] (Array.to_list (project h2))
+
+(* The §6 motivating example: a trigger counting updates should not count
+   updates of aborted transactions in committed mode. *)
+let test_counting_example () =
+  let update = atom [ 3 ] in
+  let third_update = Lowered.Choose (3, update) in
+  let a = Compile.compile_pure ~m third_update in
+  let a' = lift a in
+  (* two committed updates, one aborted update, then another committed *)
+  let h = [| 0; 3; 1; 0; 3; 1; 0; 3; 2; 0; 3; 1 |] in
+  let marks = Dfa.run_prefixes a' h in
+  (* The update at position 7 is optimistically the third — it fires, but
+     its transaction aborts at 8 and the count rolls back; so the update
+     at position 10 is (again) the third committed one and fires too. *)
+  Alcotest.(check bool) "in-flight third update fires" true marks.(7);
+  Alcotest.(check bool) "third committed update fires after rollback" true marks.(10);
+  (* Without the lift, the full-history automaton counts the aborted
+     update, so position 10 is a fourth update and does not fire. *)
+  let full = Dfa.run_prefixes a h in
+  Alcotest.(check bool) "full-history automaton differs" false full.(10)
+
+let test_disjointness_check () =
+  let a = Compile.compile_pure ~m (atom [ 3 ]) in
+  Alcotest.check_raises "overlapping classification rejected"
+    (Invalid_argument "Committed.lift: overlapping classifications") (fun () ->
+      ignore (Committed.lift a ~tbegin:is_tbegin ~tcommit:is_tbegin ~tabort:is_tabort))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ lift_agrees; state_bound ]
+  @ [
+      Alcotest.test_case "projection" `Quick test_projection;
+      Alcotest.test_case "§6 counting example" `Quick test_counting_example;
+      Alcotest.test_case "classification disjointness" `Quick test_disjointness_check;
+    ]

@@ -1,0 +1,118 @@
+(* §6, theory meets implementation: for a Committed-mode trigger, the
+   database restores detection state from its undo log on abort. The
+   resulting state must equal what a fresh detector computes over the
+   committed projection of the object's recorded (true, §6) history —
+   exactly the equivalence the paper's A/A' argument rests on. *)
+
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+module History = Ode_odb.History
+open Ode_event
+
+type txn_op = T_call of string | T_commit | T_abort
+
+let gen_workload : txn_op list list QCheck.Gen.t =
+  let open QCheck.Gen in
+  list_size (int_range 1 12)
+    (let* body = list_size (int_range 1 4) (oneofl [ T_call "m"; T_call "x" ]) in
+     let* commits = frequencyl [ (7, T_commit); (3, T_abort) ] in
+     return (body @ [ commits ]))
+
+(* trigger events exercising counting, adjacency and windows *)
+let trigger_events =
+  [
+    "choose 3 (after m)";
+    "every 2 (after m)";
+    "after m; after m";
+    "relative(after x, choose 2 (after m))";
+    "prior(after x, after m)";
+  ]
+
+let schema event =
+  D.define_class "c"
+  |> (fun b -> D.method_ b ~kind:D.Updating "m" (fun _ _ _ -> Value.Unit))
+  |> (fun b -> D.method_ b ~kind:D.Updating "x" (fun _ _ _ -> Value.Unit))
+  |> fun b ->
+  D.trigger b ~perpetual:true ~mode:Detector.Committed "t"
+    ~event:(Ode_lang.Parser.parse_event event)
+    ~action:(fun _ _ -> ())
+
+(* Committed projection of a recorded history: drop every record of a
+   transaction that aborted (it has a Tabort record). System transactions
+   (the tcommit/tabort posters) are kept. *)
+let committed_projection (h : History.t) =
+  let aborted =
+    List.filter_map
+      (fun (r : History.record) ->
+        match r.h_occurrence.Symbol.basic with
+        | Symbol.Tabort _ -> Some r.h_txn
+        | _ -> None)
+      h
+  in
+  List.filter
+    (fun (r : History.record) ->
+      (not (List.mem r.h_txn aborted))
+      &&
+      match r.h_occurrence.Symbol.basic with
+      | Symbol.Tabort _ -> false
+      | _ -> true)
+    h
+
+let integration =
+  QCheck.Test.make ~count:200
+    ~name:"committed-mode state = fresh run over the committed projection (§6)"
+    (QCheck.make
+       ~print:(fun (event, txns) ->
+         Fmt.str "%s over %d txns" event (List.length txns))
+       QCheck.Gen.(
+         let* event = oneofl trigger_events in
+         let* txns = gen_workload in
+         return (event, txns)))
+    (fun (event, txns) ->
+      let db = D.create_db () in
+      D.enable_history db ~limit:10_000;
+      D.register_class db (schema event);
+      let oid =
+        match
+          D.with_txn db (fun _ ->
+              let oid = D.create db "c" [] in
+              D.activate db oid "t" [];
+              oid)
+        with
+        | Ok oid -> oid
+        | Error `Aborted -> Alcotest.fail "setup aborted"
+      in
+      (* the history the reference must replay starts after activation:
+         drop everything recorded so far *)
+      let skip = List.length (D.object_history db oid) in
+      List.iter
+        (fun ops ->
+          let tx = D.begin_txn db in
+          List.iter
+            (function
+              | T_call name -> ignore (D.call db oid name [])
+              | T_commit | T_abort -> ())
+            ops;
+          match List.rev ops with
+          | T_abort :: _ -> D.abort db tx
+          | _ -> ignore (D.commit db tx))
+        txns;
+      let final_state = D.trigger_state db oid "t" in
+      (* reference: fresh detector over the committed projection *)
+      let det = Detector.make (Ode_lang.Parser.parse_event event) in
+      let state = Detector.initial det in
+      let history = D.object_history db oid in
+      let relevant = List.filteri (fun i _ -> i >= skip) history in
+      List.iter
+        (fun (r : History.record) ->
+          ignore (Detector.post det state ~env:Mask.empty_env r.History.h_occurrence))
+        (committed_projection relevant);
+      if final_state <> state then
+        QCheck.Test.fail_reportf "state %a, reference %a"
+          Fmt.(Dump.array int)
+          final_state
+          Fmt.(Dump.array int)
+          state
+      else true)
+
+let suite = List.map QCheck_alcotest.to_alcotest [ integration ]

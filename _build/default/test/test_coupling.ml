@@ -1,0 +1,184 @@
+(* §7: every E-C-A coupling mode is a plain event expression. Each mode's
+   trigger must fire at its documented point in the transaction lifecycle,
+   with the condition evaluated at the documented time. *)
+
+open Ode_odb
+open Ode_event
+module D = Database
+module Value = Ode_base.Value
+
+(* When a firing happens relative to the transaction: while the body runs,
+   at commit processing in the same transaction (before tcomplete), or in
+   the post-transaction system transaction (after tcommit/tabort). *)
+type when_ = During_body | At_complete | Post_txn
+
+type record = { r_mode : Coupling.mode; r_when : when_ }
+
+let scenario ~cond_at_body ~cond_later ~commits =
+  let db = D.create_db () in
+  let fired = ref [] in
+  let stage = ref During_body in
+  let observed_txn = ref (-1) in
+  let cond = ref cond_at_body in
+  D.register_fun db "cond" (fun _ _ -> Value.Bool !cond);
+  let event = Expr.after "edit" in
+  let condition = Mask.Call ("cond", []) in
+  let builder =
+    List.fold_left
+      (fun b mode ->
+        D.trigger b ~perpetual:true (Coupling.name mode)
+          ~event:(Coupling.expression mode ~event ~cond:condition)
+          ~action:(fun db _ ->
+            let in_observed =
+              match D.current_txn db with
+              | Some tx -> D.txn_id tx = !observed_txn
+              | None -> false
+            in
+            let r_when =
+              match !stage with
+              | During_body -> During_body
+              | _ -> if in_observed then At_complete else Post_txn
+            in
+            fired := { r_mode = mode; r_when } :: !fired))
+      (D.define_class "doc"
+      |> fun b ->
+      D.method_ b ~kind:D.Updating "edit" (fun _ _ _ -> Value.Unit))
+      Coupling.all
+  in
+  D.register_class db builder;
+  let oid =
+    match
+      D.with_txn db (fun _ ->
+          let oid = D.create db "doc" [] in
+          List.iter (fun mode -> D.activate db oid (Coupling.name mode) []) Coupling.all;
+          oid)
+    with
+    | Ok oid -> oid
+    | Error `Aborted -> Alcotest.fail "setup aborted"
+  in
+  fired := [];
+  let tx = D.begin_txn db in
+  observed_txn := D.txn_id tx;
+  stage := During_body;
+  cond := cond_at_body;
+  ignore (D.call db oid "edit" []);
+  cond := cond_later;
+  stage := At_complete;
+  if commits then ignore (D.commit db tx) else D.abort db tx;
+  List.rev !fired
+
+let check_fired records mode expected_when =
+  match List.filter (fun r -> r.r_mode = mode) records with
+  | [ r ] ->
+    if r.r_when <> expected_when then
+      Alcotest.failf "%s fired at the wrong point" (Coupling.name mode)
+  | [] -> Alcotest.failf "%s did not fire" (Coupling.name mode)
+  | _ -> Alcotest.failf "%s fired more than once" (Coupling.name mode)
+
+let check_silent records mode =
+  if List.exists (fun r -> r.r_mode = mode) records then
+    Alcotest.failf "%s fired but should not have" (Coupling.name mode)
+
+let test_commit_cond_true () =
+  let r = scenario ~cond_at_body:true ~cond_later:true ~commits:true in
+  check_fired r Immediate_immediate During_body;
+  check_fired r Immediate_deferred At_complete;
+  check_fired r Immediate_dependent Post_txn;
+  check_fired r Immediate_independent Post_txn;
+  check_fired r Deferred_immediate At_complete;
+  check_fired r Deferred_dependent Post_txn;
+  check_fired r Deferred_independent Post_txn;
+  check_fired r Dependent_immediate Post_txn;
+  check_fired r Independent_immediate Post_txn
+
+let test_commit_cond_flips_false () =
+  (* condition true when E occurs, false by commit processing: the
+     immediate-condition modes fire, the deferred/late-condition modes do
+     not. *)
+  let r = scenario ~cond_at_body:true ~cond_later:false ~commits:true in
+  check_fired r Immediate_immediate During_body;
+  check_fired r Immediate_deferred At_complete;
+  check_fired r Immediate_dependent Post_txn;
+  check_fired r Immediate_independent Post_txn;
+  check_silent r Deferred_immediate;
+  check_silent r Deferred_dependent;
+  check_silent r Deferred_independent;
+  check_silent r Dependent_immediate;
+  check_silent r Independent_immediate
+
+let test_commit_cond_flips_true () =
+  (* condition false at E, true by commit: the opposite split. *)
+  let r = scenario ~cond_at_body:false ~cond_later:true ~commits:true in
+  check_silent r Immediate_immediate;
+  check_silent r Immediate_deferred;
+  check_silent r Immediate_dependent;
+  check_silent r Immediate_independent;
+  check_fired r Deferred_immediate At_complete;
+  check_fired r Deferred_dependent Post_txn;
+  check_fired r Deferred_independent Post_txn;
+  check_fired r Dependent_immediate Post_txn;
+  check_fired r Independent_immediate Post_txn
+
+let test_abort () =
+  (* on abort: immediate-immediate already ran; the independent modes fire
+     at [after tabort] (that is what "independent" means); dependent modes
+     require a commit; deferred modes never reach their before-tcomplete
+     evaluation point. *)
+  let r = scenario ~cond_at_body:true ~cond_later:true ~commits:false in
+  check_fired r Immediate_immediate During_body;
+  check_silent r Immediate_deferred;
+  check_silent r Immediate_dependent;
+  check_fired r Immediate_independent Post_txn;
+  check_silent r Deferred_immediate;
+  check_silent r Deferred_dependent;
+  check_silent r Deferred_independent;
+  check_silent r Dependent_immediate;
+  check_fired r Independent_immediate Post_txn
+
+let test_next_transaction_resets () =
+  (* the fa(..., after tbegin) guard: an event in one transaction must not
+     make a later transaction's commit fire the dependent modes. *)
+  let db = D.create_db () in
+  let fired = ref 0 in
+  D.register_fun db "cond" (fun _ _ -> Value.Bool true);
+  let builder =
+    D.define_class "doc"
+    |> (fun b -> D.method_ b ~kind:D.Updating "edit" (fun _ _ _ -> Value.Unit))
+    |> fun b ->
+    D.trigger b ~perpetual:true "dep"
+      ~event:
+        (Coupling.expression Coupling.Immediate_dependent ~event:(Expr.after "edit")
+           ~cond:(Mask.Call ("cond", [])))
+      ~action:(fun _ _ -> incr fired)
+  in
+  D.register_class db builder;
+  let oid =
+    match
+      D.with_txn db (fun _ ->
+          let oid = D.create db "doc" [] in
+          D.activate db oid "dep" [];
+          oid)
+    with
+    | Ok oid -> oid
+    | Error `Aborted -> Alcotest.fail "setup aborted"
+  in
+  (* txn with edit -> fires at its commit *)
+  (match D.with_txn db (fun _ -> ignore (D.call db oid "edit" [])) with
+  | Ok () -> ()
+  | Error `Aborted -> Alcotest.fail "aborted");
+  Alcotest.(check int) "fires at own commit" 1 !fired;
+  (* a later txn without edit: its commit must not fire *)
+  (match D.with_txn db (fun _ -> ignore (D.call db oid "edit" [])) with
+  | Ok () -> ()
+  | Error `Aborted -> Alcotest.fail "aborted");
+  Alcotest.(check int) "each edit-txn fires once" 2 !fired
+
+let suite =
+  [
+    Alcotest.test_case "commit, condition true" `Quick test_commit_cond_true;
+    Alcotest.test_case "condition flips false before commit" `Quick test_commit_cond_flips_false;
+    Alcotest.test_case "condition flips true before commit" `Quick test_commit_cond_flips_true;
+    Alcotest.test_case "abort" `Quick test_abort;
+    Alcotest.test_case "tbegin guard resets across transactions" `Quick
+      test_next_transaction_resets;
+  ]

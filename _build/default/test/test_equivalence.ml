@@ -1,0 +1,118 @@
+(* The central correctness property (DESIGN.md P2): for any event
+   expression and any history, the compiled automaton marks exactly the
+   points the denotational semantics marks. *)
+
+open Ode_event
+
+let count = 300
+
+let pure_equivalence =
+  let m = 4 in
+  QCheck.Test.make ~count ~name:"compiled DFA = denotational semantics (pure)"
+    (QCheck.make
+       ~print:(fun (e, h) -> Gen.lowered_print e ^ " on " ^ Gen.history_print h)
+       QCheck.Gen.(
+         let* e = Gen.gen_lowered_pure ~m () in
+         let* len = int_range 0 24 in
+         let* h = Gen.gen_history ~m ~len in
+         return (e, h)))
+    (fun (e, h) ->
+      match Compile.compile_pure ~m e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | dfa ->
+        let reference = Semantics.eval e h in
+        let got = Dfa.run_prefixes dfa h in
+        reference = got)
+
+let masked_equivalence =
+  let m = 4 in
+  QCheck.Test.make ~count ~name:"hierarchical automata = semantics (masked)"
+    (QCheck.make
+       ~print:(fun ((e, _), h, seed) ->
+         Fmt.str "%s on %s (seed %d)" (Gen.lowered_print e) (Gen.history_print h) seed)
+       QCheck.Gen.(
+         let* em = Gen.gen_lowered_masked ~m () in
+         let* len = int_range 0 20 in
+         let* h = Gen.gen_history ~m ~len in
+         let* seed = int_bound 10_000 in
+         return (em, h, seed)))
+    (fun ((e, _n_masks), h, seed) ->
+      match Compile.compile ~m e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | compiled ->
+        let oracle = Gen.oracle_of_seed seed in
+        let reference = Semantics.eval ~oracle e h in
+        let got = Compile.run compiled ~mask:(fun id p -> oracle id p) h in
+        reference = got)
+
+let regex_translation =
+  let m = 3 in
+  QCheck.Test.make ~count ~name:"of_regex: L(translate r) = L(r) \\ eps"
+    (QCheck.make
+       ~print:(fun r -> Fmt.str "%a" Regex.pp r)
+       (Gen.gen_regex ~m))
+    (fun r ->
+      let eps_free = Regex.strip_eps r in
+      match Translate.of_regex ~m eps_free with
+      | None -> false (* strip_eps output never contains ε *)
+      | Some lowered ->
+        let via_expr = Compile.compile_pure ~m lowered in
+        let direct = Regex.to_dfa ~m eps_free in
+        Dfa.equal_lang via_expr direct)
+
+let strip_eps_correct =
+  let m = 3 in
+  QCheck.Test.make ~count ~name:"strip_eps = L \\ {eps}"
+    (QCheck.make ~print:(fun r -> Fmt.str "%a" Regex.pp r) (Gen.gen_regex ~m))
+    (fun r ->
+      let stripped = Regex.strip_eps r in
+      if Regex.nullable stripped then false
+      else begin
+        let d1 = Regex.to_dfa ~m stripped in
+        let d2 = Regex.to_dfa ~m r in
+        (* d1 must equal d2 on all nonempty words *)
+        match Dfa.counterexample d1 d2 with
+        | None -> true
+        | Some w -> Array.length w = 0 && Regex.nullable r
+      end)
+
+(* The full Kleene loop of §4, constructively:
+   expression → DFA → regex (state elimination) → expression → DFA. *)
+let kleene_loop =
+  let m = 3 in
+  QCheck.Test.make ~count:100 ~name:"expr -> dfa -> regex -> expr round trip"
+    (QCheck.make ~print:Gen.lowered_print (Gen.gen_lowered_pure ~max_size:5 ~m ()))
+    (fun e ->
+      match Compile.compile_pure ~m e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | d1 when Dfa.n_states d1 > 12 -> true (* elimination blowup: skip *)
+      | d1 ->
+        let r = Regex.of_dfa d1 in
+        if Regex.size r > 3000 then true (* translation would blow up: skip *)
+        else begin
+        let d2 = Regex.to_dfa ~m r in
+        if not (Dfa.equal_lang d1 d2) then
+          QCheck.Test.fail_reportf "of_dfa changed the language (regex %a)" Regex.pp r
+        else begin
+          (* ... and translates back into an event expression *)
+          match Translate.of_regex ~m r with
+          | None ->
+            (* event languages are eps-free, so translation must succeed *)
+            QCheck.Test.fail_reportf "translation lost eps-freeness"
+          | Some e' -> (
+            match Compile.compile_pure ~m e' with
+            | exception Invalid_argument _ -> true (* state-limit: skip *)
+            | d3 -> Dfa.equal_lang d1 d3)
+        end
+        end)
+
+let regex_simplify_sound =
+  let m = 3 in
+  QCheck.Test.make ~count:300 ~name:"Regex.simplify preserves the language"
+    (QCheck.make ~print:(fun r -> Fmt.str "%a" Regex.pp r) (Gen.gen_regex ~m))
+    (fun r -> Dfa.equal_lang (Regex.to_dfa ~m r) (Regex.to_dfa ~m (Regex.simplify r)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ pure_equivalence; masked_equivalence; regex_translation; strip_eps_correct;
+      kleene_loop; regex_simplify_sound ]

@@ -1,0 +1,83 @@
+(* The order-fulfillment workflow scenario: couplings, state/sequence
+   enforcement, timer escalation and database-scope auditing together. *)
+
+open Ode_scenarios
+module F = Fulfillment
+module D = Ode_odb.Database
+
+let ok name = function
+  | Ok () -> ()
+  | Error `Aborted -> Alcotest.failf "%s: unexpectedly aborted" name
+
+let aborted name = function
+  | Ok () -> Alcotest.failf "%s: should have aborted" name
+  | Error `Aborted -> ()
+
+let test_happy_path () =
+  let t = F.setup () in
+  let o = F.place t in
+  Alcotest.(check string) "placed" "placed" (F.status t o);
+  ok "pick" (F.pick t o);
+  ok "ship" (F.ship t o);
+  Alcotest.(check (list int)) "billed after ship commits" [ o ] t.F.billed;
+  ok "deliver" (F.deliver t o);
+  Alcotest.(check string) "delivered" "delivered" (F.status t o)
+
+let test_sequence_enforcement () =
+  let t = F.setup () in
+  let o = F.place t in
+  (* shipping before picking is rejected by the prior-based guard *)
+  aborted "ship too early" (F.ship t o);
+  Alcotest.(check string) "still placed" "placed" (F.status t o);
+  (* delivering before shipping is rejected by the state mask *)
+  ok "pick" (F.pick t o);
+  aborted "deliver too early" (F.deliver t o);
+  ok "ship" (F.ship t o);
+  ok "deliver" (F.deliver t o);
+  (* picking twice is rejected *)
+  aborted "re-pick" (F.pick t o)
+
+let test_billing_only_on_commit () =
+  let t = F.setup () in
+  let o = F.place t in
+  ok "pick" (F.pick t o);
+  (* an aborted shipping transaction must not bill *)
+  let tx = D.begin_txn t.F.db in
+  ignore (D.call t.F.db o "ship" []);
+  D.abort t.F.db tx;
+  Alcotest.(check (list int)) "no billing on abort" [] t.F.billed;
+  Alcotest.(check string) "rolled back to picked" "picked" (F.status t o);
+  ok "ship" (F.ship t o);
+  Alcotest.(check (list int)) "billed once on commit" [ o ] t.F.billed
+
+let test_escalation () =
+  let t = F.setup () in
+  let stuck = F.place t in
+  let moving = F.place t in
+  ok "pick" (F.pick t moving);
+  ok "ship" (F.ship t moving);
+  F.hours t 47;
+  Alcotest.(check (list int)) "not yet" [] t.F.escalated;
+  F.hours t 2;
+  Alcotest.(check (list int)) "stuck order escalated" [ stuck ] t.F.escalated;
+  Alcotest.(check bool) "flag set" true
+    (D.get_field t.F.db stuck "escalated" = Ode_base.Value.Bool true);
+  (* escalation happens once *)
+  F.hours t 24;
+  Alcotest.(check (list int)) "no repeat" [ stuck ] t.F.escalated
+
+let test_volume_audit () =
+  let t = F.setup () in
+  for _ = 1 to 25 do
+    ignore (F.place t)
+  done;
+  Alcotest.(check int) "every 10th order reported" 2 t.F.volume_reports
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "sequence enforcement" `Quick test_sequence_enforcement;
+    Alcotest.test_case "billing only on commit" `Quick test_billing_only_on_commit;
+    Alcotest.test_case "timeout escalation" `Quick test_escalation;
+    Alcotest.test_case "database-scope volume audit" `Quick test_volume_audit;
+  ]

@@ -1,0 +1,236 @@
+(* Algebraic laws the paper states (§3.4, footnote 4) plus general
+   automaton-level identities, all checked by DFA language equivalence. *)
+
+open Ode_event
+
+let m = 4
+
+let compile e = Compile.compile_pure ~m e
+
+let atom syms = Lowered.Atom (Gen.selector m syms)
+let a = atom [ 0 ]
+let b = atom [ 1 ]
+let c = atom [ 2 ]
+let any = Lowered.Atom (Array.make m true)
+
+let check_equal name e1 e2 =
+  let d1 = compile e1 and d2 = compile e2 in
+  match Dfa.counterexample d1 d2 with
+  | None -> ()
+  | Some w ->
+    Alcotest.failf "%s: languages differ on %s" name (Gen.history_print w)
+
+let check_included name e1 e2 =
+  if not (Dfa.included (compile e1) (compile e2)) then
+    Alcotest.failf "%s: inclusion fails" name
+
+(* "The events prior+(E) and sequence+(E) are both equivalent to the event
+   E": their one-step versions must already be included in E. *)
+let test_prior_plus_identity () =
+  let exprs = [ a; Lowered.Relative (a, b); Lowered.Fa (a, b, c) ] in
+  List.iter
+    (fun e ->
+      check_included "prior(E,E) <= E" (Lowered.Prior (e, e)) e;
+      check_included "sequence(E,E) <= E" (Lowered.Sequence (e, e)) e)
+    exprs
+
+(* prior+(E) = E | prior(E,E) | ... collapses to E. *)
+let test_prior_plus_union () =
+  let e = Lowered.Relative (a, b) in
+  let union = Lowered.Or (e, Lowered.Or (Lowered.Prior (e, e), Lowered.Prior (Lowered.Prior (e, e), e))) in
+  check_equal "prior+ collapses" union e
+
+(* Currying: relative(E,F,G) = relative(relative(E,F),G), and same for
+   prior and sequence (§3.4). *)
+let test_currying () =
+  check_equal "relative currying"
+    (Lowered.Relative (Lowered.Relative (a, b), c))
+    (Lowered.Relative (a, Lowered.Relative (b, c)));
+  (* NB associativity holds for relative because concatenation is
+     associative; prior/sequence are defined by left fold. *)
+  ()
+
+(* On logical events, prior n and relative n coincide (§3.4's example
+   reads the same either way); on composites they differ. *)
+let test_counted_on_atoms () =
+  List.iter
+    (fun n ->
+      check_equal
+        (Printf.sprintf "prior %d = relative %d on an atom" n n)
+        (Lowered.Prior_n (n, a))
+        (Lowered.Relative_n (n, a)))
+    [ 1; 2; 3; 5 ]
+
+let test_counted_on_composites_differ () =
+  (* relative 2 (E) chains through truncated suffixes; prior 2 (E) counts
+     occurrences in the whole history. For E = relative(a,b) history
+     [a b b]: occurrences of E at positions 1 and 2; prior 2 holds at 2;
+     relative 2 needs an E-chain a..b then b-suffix containing a full E:
+     impossible here. *)
+  let e = Lowered.Relative (a, b) in
+  let h = [| 0; 1; 1 |] in
+  let prior2 = Semantics.eval (Lowered.Prior_n (2, e)) h in
+  let rel2 = Semantics.eval (Lowered.Relative_n (2, e)) h in
+  Alcotest.(check bool) "prior 2 occurs at point 2" true prior2.(2);
+  Alcotest.(check bool) "relative 2 does not" false rel2.(2)
+
+(* choose n (E) and every n (E) pick occurrences of E, so they are subsets
+   of prior n / of E. *)
+let test_choose_every_subsets () =
+  let e = Lowered.Or (a, Lowered.Relative (b, c)) in
+  List.iter
+    (fun n ->
+      check_included "choose n <= prior n" (Lowered.Choose (n, e)) (Lowered.Prior_n (n, e));
+      check_included "choose n <= E" (Lowered.Choose (n, e)) e;
+      check_included "every n <= E" (Lowered.Every (n, e)) e;
+      check_included "every n <= prior n" (Lowered.Every (n, e)) (Lowered.Prior_n (n, e)))
+    [ 1; 2; 3 ]
+
+(* relative+(E) = relative 1 (E); relative n+1 (E) = relative(E, relative n (E)). *)
+let test_relative_n_unrolling () =
+  check_equal "relative 1 = relative+" (Lowered.Relative_n (1, a)) (Lowered.Relative_plus a);
+  let e = Lowered.Or (a, b) in
+  check_equal "relative 3 unrolls"
+    (Lowered.Relative_n (3, e))
+    (Lowered.Relative (e, Lowered.Relative (e, Lowered.Relative_plus e)))
+
+(* prior(E,F) = relative(E, relative+(any)) & F — "E happened strictly
+   earlier". *)
+let test_prior_characterization () =
+  let e = Lowered.Relative (a, b) and f = Lowered.Or (b, c) in
+  check_equal "prior via relative-any"
+    (Lowered.Prior (e, f))
+    (Lowered.And (Lowered.Relative (e, Lowered.Relative_plus any), f))
+
+(* sequence(E,F) = relative(E, first-point) & F: adjacency. *)
+let test_sequence_characterization () =
+  let first_point = Lowered.And (any, Lowered.Not (Lowered.Prior (any, any))) in
+  let e = Lowered.Or (a, c) and f = b in
+  check_equal "sequence via adjacency"
+    (Lowered.Sequence (e, f))
+    (Lowered.And (Lowered.Relative (e, first_point), f))
+
+(* Footnote 4: with E = F && !prior(F, F), given history [F; F], E occurs
+   at the first F only, while relative(E, E) occurs at the second only. *)
+let test_footnote4 () =
+  let f = a in
+  let e = Lowered.And (f, Lowered.Not (Lowered.Prior (f, f))) in
+  let h = [| 0; 0 |] in
+  let occ_e = Semantics.eval e h in
+  let occ_rel = Semantics.eval (Lowered.Relative (e, e)) h in
+  Alcotest.(check (list bool)) "E marks first F" [ true; false ] (Array.to_list occ_e);
+  Alcotest.(check (list bool))
+    "relative(E,E) marks second F" [ false; true ]
+    (Array.to_list occ_rel);
+  (* and the automaton agrees *)
+  let d = compile (Lowered.Relative (e, e)) in
+  Alcotest.(check (list bool))
+    "compiled agrees" [ false; true ]
+    (Array.to_list (Dfa.run_prefixes d h))
+
+(* Boolean structure. *)
+let test_boolean_laws () =
+  let e = Lowered.Relative (a, b) and f = Lowered.Prior (b, c) in
+  check_equal "De Morgan" (Lowered.Not (Lowered.Or (e, f)))
+    (Lowered.And (Lowered.Not e, Lowered.Not f));
+  check_equal "double negation" (Lowered.Not (Lowered.Not e)) e;
+  check_equal "absorption" (Lowered.And (e, Lowered.Or (e, f))) e
+
+(* fa(E,F,G) with G = empty event reduces to "first F after E". *)
+let test_fa_no_guard () =
+  let first_f_after_e =
+    (* relative(E, F & !prior(F, F)): in the truncated history, an F with
+       no earlier F. *)
+    Lowered.Relative (a, Lowered.And (b, Lowered.Not (Lowered.Prior (b, b))))
+  in
+  check_equal "fa with empty guard" (Lowered.Fa (a, b, Lowered.False)) first_f_after_e
+
+(* faAbs = fa when the guard's detection cannot straddle the split point:
+   for single atoms they coincide. *)
+let test_fa_abs_on_atoms () =
+  check_equal "fa = faAbs on atoms" (Lowered.Fa (a, b, c)) (Lowered.Fa_abs (a, b, c))
+
+(* ... but differ on composite guards: G = relative(x,y) may start before
+   the E point, blocking faAbs but not fa. *)
+let test_fa_abs_differs () =
+  let g = Lowered.Relative (b, c) in
+  let fa = compile (Lowered.Fa (a, b, g)) in
+  let fa_abs = compile (Lowered.Fa_abs (a, b, g)) in
+  (* history: b a c b — G occurs at position 2 w.r.t. the whole history
+     (b...c) but not relative to the suffix after a. The first b after a
+     is at position 3. *)
+  let h = [| 1; 0; 2; 1 |] in
+  Alcotest.(check bool) "fa fires" true (Dfa.run fa h);
+  Alcotest.(check bool) "faAbs blocked" false (Dfa.run fa_abs h)
+
+let simplify_preserves_language =
+  QCheck.Test.make ~count:400 ~name:"simplify preserves the language"
+    (QCheck.make ~print:Expr.to_string (Gen.gen_surface_expr ~max_size:10 ()))
+    (fun e ->
+      let s = Expr.simplify e in
+      if Expr.size s > Expr.size e then
+        QCheck.Test.fail_reportf "simplify grew %d -> %d" (Expr.size e) (Expr.size s)
+      else begin
+        let a1, l1, _ = Rewrite.build e in
+        let a2, l2, _ = Rewrite.build s in
+        if Rewrite.n_symbols a1 <> Rewrite.n_symbols a2 then
+          QCheck.Test.fail_reportf "simplify changed the alphabet"
+        else
+          match
+            ( Compile.compile_pure ~m:(Rewrite.n_symbols a1) l1,
+              Compile.compile_pure ~m:(Rewrite.n_symbols a2) l2 )
+          with
+          | exception Invalid_argument _ -> true (* state-limit: skip *)
+          | d1, d2 -> Dfa.equal_lang d1 d2
+      end)
+
+let test_simplify_cases () =
+  let ae name = Expr.after name in
+  let cases =
+    [
+      (Expr.Or (ae "f", ae "f"), ae "f");
+      (Expr.Not (Expr.Not (ae "f")), ae "f");
+      (Expr.Relative [ Expr.Relative [ ae "a"; ae "b" ]; ae "c" ],
+       Expr.Relative [ ae "a"; ae "b"; ae "c" ]);
+      (Expr.Relative [ ae "a"; Expr.Relative [ ae "b"; ae "c" ] ],
+       Expr.Relative [ ae "a"; ae "b"; ae "c" ]);
+      (Expr.Prior [ Expr.Prior [ ae "a"; ae "b" ]; ae "c" ],
+       Expr.Prior [ ae "a"; ae "b"; ae "c" ]);
+      (Expr.Relative_plus (Expr.Relative_plus (ae "f")), Expr.Relative_plus (ae "f"));
+      (Expr.Relative_n (1, ae "f"), Expr.Relative_plus (ae "f"));
+      (Expr.Sequence_n (1, ae "f"), ae "f");
+      (Expr.Masked (Expr.Masked (Expr.Sequence [ ae "a"; ae "b" ], Mask.v_bool true),
+                    Mask.var "ok"),
+       Expr.Masked (Expr.Sequence [ ae "a"; ae "b" ],
+                    Mask.And (Mask.v_bool true, Mask.var "ok")));
+    ]
+  in
+  List.iteri
+    (fun i (input, expected) ->
+      if not (Expr.equal (Expr.simplify input) expected) then
+        Alcotest.failf "case %d: simplify %s = %s, expected %s" i
+          (Expr.to_string input)
+          (Expr.to_string (Expr.simplify input))
+          (Expr.to_string expected))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "prior+/sequence+ are identities" `Quick test_prior_plus_identity;
+    Alcotest.test_case "prior+ union collapses" `Quick test_prior_plus_union;
+    Alcotest.test_case "currying" `Quick test_currying;
+    Alcotest.test_case "prior n = relative n on atoms" `Quick test_counted_on_atoms;
+    Alcotest.test_case "prior n / relative n differ on composites" `Quick
+      test_counted_on_composites_differ;
+    Alcotest.test_case "choose/every subset laws" `Quick test_choose_every_subsets;
+    Alcotest.test_case "relative n unrolling" `Quick test_relative_n_unrolling;
+    Alcotest.test_case "prior characterization" `Quick test_prior_characterization;
+    Alcotest.test_case "sequence characterization" `Quick test_sequence_characterization;
+    Alcotest.test_case "footnote 4 example" `Quick test_footnote4;
+    Alcotest.test_case "boolean laws" `Quick test_boolean_laws;
+    Alcotest.test_case "fa with empty guard" `Quick test_fa_no_guard;
+    Alcotest.test_case "fa = faAbs on atoms" `Quick test_fa_abs_on_atoms;
+    Alcotest.test_case "fa / faAbs differ on composite guards" `Quick test_fa_abs_differs;
+    Alcotest.test_case "simplify cases" `Quick test_simplify_cases;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ simplify_preserves_language ]

@@ -1,0 +1,227 @@
+(* The ODL schema language: the paper's class-declaration syntax with
+   interpreted method bodies and trigger actions. *)
+
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+module Odl = Ode_odl.Odl
+
+let schema =
+  {|
+  class item {
+    string name = "";
+    int balance = 0;
+    int eoq = 0;
+  public:
+    item(string n, int b, int e) { name = n; balance = b; eoq = e; }
+  };
+
+  class stockRoom {
+    int orders = 0;
+    int logs = 0;
+    int printlogs = 0;
+  public:
+    stockRoom() { activate T1(); activate T2(); activate T6(); activate T8(); }
+    update void deposit(item i, int q)  { i.balance = i.balance + q; }
+    update void withdraw(item i, int q) { i.balance = i.balance - q; }
+    update void order(item i) { orders = orders + 1; }
+    update void log()      { logs = logs + 1; }
+    update void printLog() { printlogs = printlogs + 1; }
+    read int totalOrders() { return orders; }
+  trigger:
+    T1() : perpetual before withdraw && !authorized(user()) ==> tabort;
+    T2() : after withdraw(i, q) && i.balance < reorder(i) ==> order(i);
+    T6() : perpetual after withdraw(i, q) && q > 100 ==> log();
+    T8() : perpetual after deposit; before withdraw; after withdraw ==> printLog();
+  };
+  |}
+
+let setup () =
+  let db = D.create_db () in
+  let user = ref "amy" in
+  D.register_fun db "user" (fun _ _ -> Value.String !user);
+  D.register_fun db "authorized" (fun _ args ->
+      match args with [ Value.String u ] -> Value.Bool (u = "amy") | _ -> Value.Bool false);
+  D.register_fun db "reorder" (fun db args ->
+      match args with [ Value.Oid i ] -> D.get_field db i "eoq" | _ -> Value.Int 0);
+  let names = Odl.load_schema db schema in
+  Alcotest.(check (list string)) "classes" [ "item"; "stockRoom" ] names;
+  (db, user)
+
+let expect_ok = function
+  | Ok v -> v
+  | Error `Aborted -> Alcotest.fail "unexpected abort"
+
+let test_constructor_and_methods () =
+  let db, _ = setup () in
+  let item, room =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let item =
+             D.create db "item" [ Value.String "w"; Value.Int 500; Value.Int 10 ]
+           in
+           let room = D.create db "stockRoom" [] in
+           (item, room)))
+  in
+  Alcotest.(check bool)
+    "constructor ran" true
+    (Value.equal (D.get_field db item "balance") (Value.Int 500));
+  expect_ok
+    (D.with_txn db (fun _ ->
+         ignore (D.call db room "deposit" [ Value.Oid item; Value.Int 7 ])));
+  Alcotest.(check bool)
+    "interpreted method body" true
+    (Value.equal (D.get_field db item "balance") (Value.Int 507));
+  expect_ok
+    (D.with_txn db (fun _ ->
+         Alcotest.(check bool)
+           "return statement" true
+           (Value.equal (D.call db room "totalOrders" []) (Value.Int 0))))
+
+let test_triggers_from_odl () =
+  let db, user = setup () in
+  let item, room =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let item =
+             D.create db "item" [ Value.String "w"; Value.Int 500; Value.Int 10 ]
+           in
+           let room = D.create db "stockRoom" [] in
+           (item, room)))
+  in
+  let withdraw q =
+    D.with_txn db (fun _ ->
+        ignore (D.call db room "withdraw" [ Value.Oid item; Value.Int q ]))
+  in
+  (* T1: authorization via tabort *)
+  user := "mallory";
+  Alcotest.(check bool) "T1 aborts" true (withdraw 10 = Error `Aborted);
+  user := "amy";
+  (* T6: large withdrawals logged *)
+  expect_ok (withdraw 150);
+  Alcotest.(check bool)
+    "T6 logged" true
+    (Value.equal (D.get_field db room "logs") (Value.Int 1));
+  (* T2: dropping below the economic order quantity orders, using the §9
+     collected parameter i inside the interpreted action *)
+  expect_ok (withdraw 345);
+  Alcotest.(check bool)
+    "balance drained" true
+    (Value.equal (D.get_field db item "balance") (Value.Int 5));
+  Alcotest.(check bool)
+    "T2 ordered via collected i" true
+    (Value.equal (D.get_field db room "orders") (Value.Int 1));
+  (* T8: deposit immediately followed by withdrawal *)
+  expect_ok
+    (D.with_txn db (fun _ ->
+         ignore (D.call db room "deposit" [ Value.Oid item; Value.Int 50 ])));
+  expect_ok (withdraw 1);
+  Alcotest.(check bool)
+    "T8 printed" true
+    (Value.equal (D.get_field db room "printlogs") (Value.Int 1))
+
+let test_script () =
+  let db, _ = setup () in
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  Odl.run_script ~out db
+    {|
+    new widget = item("widgets", 500, 10);
+    new room = stockRoom();
+    begin;
+    call room.deposit(widget, 25);
+    call room.withdraw(widget, 200);
+    commit;
+    show widget.balance;
+    show room.logs;
+    firings;
+    |};
+  Format.pp_print_flush out ();
+  let output = Buffer.contents buf in
+  let contains needle =
+    let rec find i =
+      i + String.length needle <= String.length output
+      && (String.sub output i (String.length needle) = needle || find (i + 1))
+    in
+    find 0
+  in
+  Alcotest.(check bool) "balance shown" true (contains "widget.balance = 325");
+  Alcotest.(check bool) "large withdrawal logged" true (contains "room.logs = 1");
+  Alcotest.(check bool) "firing reported" true (contains "fired stockRoom.T6")
+
+let test_parse_errors () =
+  let db = D.create_db () in
+  let check_err name src =
+    Alcotest.(check bool) name true
+      (match Odl.load_schema db src with
+      | _ -> false
+      | exception Odl.Odl_error _ -> true)
+  in
+  check_err "missing brace" "class c { int x = 0;";
+  check_err "bad member" "class c { 42; };";
+  check_err "bad trigger" "class c { trigger: T() : ==> tabort; };";
+  Alcotest.(check bool) "script error" true
+    (match Odl.run_script db "call nothing.f();" with
+    | _ -> false
+    | exception Odl.Odl_error _ -> true)
+
+let test_if_else_and_committed () =
+  let db = D.create_db () in
+  ignore
+    (Odl.load_schema db
+       {|
+       class gauge {
+         int level = 0;
+         int highs = 0;
+         int lows = 0;
+         int spikes = 0;
+       public:
+         gauge() { activate spike_watch(3); }
+         update void report(int v) {
+           level = v;
+           if (v > 100) { highs = highs + 1; } else { lows = lows + 1; }
+         }
+         update void note_spike() { spikes = spikes + 1; }
+       trigger:
+         // committed mode + an activation parameter used in the action
+         spike_watch(threshold) : perpetual committed
+           choose 3 (after report(v) && v > 100) ==>
+           { if (spikes < threshold) { note_spike(); } }
+       };
+       |});
+  let oid =
+    match D.with_txn db (fun _ -> D.create db "gauge" []) with
+    | Ok oid -> oid
+    | Error `Aborted -> Alcotest.fail "setup aborted"
+  in
+  let report v =
+    D.with_txn db (fun _ -> ignore (D.call db oid "report" [ Value.Int v ]))
+  in
+  expect_ok (report 50);
+  expect_ok (report 150);
+  expect_ok (report 200);
+  Alcotest.(check bool) "if branch" true
+    (Value.equal (D.get_field db oid "highs") (Value.Int 2));
+  Alcotest.(check bool) "else branch" true
+    (Value.equal (D.get_field db oid "lows") (Value.Int 1));
+  Alcotest.(check bool) "not yet the 3rd spike" true
+    (Value.equal (D.get_field db oid "spikes") (Value.Int 0));
+  (* an aborted high report must not count in committed mode *)
+  let tx = D.begin_txn db in
+  ignore (D.call db oid "report" [ Value.Int 300 ]);
+  D.abort db tx;
+  expect_ok (report 40);
+  Alcotest.(check bool) "aborted high not counted" true
+    (Value.equal (D.get_field db oid "spikes") (Value.Int 0));
+  expect_ok (report 250);
+  Alcotest.(check bool) "third committed high spikes" true
+    (Value.equal (D.get_field db oid "spikes") (Value.Int 1))
+
+let suite =
+  [
+    Alcotest.test_case "constructor and methods" `Quick test_constructor_and_methods;
+    Alcotest.test_case "triggers (T1/T2/T6/T8 in ODL)" `Quick test_triggers_from_odl;
+    Alcotest.test_case "transaction script" `Quick test_script;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "if/else, committed mode, activation params" `Quick
+      test_if_else_and_committed;
+  ]

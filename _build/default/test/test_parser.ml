@@ -1,0 +1,166 @@
+(* The O++ event sub-language: the paper's own example specifications
+   must parse, printing must round-trip, and the paper's restrictions must
+   be rejected. *)
+
+open Ode_event
+module P = Ode_lang.Parser
+
+let check_parses src =
+  Alcotest.(check bool)
+    (Printf.sprintf "parses: %s" src)
+    true
+    (match P.event_of_string src with
+    | Ok _ -> true
+    | Error msg ->
+      Printf.printf "parse error for %S: %s\n" src msg;
+      false)
+
+let check_rejects src =
+  Alcotest.(check bool)
+    (Printf.sprintf "rejects: %s" src)
+    true
+    (match P.event_of_string src with Ok _ -> false | Error _ -> true)
+
+let roundtrip src =
+  match P.event_of_string src with
+  | Error msg -> Alcotest.failf "cannot parse %S: %s" src msg
+  | Ok e1 -> (
+    let printed = Expr.to_string e1 in
+    match P.event_of_string printed with
+    | Error msg -> Alcotest.failf "cannot re-parse %S (printed from %S): %s" printed src msg
+    | Ok e2 ->
+      if not (Expr.equal e1 e2) then
+        Alcotest.failf "round-trip changed %S -> %S" src printed)
+
+(* The eight stockroom triggers of §3.5, with the paper's #defines expanded. *)
+let day_begin = "at time(HR=9)"
+let day_end = "at time(HR=17)"
+let fifth_large = "choose 5 (after withdraw(i, q) && q > 100)"
+
+let paper_trigger_events =
+  [
+    (* T1 *) "before withdraw && !authorized(user())";
+    (* T2 *) "after withdraw(i, q) && i.balance < reorder(i)";
+    (* T3 *) day_end;
+    (* T4 *)
+    Printf.sprintf
+      "relative(%s, prior(choose 5 (after tcommit), after tcommit) & !prior(%s, after tcommit))"
+      day_begin day_begin;
+    (* T5 *) "every 5 (after access)";
+    (* T6 *) "after withdraw(i, q) && q > 100";
+    (* T7 *) Printf.sprintf "fa(%s, %s, %s)" day_begin fifth_large day_begin;
+    (* T8 *) "after deposit; before withdraw; after withdraw";
+  ]
+
+let test_paper_triggers () = List.iter check_parses paper_trigger_events
+
+let test_paper_examples () =
+  (* §3.3–3.4 examples *)
+  List.iter check_parses
+    [
+      "after read";
+      "before tcomplete";
+      "after time(HR=2, M=30)";
+      "after withdraw (Item i, int q)";
+      "after withdraw";
+      "after withdraw (Item, int q) && q > 1000";
+      "balance < 500.00";
+      "sequence(after tbegin, before access, after access, before tcomplete)";
+      "after tbegin; before access; after access; before tcomplete";
+      "relative 5 (after deposit)";
+      "choose 5 (after tcommit)";
+      "every 5 (after tcommit)";
+      "fa(after tbegin, prior(after update, after tcommit), \
+       (after tcommit | after tabort))";
+      "!deposit";
+      "relative(pressure < low_limit, relative(after motorStart, after motorStop))";
+      (* §5 disjointness example *)
+      "sequence(before log && a > 0, before log && b > 0)";
+    ]
+
+let test_rejections () =
+  List.iter check_rejects
+    [
+      "before tcommit";
+      "before create";
+      "after delete";
+      "after tcomplete";
+      "before tbegin";
+      "prior+(after f)";
+      "sequence+(after f)";
+      "choose 0 (after f)";
+      "fa(after f, after g)";
+      "relative()";
+      "after";
+      "";
+      "after f |";
+    ]
+
+let test_shorthands () =
+  (match P.parse_event "!deposit" with
+  | Expr.Not (Expr.Or (Expr.Leaf l1, Expr.Leaf l2)) ->
+    Alcotest.(check bool)
+      "expands to before|after" true
+      (l1.basic = Symbol.Method (Before, "deposit")
+      && l2.basic = Symbol.Method (After, "deposit"))
+  | e -> Alcotest.failf "unexpected expansion: %s" (Expr.to_string e));
+  match P.parse_event "balance < 500.00" with
+  | Expr.Masked (Expr.Or (Expr.Leaf u, Expr.Leaf c), Mask.Cmp (Mask.Lt, _, _)) ->
+    Alcotest.(check bool)
+      "state event = (after update | after create) && mask" true
+      (u.basic = Symbol.Update After && c.basic = Symbol.Create)
+  | e -> Alcotest.failf "unexpected state event: %s" (Expr.to_string e)
+
+let test_mask_merging () =
+  (* A second && on a leaf merges into its mask (the §5 rewriting demands
+     conjunctive leaf masks, not nested Masked). *)
+  match P.parse_event "before log && a > 0 && b > 0" with
+  | Expr.Leaf { mask = Some (Mask.And (_, _)); _ } -> ()
+  | e -> Alcotest.failf "expected merged leaf mask, got %s" (Expr.to_string e)
+
+let test_roundtrip_examples () =
+  List.iter roundtrip (paper_trigger_events @ [
+    "after f(i, q) && q > 100 | before g & !after h";
+    "(after f | before g) && x + 1 >= 2 * y";
+    "faAbs(after f, after g, after h)";
+    "sequence 3 (after f)";
+    "relative+(after f)";
+    "every time(MS=500)";
+    "at time(YR=1992, MON=6, DAY=2, HR=9, M=0, SEC=0, MS=0)";
+  ])
+
+let test_precedence () =
+  (* ';' binds loosest, then '|', then '&', then '!'. *)
+  let e = P.parse_event "after a; after b | after c & !after d" in
+  match e with
+  | Expr.Sequence [ _; Expr.Or (_, Expr.And (_, Expr.Not _)) ] -> ()
+  | _ -> Alcotest.failf "unexpected precedence: %s" (Expr.to_string e)
+
+let test_formal_types () =
+  match P.parse_event "after withdraw (Item i, int q)" with
+  | Expr.Leaf { formals = [ f1; f2 ]; _ } ->
+    Alcotest.(check (option string)) "type 1" (Some "Item") f1.Expr.f_ty;
+    Alcotest.(check string) "name 1" "i" f1.Expr.f_name;
+    Alcotest.(check (option string)) "type 2" (Some "int") f2.Expr.f_ty;
+    Alcotest.(check string) "name 2" "q" f2.Expr.f_name
+  | e -> Alcotest.failf "unexpected formals: %s" (Expr.to_string e)
+
+let test_masks () =
+  let m = P.parse_mask "i.balance < reorder(i) && !done || count == 3" in
+  Alcotest.(check string)
+    "mask precedence"
+    "i.balance < reorder(i) && !done || count == 3"
+    (Fmt.str "%a" Mask.pp m)
+
+let suite =
+  [
+    Alcotest.test_case "paper §3.5 triggers parse" `Quick test_paper_triggers;
+    Alcotest.test_case "paper examples parse" `Quick test_paper_examples;
+    Alcotest.test_case "forbidden forms rejected" `Quick test_rejections;
+    Alcotest.test_case "shorthand expansions" `Quick test_shorthands;
+    Alcotest.test_case "leaf mask merging" `Quick test_mask_merging;
+    Alcotest.test_case "print/parse round trip" `Quick test_roundtrip_examples;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "formal parameter types" `Quick test_formal_types;
+    Alcotest.test_case "mask parsing and printing" `Quick test_masks;
+  ]

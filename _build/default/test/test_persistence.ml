@@ -1,0 +1,115 @@
+(* Save/load: objects, fields, trigger activations and their automaton
+   state survive a round trip — mid-detection. *)
+
+open Ode_odb
+module D = Database
+module Value = Ode_base.Value
+module P = Ode_lang.Parser
+
+let expect_ok = function
+  | Ok v -> v
+  | Error `Aborted -> Alcotest.fail "transaction unexpectedly aborted"
+
+let schema fired =
+  D.define_class "item"
+  |> (fun b -> D.field b "qty" (Value.Int 0))
+  |> (fun b -> D.field b "name" (Value.String ""))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "deposit" (fun db oid args ->
+           match args with
+           | [ q ] ->
+             D.set_field db oid "qty"
+               (Value.add (D.get_field db oid "qty") q);
+             Value.Unit
+           | _ -> Value.Unit))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "withdraw" (fun db oid args ->
+           match args with
+           | [ q ] ->
+             D.set_field db oid "qty" (Value.sub (D.get_field db oid "qty") q);
+             Value.Unit
+           | _ -> Value.Unit))
+  |> fun b ->
+  D.trigger b ~perpetual:true "third"
+    ~event:(P.parse_event "choose 3 (after deposit)")
+    ~action:(fun _ ctx -> fired := ctx.D.fc_oid :: !fired)
+
+let tmp = Filename.temp_file "ode" ".img"
+
+let test_roundtrip () =
+  let fired = ref [] in
+  let db = D.create_db ~start_time:123_456L () in
+  D.register_class db (schema fired);
+  let oid =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let oid = D.create db "item" [] in
+           D.set_field db oid "name" (Value.String "widget");
+           D.activate db oid "third" [];
+           (* two of the three deposits, then save mid-count *)
+           ignore (D.call db oid "deposit" [ Value.Int 2 ]);
+           ignore (D.call db oid "deposit" [ Value.Int 3 ]);
+           oid))
+  in
+  D.save db tmp;
+  (* reload into a fresh database with the same schema *)
+  let fired2 = ref [] in
+  let db2 = D.create_db () in
+  D.register_class db2 (schema fired2);
+  D.load db2 tmp;
+  Alcotest.(check bool) "object survives" true (D.exists db2 oid);
+  Alcotest.(check bool)
+    "fields survive" true
+    (Value.equal (D.get_field db2 oid "qty") (Value.Int 5)
+    && Value.equal (D.get_field db2 oid "name") (Value.String "widget"));
+  Alcotest.(check int64) "clock survives" 123_456L (D.now db2);
+  Alcotest.(check bool) "activation survives" true (D.is_active db2 oid "third");
+  Alcotest.(check bool) "no firing yet" true (!fired2 = []);
+  (* the count of 2 deposits must survive: one more completes choose 3 *)
+  expect_ok
+    (D.with_txn db2 (fun _ -> ignore (D.call db2 oid "deposit" [ Value.Int 1 ])));
+  Alcotest.(check bool) "detection state survived the round trip" true
+    (List.mem oid !fired2);
+  (* and a fourth deposit does not re-fire choose 3 *)
+  expect_ok
+    (D.with_txn db2 (fun _ -> ignore (D.call db2 oid "deposit" [ Value.Int 1 ])));
+  Alcotest.(check int) "choose picks exactly the third" 1 (List.length !fired2)
+
+let test_save_open_txn_rejected () =
+  let db = D.create_db () in
+  D.register_class db (schema (ref []));
+  let tx = D.begin_txn db in
+  Alcotest.check_raises "open txn" (D.Ode_error "cannot save with open transactions")
+    (fun () -> D.save db tmp);
+  D.abort db tx
+
+let test_new_objects_after_load () =
+  let fired = ref [] in
+  let db = D.create_db () in
+  D.register_class db (schema fired);
+  let oid1 =
+    expect_ok (D.with_txn db (fun _ -> D.create db "item" []))
+  in
+  D.save db tmp;
+  let db2 = D.create_db () in
+  D.register_class db2 (schema fired);
+  D.load db2 tmp;
+  let oid2 = expect_ok (D.with_txn db2 (fun _ -> D.create db2 "item" [])) in
+  Alcotest.(check bool) "oid counter restored, no collision" true (oid2 <> oid1)
+
+let test_corrupt_image () =
+  let db = D.create_db () in
+  D.register_class db (schema (ref []));
+  Ode_base.Codec.to_file tmp "garbage";
+  Alcotest.(check bool) "corrupt image rejected" true
+    (match D.load db tmp with
+    | () -> false
+    | exception Ode_base.Codec.Corrupt _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "image round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "save with open txn rejected" `Quick test_save_open_txn_rejected;
+    Alcotest.test_case "oid counter survives" `Quick test_new_objects_after_load;
+    Alcotest.test_case "corrupt image rejected" `Quick test_corrupt_image;
+  ]

@@ -1,0 +1,168 @@
+(* End-to-end pipeline properties:
+   - the runtime detector (classification + per-trigger history filtering
+     + automata) agrees with the denotational semantics computed over the
+     classified, filtered symbol sequence;
+   - printing and re-parsing random surface expressions is the identity. *)
+
+open Ode_event
+module P = Ode_lang.Parser
+
+let env = Mask.empty_env
+
+let detector_matches_semantics =
+  QCheck.Test.make ~count:400 ~name:"detector = semantics over classified history"
+    (QCheck.make
+       ~print:(fun (e, occs) ->
+         Fmt.str "%a on %d occurrences" Expr.pp e (List.length occs))
+       QCheck.Gen.(
+         let* e = Gen.gen_surface_expr ~max_size:8 () in
+         let* occs = list_size (int_bound 30) Gen.gen_occurrence in
+         return (e, occs)))
+    (fun (e, occs) ->
+      match Detector.make e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | det ->
+        let state = Detector.initial det in
+        let fired = List.map (fun occ -> Detector.post det state ~env occ) occs in
+        (* reference: classify, drop non-events, evaluate denotationally *)
+        let alphabet, lowered, _ = Rewrite.build e in
+        let classified =
+          List.map (fun occ -> Rewrite.classify alphabet ~env occ) occs
+        in
+        let kept =
+          List.filter (fun s -> s <> Rewrite.other alphabet) classified
+        in
+        let labels = Semantics.eval lowered (Array.of_list kept) in
+        let expected = ref [] in
+        let j = ref 0 in
+        List.iter
+          (fun s ->
+            if s = Rewrite.other alphabet then expected := false :: !expected
+            else begin
+              expected := labels.(!j) :: !expected;
+              incr j
+            end)
+          classified;
+        fired = List.rev !expected)
+
+let print_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"print then parse is the identity"
+    (QCheck.make
+       ~print:(fun e -> Expr.to_string e)
+       (Gen.gen_surface_expr ~max_size:10 ()))
+    (fun e ->
+      match P.event_of_string (Expr.to_string e) with
+      | Ok e' -> Expr.equal e e'
+      | Error msg ->
+        QCheck.Test.fail_reportf "re-parse failed: %s on %s" msg (Expr.to_string e))
+
+(* The parser must never escape with anything but its own error type. *)
+let parser_total =
+  QCheck.Test.make ~count:1000 ~name:"parser is total on arbitrary input"
+    (QCheck.make QCheck.Gen.(string_size ~gen:printable (int_bound 60)))
+    (fun src ->
+      match P.event_of_string src with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "escaped with %s on %S" (Printexc.to_string e) src)
+
+(* §4: the translation back from regexes must land in the paper's core
+   operator set (union, intersection, complement, relative, relative+,
+   prior — no counting or fa needed). *)
+let translate_uses_core_only =
+  let m = 3 in
+  let rec core_only (e : Lowered.t) =
+    match e with
+    | False | Atom _ -> true
+    | Or (a, b) | And (a, b) | Relative (a, b) | Prior (a, b) ->
+      core_only a && core_only b
+    | Not a | Relative_plus a -> core_only a
+    | Relative_n _ | Prior_n _ | Sequence _ | Sequence_n _ | Choose _ | Every _
+    | Fa _ | Fa_abs _ | Masked _ ->
+      false
+  in
+  QCheck.Test.make ~count:300 ~name:"Translate.of_regex stays in the core language"
+    (QCheck.make ~print:(fun r -> Fmt.str "%a" Regex.pp r) (Gen.gen_regex ~m))
+    (fun r ->
+      match Translate.of_regex ~m (Regex.strip_eps r) with
+      | None -> false (* strip_eps output is eps-free *)
+      | Some lowered -> core_only lowered)
+
+(* As above, but with composite masks wrapped around random
+   subexpressions; the runtime env answers cm<i> from a seeded stream and
+   the reference oracle must agree. *)
+let masked_detector_matches_semantics =
+  QCheck.Test.make ~count:300
+    ~name:"detector = semantics with composite masks end-to-end"
+    (QCheck.make
+       ~print:(fun (e, occs, seed) ->
+         Fmt.str "%a on %d occurrences (seed %d)" Expr.pp e (List.length occs) seed)
+       QCheck.Gen.(
+         let* e = Gen.gen_surface_masked ~max_size:7 () in
+         let* occs = list_size (int_bound 25) Gen.gen_occurrence in
+         let* seed = int_bound 10_000 in
+         return (e, occs, seed)))
+    (fun (e, occs, seed) ->
+      let stream k p = (seed + (k * 131) + (p * 7919)) land 3 < 2 in
+      match Detector.make e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | det ->
+        let state = Detector.initial det in
+        let fired =
+          List.mapi
+            (fun p occ ->
+              let env =
+                {
+                  Mask.empty_env with
+                  var =
+                    (fun name ->
+                      if String.length name > 2 && String.sub name 0 2 = "cm" then
+                        match int_of_string_opt (String.sub name 2 (String.length name - 2)) with
+                        | Some k -> Some (Ode_base.Value.Bool (stream k p))
+                        | None -> None
+                      else None);
+                }
+              in
+              Detector.post det state ~env occ)
+            occs
+        in
+        (* reference over the classified, filtered history *)
+        let alphabet, lowered, masks = Rewrite.build e in
+        let mask_key id =
+          match masks.(id) with
+          | Mask.Cmp (_, Mask.Var name, _) ->
+            int_of_string (String.sub name 2 (String.length name - 2))
+          | _ -> assert false
+        in
+        let classified =
+          List.map (fun occ -> Rewrite.classify alphabet ~env:Mask.empty_env occ) occs
+        in
+        (* positions in the filtered history map back to original indices *)
+        let kept, positions =
+          List.fold_left
+            (fun (kept, positions) (i, s) ->
+              if s = Rewrite.other alphabet then (kept, positions)
+              else (s :: kept, i :: positions))
+            ([], [])
+            (List.mapi (fun i s -> (i, s)) classified)
+        in
+        let kept = Array.of_list (List.rev kept) in
+        let positions = Array.of_list (List.rev positions) in
+        let oracle id j = stream (mask_key id) positions.(j) in
+        let labels = Semantics.eval ~oracle lowered kept in
+        let expected = ref [] in
+        let j = ref 0 in
+        List.iter
+          (fun s ->
+            if s = Rewrite.other alphabet then expected := false :: !expected
+            else begin
+              expected := labels.(!j) :: !expected;
+              incr j
+            end)
+          classified;
+        fired = List.rev !expected)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ detector_matches_semantics; masked_detector_matches_semantics;
+      print_parse_roundtrip; parser_total; translate_uses_core_only ]

@@ -1,0 +1,232 @@
+(* §5 mask-disjointness rewriting and the runtime detector. *)
+
+open Ode_event
+module Value = Ode_base.Value
+
+let env_of fields : Mask.env =
+  {
+    Mask.empty_env with
+    var = (fun name -> List.assoc_opt name fields);
+  }
+
+let occ ?(args = []) basic : Symbol.occurrence = { Symbol.basic; args; at = 0L }
+
+(* The paper's §5 example: two before-log events with possibly-overlapping
+   masks a>0, b>0 expand into disjoint atoms. *)
+let paper_expr =
+  Expr.sequence
+    [
+      Expr.before ~mask:Mask.(var "a" >% v_int 0) "log";
+      Expr.before ~mask:Mask.(var "b" >% v_int 0) "log";
+    ]
+
+let test_atom_counts () =
+  let alphabet, _, _ = Rewrite.build paper_expr in
+  (* one key (before log), two guards -> 3 atoms: {a}, {b}, {a,b} *)
+  Alcotest.(check int) "keys" 1 (Array.length alphabet.Rewrite.keys);
+  Alcotest.(check int) "atoms" 3 (Array.length alphabet.Rewrite.atoms);
+  Alcotest.(check int) "alphabet size" 4 (Rewrite.n_symbols alphabet)
+
+let test_blowup_is_exponential () =
+  (* k guards on one basic event -> 2^k - 1 atoms (§5's "combinatorial
+     explosion"). *)
+  List.iter
+    (fun k ->
+      let leaves =
+        List.init k (fun i ->
+            Expr.before ~mask:Mask.(var (Printf.sprintf "x%d" i) >% v_int 0) "log")
+      in
+      let expr = List.fold_left (fun acc l -> Expr.(acc |: l)) (List.hd leaves) (List.tl leaves) in
+      let alphabet, _, _ = Rewrite.build expr in
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d - 1 atoms" k)
+        ((1 lsl k) - 1)
+        (Array.length alphabet.Rewrite.atoms))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_classification_disjoint () =
+  let alphabet, _, _ = Rewrite.build paper_expr in
+  (* every (a, b) valuation yields exactly one symbol *)
+  let syms =
+    List.map
+      (fun (a, b) ->
+        Rewrite.classify alphabet
+          ~env:(env_of [ ("a", Value.Int a); ("b", Value.Int b) ])
+          (occ (Symbol.Method (Before, "log"))))
+      [ (1, 1); (1, 0); (0, 1); (0, 0) ]
+  in
+  match syms with
+  | [ s_ab; s_a; s_b; s_none ] ->
+    Alcotest.(check bool)
+      "all distinct" true
+      (List.length (List.sort_uniq compare syms) = 4);
+    Alcotest.(check int) "no guard -> other" (Rewrite.other alphabet) s_none;
+    List.iter
+      (fun s -> Alcotest.(check bool) "atom symbols" true (s < Rewrite.other alphabet))
+      [ s_ab; s_a; s_b ]
+  | _ -> assert false
+
+let test_arity_disambiguation () =
+  (* Overloaded methods: withdraw/2 and withdraw/1 are distinct logical
+     events; an occurrence's arity picks the guard (§3.1). *)
+  let e2 =
+    Expr.after
+      ~formals:[ { Expr.f_ty = None; f_name = "i" }; { Expr.f_ty = None; f_name = "q" } ]
+      "withdraw"
+  in
+  let e1 = Expr.after ~formals:[ { Expr.f_ty = None; f_name = "i" } ] "withdraw" in
+  let alphabet, lowered, _ = Rewrite.build Expr.(e2 |: e1) in
+  (* impossible both-true assignment pruned: 2 atoms, not 3 *)
+  Alcotest.(check int) "impossible assignment pruned" 2 (Array.length alphabet.Rewrite.atoms);
+  let env = env_of [] in
+  let s2 =
+    Rewrite.classify alphabet ~env
+      (occ ~args:[ Value.Oid 1; Value.Int 5 ] (Symbol.Method (After, "withdraw")))
+  in
+  let s1 =
+    Rewrite.classify alphabet ~env
+      (occ ~args:[ Value.Oid 1 ] (Symbol.Method (After, "withdraw")))
+  in
+  let s0 = Rewrite.classify alphabet ~env (occ (Symbol.Method (After, "withdraw"))) in
+  Alcotest.(check bool) "arity 2 vs 1 distinct" true (s1 <> s2);
+  Alcotest.(check int) "arity 0 matches neither" (Rewrite.other alphabet) s0;
+  ignore lowered
+
+let test_formals_bind_args () =
+  (* after withdraw(i, q) && q > 100 must see q bound positionally. *)
+  let e =
+    Expr.after
+      ~formals:[ { Expr.f_ty = None; f_name = "i" }; { Expr.f_ty = None; f_name = "q" } ]
+      ~mask:Mask.(var "q" >% v_int 100)
+      "withdraw"
+  in
+  let alphabet, _, _ = Rewrite.build e in
+  let env = env_of [] in
+  let big =
+    Rewrite.classify alphabet ~env
+      (occ ~args:[ Value.Oid 1; Value.Int 500 ] (Symbol.Method (After, "withdraw")))
+  in
+  let small =
+    Rewrite.classify alphabet ~env
+      (occ ~args:[ Value.Oid 1; Value.Int 5 ] (Symbol.Method (After, "withdraw")))
+  in
+  Alcotest.(check bool) "big withdrawal matches" true (big <> Rewrite.other alphabet);
+  Alcotest.(check int) "small withdrawal is other" (Rewrite.other alphabet) small
+
+(* End-to-end detector run of the paper's sequence example. *)
+let test_detector_sequence () =
+  let det = Detector.make paper_expr in
+  let state = Detector.initial det in
+  Alcotest.(check int) "one word of state" 1 (Detector.n_state_words det);
+  let post a b =
+    Detector.post det state
+      ~env:(env_of [ ("a", Value.Int a); ("b", Value.Int b) ])
+      (occ (Symbol.Method (Before, "log")))
+  in
+  Alcotest.(check bool) "first log (a>0)" false (post 1 0);
+  Alcotest.(check bool) "second log (b>0) adjacent" true (post 0 1);
+  (* events outside the trigger's alphabet are not part of its history
+     (§5) and do not break adjacency *)
+  let state2 = Detector.initial det in
+  let post2 a b basic =
+    Detector.post det state2 ~env:(env_of [ ("a", Value.Int a); ("b", Value.Int b) ]) (occ basic)
+  in
+  Alcotest.(check bool) "first log" false (post2 1 0 (Symbol.Method (Before, "log")));
+  Alcotest.(check bool) "noise is invisible" false (post2 0 0 (Symbol.Method (After, "noise")));
+  Alcotest.(check bool) "still adjacent for this trigger" true
+    (post2 0 1 (Symbol.Method (Before, "log")));
+  (* ... but the trigger's own logical events do break adjacency *)
+  let state3 = Detector.initial det in
+  let post3 a b =
+    Detector.post det state3 ~env:(env_of [ ("a", Value.Int a); ("b", Value.Int b) ])
+      (occ (Symbol.Method (Before, "log")))
+  in
+  Alcotest.(check bool) "b-log alone: no prior a-log" false (post3 0 1);
+  Alcotest.(check bool) "a-log" false (post3 1 0);
+  Alcotest.(check bool) "a-log again" false (post3 1 0);
+  Alcotest.(check bool) "b-log right after a-log" true (post3 0 1)
+
+let test_detector_composite_mask () =
+  (* (after f ; after g) && ok — composite mask consulted at occurrence *)
+  let e =
+    Expr.masked
+      (Expr.sequence [ Expr.after "f"; Expr.after "g" ])
+      Mask.(var "ok" =% v_bool true)
+  in
+  let det = Detector.make e in
+  Alcotest.(check int) "two words of state" 2 (Detector.n_state_words det);
+  let run oks =
+    let state = Detector.initial det in
+    List.map
+      (fun (name, ok) ->
+        Detector.post det state
+          ~env:(env_of [ ("ok", Value.Bool ok) ])
+          (occ (Symbol.Method (After, name))))
+      oks
+  in
+  Alcotest.(check (list bool)) "mask true at g" [ false; true ]
+    (run [ ("f", false); ("g", true) ]);
+  Alcotest.(check (list bool)) "mask false at g" [ false; false ]
+    (run [ ("f", true); ("g", false) ])
+
+let test_state_roundtrip () =
+  let det = Detector.make paper_expr in
+  let state = Detector.initial det in
+  ignore
+    (Detector.post det state
+       ~env:(env_of [ ("a", Value.Int 1); ("b", Value.Int 0) ])
+       (occ (Symbol.Method (Before, "log"))));
+  let encoded = Detector.encode_state det state in
+  let decoded = Detector.decode_state det encoded in
+  Alcotest.(check (array int)) "state round-trips" state decoded
+
+let test_negation_scope () =
+  (* !E is the complement over the trigger's own logical events (§5): a
+     trigger whose alphabet is only deposit events can never observe a
+     "not deposit" point... *)
+  let det = Detector.make (Ode_lang.Parser.parse_event "!deposit") in
+  let state = Detector.initial det in
+  let env = Mask.empty_env in
+  Alcotest.(check bool) "deposit is not !deposit" false
+    (Detector.post det state ~env (occ (Symbol.Method (After, "deposit"))));
+  Alcotest.(check bool) "other events are invisible" false
+    (Detector.post det state ~env (occ (Symbol.Method (After, "noise"))));
+  (* ...whereas paired with another logical event, ! works as expected *)
+  let det2 =
+    Detector.make (Ode_lang.Parser.parse_event "after audit & !deposit")
+  in
+  let state2 = Detector.initial det2 in
+  Alcotest.(check bool) "audit is a non-deposit point" true
+    (Detector.post det2 state2 ~env (occ (Symbol.Method (After, "audit"))));
+  Alcotest.(check bool) "deposit is not" false
+    (Detector.post det2 state2 ~env (occ (Symbol.Method (After, "deposit"))))
+
+let test_max_atoms_guard () =
+  let saved = !Rewrite.max_atoms in
+  Rewrite.max_atoms := 7;
+  let leaves =
+    List.init 4 (fun i ->
+        Expr.before ~mask:Mask.(var (Printf.sprintf "x%d" i) >% v_int 0) "log")
+  in
+  let expr = List.fold_left (fun acc l -> Expr.(acc |: l)) (List.hd leaves) (List.tl leaves) in
+  let raised =
+    match Rewrite.build expr with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Rewrite.max_atoms := saved;
+  Alcotest.(check bool) "blowup capped" true raised
+
+let suite =
+  [
+    Alcotest.test_case "§5 example atom counts" `Quick test_atom_counts;
+    Alcotest.test_case "2^k blowup" `Quick test_blowup_is_exponential;
+    Alcotest.test_case "classification is disjoint" `Quick test_classification_disjoint;
+    Alcotest.test_case "overload arity disambiguation" `Quick test_arity_disambiguation;
+    Alcotest.test_case "formals bind occurrence args" `Quick test_formals_bind_args;
+    Alcotest.test_case "detector: §5 sequence" `Quick test_detector_sequence;
+    Alcotest.test_case "detector: composite mask" `Quick test_detector_composite_mask;
+    Alcotest.test_case "detector state round-trip" `Quick test_state_roundtrip;
+    Alcotest.test_case "negation scope (§5)" `Quick test_negation_scope;
+    Alcotest.test_case "max_atoms guard" `Quick test_max_atoms_guard;
+  ]

@@ -1,0 +1,176 @@
+(* §3 "events have a scope": database-scope triggers, and the §9 recorded
+   event histories with their query combinators. *)
+
+open Ode_odb
+module D = Database
+module Value = Ode_base.Value
+module P = Ode_lang.Parser
+
+let expect_ok = function
+  | Ok v -> v
+  | Error `Aborted -> Alcotest.fail "transaction unexpectedly aborted"
+
+let widget_class name =
+  D.define_class name
+  |> (fun b -> D.field b "n" (Value.Int 0))
+  |> fun b ->
+  D.method_ b ~kind:D.Updating "poke" (fun _ _ _ -> Value.Unit)
+
+let test_schema_events () =
+  let db = D.create_db () in
+  let defined = ref [] in
+  D.db_trigger_str db ~perpetual:true "schema_watch" ~event:"after defclass"
+    ~action:(fun _ ctx ->
+      match ctx.D.fc_occurrence.args with
+      | [ Value.String name ] -> defined := name :: !defined
+      | _ -> ());
+  D.activate_db_trigger db "schema_watch" [];
+  D.register_class db (widget_class "a");
+  D.register_class db (widget_class "b");
+  Alcotest.(check (list string)) "classes announced" [ "b"; "a" ] !defined
+
+let test_creation_census () =
+  (* the 3rd object created anywhere in the database *)
+  let db = D.create_db () in
+  let hits = ref [] in
+  D.db_trigger_str db ~perpetual:true "third_object" ~event:"choose 3 (after create)"
+    ~action:(fun _ ctx -> hits := ctx.D.fc_oid :: !hits);
+  D.activate_db_trigger db "third_object" [];
+  D.register_class db (widget_class "w");
+  let oids =
+    expect_ok
+      (D.with_txn db (fun _ -> List.init 4 (fun _ -> D.create db "w" [])))
+  in
+  (match oids with
+  | [ _; _; third; _ ] -> Alcotest.(check (list int)) "third object" [ third ] !hits
+  | _ -> Alcotest.fail "expected 4 oids");
+  (* deletion is observed too *)
+  let deleted = ref 0 in
+  D.db_trigger_str db ~perpetual:true "grave" ~event:"before delete"
+    ~action:(fun _ _ -> incr deleted);
+  D.activate_db_trigger db "grave" [];
+  expect_ok (D.with_txn db (fun _ -> D.delete db (List.hd oids)));
+  Alcotest.(check int) "delete observed" 1 !deleted
+
+let test_db_trigger_masks () =
+  (* the mask filters by class name through the occurrence argument *)
+  let db = D.create_db () in
+  let hits = ref 0 in
+  D.db_trigger_str db ~perpetual:true "only_b" ~event:"after create(o, cls) && cls == \"b\""
+    ~action:(fun _ _ -> incr hits);
+  D.activate_db_trigger db "only_b" [];
+  D.register_class db (widget_class "a");
+  D.register_class db (widget_class "b");
+  expect_ok
+    (D.with_txn db (fun _ ->
+         ignore (D.create db "a" []);
+         ignore (D.create db "b" []);
+         ignore (D.create db "a" [])));
+  Alcotest.(check int) "only class b counted" 1 !hits
+
+let test_history_recording () =
+  let db = D.create_db ~start_time:1000L () in
+  D.enable_history db ~limit:100;
+  D.register_class db (widget_class "w");
+  let oid =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let oid = D.create db "w" [] in
+           ignore (D.call db oid "poke" []);
+           oid))
+  in
+  let h = D.object_history db oid in
+  (* tbegin, create, baccess, bupdate, bpoke, apoke, aupdate, aaccess,
+     btcomplete, then tcommit from the system txn *)
+  Alcotest.(check int) "all events recorded" 10 (List.length h);
+  Alcotest.(check int) "one poke pair" 2 (List.length (History.methods_named "poke" h));
+  Alcotest.(check int) "transactional events" 3 (List.length (History.transactional h));
+  (match History.last (fun _ -> true) h with
+  | Some r ->
+    Alcotest.(check bool)
+      "last is tcommit" true
+      (r.History.h_occurrence.Ode_event.Symbol.basic = Ode_event.Symbol.Tcommit)
+  | None -> Alcotest.fail "history is empty");
+  (* aborted work stays in the true history (§6) *)
+  let tx = D.begin_txn db in
+  ignore (D.call db oid "poke" []);
+  D.abort db tx;
+  let h2 = D.object_history db oid in
+  Alcotest.(check bool)
+    "aborted poke recorded" true
+    (List.length (History.methods_named "poke" h2) = 4);
+  Alcotest.(check int)
+    "abort events recorded" 2
+    (History.count
+       (fun r ->
+         match r.History.h_occurrence.Ode_event.Symbol.basic with
+         | Ode_event.Symbol.Tabort _ -> true
+         | _ -> false)
+       h2)
+
+let test_history_limit () =
+  let db = D.create_db () in
+  D.enable_history db ~limit:5;
+  D.register_class db (widget_class "w");
+  let oid = expect_ok (D.with_txn db (fun _ -> D.create db "w" [])) in
+  for _ = 1 to 10 do
+    expect_ok (D.with_txn db (fun _ -> ignore (D.call db oid "poke" [])))
+  done;
+  Alcotest.(check int) "bounded" 5 (List.length (D.object_history db oid))
+
+let test_history_off_by_default () =
+  let db = D.create_db () in
+  D.register_class db (widget_class "w");
+  let oid = expect_ok (D.with_txn db (fun _ -> D.create db "w" [])) in
+  Alcotest.(check int) "no recording" 0 (List.length (D.object_history db oid))
+
+let test_object_listing () =
+  let db = D.create_db () in
+  D.register_class db (widget_class "a");
+  D.register_class db (widget_class "b");
+  let oids =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let x = D.create db "a" [] in
+           let y = D.create db "b" [] in
+           let z = D.create db "a" [] in
+           [ x; y; z ]))
+  in
+  (match oids with
+  | [ x; y; z ] ->
+    Alcotest.(check (list int)) "all objects" [ x; y; z ] (D.objects db);
+    Alcotest.(check (list int)) "by class" [ x; z ] (D.objects_of_class db "a");
+    expect_ok (D.with_txn db (fun _ -> D.delete db y));
+    Alcotest.(check (list int)) "deleted objects drop out" [ x; z ] (D.objects db)
+  | _ -> Alcotest.fail "expected 3 oids")
+
+let test_history_queries () =
+  let db = D.create_db ~start_time:100L () in
+  D.enable_history db ~limit:100;
+  D.register_class db (widget_class "w");
+  let oid = expect_ok (D.with_txn db (fun _ -> D.create db "w" [])) in
+  D.advance_clock db 900L;
+  let tx = D.begin_txn db in
+  let id = D.txn_id tx in
+  ignore (D.call db oid "poke" []);
+  (match D.commit db tx with Ok () -> () | Error `Aborted -> Alcotest.fail "abort");
+  let h = D.object_history db oid in
+  Alcotest.(check bool) "in_txn selects the poke txn" true
+    (List.length (History.in_txn id h) > 0);
+  Alcotest.(check int) "between selects by timestamp"
+    (List.length (History.in_txn id h) + 1 (* + the system tcommit at t=1000 *))
+    (List.length (History.between ~since:1000L ~until:2000L h));
+  let total = History.fold (fun acc _ -> acc + 1) 0 h in
+  Alcotest.(check int) "fold covers everything" (List.length h) total
+
+let suite =
+  [
+    Alcotest.test_case "schema events" `Quick test_schema_events;
+    Alcotest.test_case "creation census" `Quick test_creation_census;
+    Alcotest.test_case "db-scope masks" `Quick test_db_trigger_masks;
+    Alcotest.test_case "history recording (§9)" `Quick test_history_recording;
+    Alcotest.test_case "history limit" `Quick test_history_limit;
+    Alcotest.test_case "history off by default" `Quick test_history_off_by_default;
+    Alcotest.test_case "object listings" `Quick test_object_listing;
+    Alcotest.test_case "history queries" `Quick test_history_queries;
+  ]

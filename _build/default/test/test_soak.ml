@@ -1,0 +1,157 @@
+(* Model-based soak test of the database: random sequences of operations
+   (create / call / set / delete / begin / commit / abort / clock / save /
+   load) are applied both to the database and to a pure model of the
+   committed state; after every commit or abort the two must agree, and
+   structural invariants (lock table empty outside transactions, stats
+   consistent) must hold. *)
+
+module D = Ode_odb.Database
+module Value = Ode_base.Value
+
+type model = {
+  mutable committed : (int * int) list;  (* oid -> n, committed state *)
+  mutable pending : (int * int) list;  (* oid -> n inside the open txn *)
+  mutable created_pending : int list;  (* oids created in the open txn *)
+  mutable deleted_pending : int list;
+}
+
+type op =
+  | Op_create
+  | Op_incr of int  (* pick among live oids by index *)
+  | Op_delete of int
+  | Op_commit
+  | Op_abort
+  | Op_reload  (* save + load, only outside transactions *)
+  | Op_advance of int
+
+let gen_ops : op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  list_size (int_range 10 60)
+    (frequency
+       [
+         (3, return Op_create);
+         (8, map (fun i -> Op_incr i) (int_bound 20));
+         (1, map (fun i -> Op_delete i) (int_bound 20));
+         (4, return Op_commit);
+         (2, return Op_abort);
+         (1, return Op_reload);
+         (1, map (fun ms -> Op_advance (ms * 100)) (int_bound 50));
+       ])
+
+let schema () =
+  D.define_class "cell"
+  |> (fun b -> D.field b "n" (Value.Int 0))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "incr" (fun db oid _ ->
+           D.set_field db oid "n" (Value.add (D.get_field db oid "n") (Value.Int 1));
+           Value.Unit))
+  |> fun b ->
+  (* a trigger exercising detection during the soak *)
+  D.trigger b ~perpetual:true "every3"
+    ~event:(Ode_lang.Parser.parse_event "every 3 (after incr)")
+    ~action:(fun _ _ -> ())
+
+let soak =
+  QCheck.Test.make ~count:120 ~name:"database agrees with a pure model"
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let db = D.create_db () in
+      D.register_class db (schema ());
+      let model =
+        { committed = []; pending = []; created_pending = []; deleted_pending = [] }
+      in
+      let txn = ref None in
+      let tmp = Filename.temp_file "ode_soak" ".img" in
+      let in_txn f =
+        match !txn with
+        | Some _ -> f ()
+        | None ->
+          let tx = D.begin_txn db in
+          txn := Some tx;
+          model.pending <- model.committed;
+          f ()
+      in
+      let commit () =
+        match !txn with
+        | None -> ()
+        | Some tx ->
+          txn := None;
+          (match D.commit db tx with
+          | Ok () ->
+            model.committed <-
+              List.filter
+                (fun (oid, _) -> not (List.mem oid model.deleted_pending))
+                model.pending
+          | Error `Aborted -> () (* no trigger aborts in this schema *));
+          model.pending <- [];
+          model.created_pending <- [];
+          model.deleted_pending <- []
+      in
+      let abort () =
+        match !txn with
+        | None -> ()
+        | Some tx ->
+          txn := None;
+          D.abort db tx;
+          model.pending <- [];
+          model.created_pending <- [];
+          model.deleted_pending <- []
+      in
+      let live_model () =
+        List.filter (fun (oid, _) -> not (List.mem oid model.deleted_pending))
+          (match !txn with Some _ -> model.pending | None -> model.committed)
+      in
+      let check_agreement () =
+        List.for_all
+          (fun (oid, n) ->
+            D.exists db oid && Value.equal (D.get_field db oid "n") (Value.Int n))
+          model.committed
+        && (not (List.exists (fun (oid, _) -> not (D.exists db oid)) model.committed))
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | Op_create ->
+              in_txn (fun () ->
+                  let oid = D.create db "cell" [] in
+                  D.activate db oid "every3" [];
+                  model.pending <- (oid, 0) :: model.pending;
+                  model.created_pending <- oid :: model.created_pending)
+            | Op_incr i ->
+              in_txn (fun () ->
+                  match live_model () with
+                  | [] -> ()
+                  | live ->
+                    let oid, n = List.nth live (i mod List.length live) in
+                    ignore (D.call db oid "incr" []);
+                    model.pending <-
+                      (oid, n + 1) :: List.remove_assoc oid model.pending)
+            | Op_delete i ->
+              in_txn (fun () ->
+                  match live_model () with
+                  | [] -> ()
+                  | live ->
+                    let oid, _ = List.nth live (i mod List.length live) in
+                    D.delete db oid;
+                    model.deleted_pending <- oid :: model.deleted_pending)
+            | Op_commit ->
+              commit ();
+              if not (check_agreement ()) then ok := false
+            | Op_abort ->
+              abort ();
+              if not (check_agreement ()) then ok := false
+            | Op_reload ->
+              if !txn = None then begin
+                D.save db tmp;
+                D.load db tmp;
+                if not (check_agreement ()) then ok := false
+              end
+            | Op_advance ms -> if !txn = None then D.advance_clock db (Int64.of_int ms))
+        ops;
+      commit ();
+      Sys.remove tmp;
+      !ok && check_agreement ())
+
+let suite = List.map QCheck_alcotest.to_alcotest [ soak ]

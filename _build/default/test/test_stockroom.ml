@@ -1,0 +1,158 @@
+(* The paper's §3.5 stockroom with triggers T1–T8, driven end to end. *)
+
+open Ode_scenarios
+module S = Stockroom
+module D = Ode_odb.Database
+module Clock = Ode_odb.Clock
+
+let hour = 3_600_000L
+let to_9am = Int64.mul hour 9L
+
+let expect_ok name = function
+  | Ok v -> v
+  | Error `Aborted -> Alcotest.failf "%s: unexpectedly aborted" name
+
+let test_t1_authorization () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:1000 in
+  expect_ok "authorized withdraw" (S.withdraw s ~item ~qty:5);
+  Alcotest.(check int) "balance moved" 995 (S.item_balance s item);
+  s.S.current_user <- "mallory";
+  Alcotest.(check bool)
+    "unauthorized withdraw aborts" true
+    (S.withdraw s ~item ~qty:5 = Error `Aborted);
+  Alcotest.(check int) "balance unchanged" 995 (S.item_balance s item);
+  s.S.current_user <- "amy";
+  expect_ok "authorized again" (S.withdraw s ~item ~qty:5);
+  Alcotest.(check int) "balance moved again" 990 (S.item_balance s item)
+
+let test_t2_reorder () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:12 in
+  expect_ok "above eoq" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "no order yet" 0 (S.counter s "orders");
+  expect_ok "drops below eoq" (S.withdraw s ~item ~qty:5);
+  Alcotest.(check int) "order placed" 1 (S.counter s "orders");
+  (* T2 is an ordinary trigger: it does not fire again until reactivated *)
+  expect_ok "still below" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "no duplicate order" 1 (S.counter s "orders");
+  expect_ok "reactivate"
+    (D.with_txn s.S.db (fun _ -> D.activate s.S.db s.S.stockroom "T2" []));
+  expect_ok "below again" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "reordered after reactivation" 2 (S.counter s "orders")
+
+let test_t3_day_end_summary () =
+  let s = S.setup () in
+  D.advance_clock s.S.db (Int64.mul hour 16L) (* 00:00 -> 16:00 *);
+  Alcotest.(check int) "not yet 17:00" 0 (S.counter s "summaries");
+  D.advance_clock s.S.db (Int64.mul hour 2L) (* 18:00 *);
+  Alcotest.(check int) "summary at day end" 1 (S.counter s "summaries");
+  D.advance_clock s.S.db (Int64.mul hour 24L) (* next day 18:00 *);
+  Alcotest.(check int) "daily" 2 (S.counter s "summaries")
+
+let test_t4_report_after_fifth_txn () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:100000 in
+  (* transactions before 9am do not count *)
+  for _ = 1 to 6 do
+    expect_ok "pre-9am txn" (S.deposit s ~item ~qty:1)
+  done;
+  Alcotest.(check int) "no reports before day begin" 0 (S.counter s "reports");
+  D.advance_clock s.S.db to_9am;
+  for _ = 1 to 5 do
+    expect_ok "txn" (S.deposit s ~item ~qty:1)
+  done;
+  Alcotest.(check int) "first five unreported" 0 (S.counter s "reports");
+  expect_ok "sixth txn" (S.deposit s ~item ~qty:1);
+  Alcotest.(check int) "sixth reported" 1 (S.counter s "reports");
+  expect_ok "seventh txn" (S.deposit s ~item ~qty:1);
+  Alcotest.(check int) "seventh reported" 2 (S.counter s "reports");
+  (* the next day the count starts over *)
+  D.advance_clock s.S.db (Int64.mul hour 24L);
+  for _ = 1 to 5 do
+    expect_ok "next-day txn" (S.deposit s ~item ~qty:1)
+  done;
+  Alcotest.(check int) "new day, first five unreported" 2 (S.counter s "reports");
+  expect_ok "next-day sixth" (S.deposit s ~item ~qty:1);
+  Alcotest.(check int) "new day sixth reported" 3 (S.counter s "reports")
+
+let test_t5_averages_every_fifth_access () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:100000 in
+  for _ = 1 to 4 do
+    expect_ok "op" (S.deposit s ~item ~qty:1)
+  done;
+  Alcotest.(check int) "four accesses" 0 (S.counter s "avg_updates");
+  expect_ok "fifth op" (S.deposit s ~item ~qty:1);
+  Alcotest.(check int) "five accesses" 1 (S.counter s "avg_updates")
+
+let test_t6_large_withdrawals_logged () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:100000 in
+  expect_ok "small" (S.withdraw s ~item ~qty:100);
+  Alcotest.(check int) "q=100 is not large" 0 (S.counter s "logs");
+  expect_ok "large" (S.withdraw s ~item ~qty:101);
+  Alcotest.(check int) "q=101 logged" 1 (S.counter s "logs");
+  expect_ok "large again" (S.withdraw s ~item ~qty:500);
+  Alcotest.(check int) "every large one" 2 (S.counter s "logs")
+
+let test_t7_fifth_large_in_same_day () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:1_000_000 in
+  D.advance_clock s.S.db to_9am;
+  let summaries_before = S.counter s "summaries" in
+  for _ = 1 to 4 do
+    expect_ok "large withdrawal" (S.withdraw s ~item ~qty:200)
+  done;
+  Alcotest.(check int) "four large: nothing" summaries_before (S.counter s "summaries");
+  expect_ok "fifth large" (S.withdraw s ~item ~qty:200);
+  Alcotest.(check int) "fifth large summarised" (summaries_before + 1)
+    (S.counter s "summaries");
+  expect_ok "sixth large" (S.withdraw s ~item ~qty:200);
+  Alcotest.(check int) "only the fifth" (summaries_before + 1) (S.counter s "summaries");
+  (* next day: window restarts (T3 will add one summary at 17:00) *)
+  D.advance_clock s.S.db (Int64.mul hour 24L);
+  let base = S.counter s "summaries" in
+  for _ = 1 to 5 do
+    expect_ok "next-day large" (S.withdraw s ~item ~qty:200)
+  done;
+  Alcotest.(check int) "fires again next day" (base + 1) (S.counter s "summaries")
+
+let test_t8_deposit_then_withdrawal () =
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:100000 in
+  expect_ok "withdraw alone" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "no print" 0 (S.counter s "printlogs");
+  expect_ok "deposit" (S.deposit s ~item ~qty:1);
+  expect_ok "withdraw right after" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "deposit then withdrawal prints" 1 (S.counter s "printlogs");
+  expect_ok "another withdraw" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "withdrawal after withdrawal does not" 1 (S.counter s "printlogs");
+  expect_ok "deposit" (S.deposit s ~item ~qty:1);
+  expect_ok "deposit" (S.deposit s ~item ~qty:1);
+  expect_ok "withdraw" (S.withdraw s ~item ~qty:1);
+  Alcotest.(check int) "latest deposit counts" 2 (S.counter s "printlogs")
+
+let test_aborted_withdrawal_leaves_t6_history () =
+  (* T1 aborts an unauthorized large withdrawal after `before withdraw`;
+     the `after withdraw` event is never posted, so T6 must not log it. *)
+  let s = S.setup () in
+  let item = S.new_item s ~name:"widget" ~eoq:10 ~balance:100000 in
+  s.S.current_user <- "mallory";
+  Alcotest.(check bool) "aborted" true (S.withdraw s ~item ~qty:500 = Error `Aborted);
+  Alcotest.(check int) "nothing logged" 0 (S.counter s "logs")
+
+let suite =
+  [
+    Alcotest.test_case "T1: authorization guard" `Quick test_t1_authorization;
+    Alcotest.test_case "T2: economic order quantity" `Quick test_t2_reorder;
+    Alcotest.test_case "T3: day-end summary" `Quick test_t3_day_end_summary;
+    Alcotest.test_case "T4: report after 5th transaction" `Quick test_t4_report_after_fifth_txn;
+    Alcotest.test_case "T5: averages every 5 accesses" `Quick test_t5_averages_every_fifth_access;
+    Alcotest.test_case "T6: large withdrawals logged" `Quick test_t6_large_withdrawals_logged;
+    Alcotest.test_case "T7: 5th large withdrawal of the day" `Quick test_t7_fifth_large_in_same_day;
+    Alcotest.test_case "T8: deposit immediately before withdrawal" `Quick
+      test_t8_deposit_then_withdrawal;
+    Alcotest.test_case "abort interacts with T1/T6" `Quick
+      test_aborted_withdrawal_leaves_t6_history;
+  ]
