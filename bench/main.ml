@@ -602,6 +602,96 @@ let e12 () =
       is what the one-word design buys.@."
 
 (* ------------------------------------------------------------------ *)
+(* E9-dispatch: the per-class dispatch index on the posting hot path    *)
+(* ------------------------------------------------------------------ *)
+
+(* A method call on an object carrying N active triggers whose alphabets
+   never contain the posted events. Pre-index, every one of the 6 basic
+   events around the call snapshotted and classified all N activations;
+   with the index (Database.dispatch_index, the default) none of them is
+   touched. Emits BENCH_dispatch.json for EXPERIMENTS.md. *)
+let e9_dispatch () =
+  section "E9-dispatch: post throughput vs inert active triggers (index on/off)";
+  let module D = Ode_odb.Database in
+  let build n =
+    let db = D.create_db () in
+    let b = D.define_class "hot" in
+    let b = D.field b "n" (Value.Int 0) in
+    let b =
+      D.method_ b ~kind:D.Updating "work" (fun db oid _ ->
+          D.set_field db oid "n" (Value.add (D.get_field db oid "n") (Value.Int 1));
+          Value.Unit)
+    in
+    let rec add b i =
+      if i >= n then b
+      else
+        add
+          (D.trigger_str b ~perpetual:true
+             (Printf.sprintf "t%d" i)
+             ~event:(Printf.sprintf "after m%d" i)
+             ~action:(fun _ _ -> ()))
+          (i + 1)
+    in
+    let b = add b 0 in
+    D.register_class db b;
+    match
+      D.with_txn db (fun _ ->
+          let oid = D.create db "hot" [] in
+          for i = 0 to n - 1 do
+            D.activate db oid (Printf.sprintf "t%d" i) []
+          done;
+          oid)
+    with
+    | Ok oid -> (db, oid)
+    | Error `Aborted -> failwith "abort"
+  in
+  let measure ~indexed n =
+    D.dispatch_index := indexed;
+    let db, oid = build n in
+    let tx = D.begin_txn db in
+    let ns = measure_ns (fun () -> ignore (D.call db oid "work" [])) in
+    (match D.commit db tx with Ok () | Error `Aborted -> ());
+    ns
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let scan = measure ~indexed:false n in
+        let indexed = measure ~indexed:true n in
+        (n, scan, indexed))
+      [ 1; 10; 100; 1000 ]
+  in
+  D.dispatch_index := true;
+  pf "%-10s %16s %18s %10s@." "triggers" "scan ns/call" "indexed ns/call" "speedup";
+  List.iter
+    (fun (n, scan, indexed) ->
+      pf "%-10d %16.0f %18.0f %9.1fx@." n scan indexed (scan /. indexed))
+    rows;
+  pf "shape: a call posts 6 basic events; the scan path is O(N) per post,\n\
+      the indexed path touches only triggers whose alphabet can react.@.";
+  let oc = open_out "BENCH_dispatch.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E9-dispatch\",\n";
+  p "  \"unit\": \"ns per method call (6 basic events posted per call)\",\n";
+  p "  \"description\": \"object with N inert active triggers: brute-force scan \
+     (pre-index posting path) vs per-class dispatch index\",\n";
+  p "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (n, scan, indexed) ->
+      p
+        "    {\"inert_triggers\": %d, \"scan_ns_per_call\": %.0f, \
+         \"indexed_ns_per_call\": %.0f, \"speedup\": %.1f}%s\n"
+        n scan indexed (scan /. indexed)
+        (if i = last then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  pf "wrote BENCH_dispatch.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,8 +818,8 @@ let bechamel_suite () =
 let () =
   let all =
     [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-      ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-      ("e12", e12); ("micro", bechamel_suite) ]
+      ("e7", e7); ("e8", e8); ("e9", e9); ("e9d", e9_dispatch); ("e10", e10);
+      ("e11", e11); ("e12", e12); ("micro", bechamel_suite) ]
   in
   let selected =
     match List.tl (Array.to_list Sys.argv) with

@@ -8,49 +8,104 @@ type t = {
   masks : Mask.t array;
   compiled : Compile.t;
   mode : mode;
+  has_formals : bool;
 }
 
 type state = int array
 
-let make ?(mode = Full_history) expr =
+let build ~mode expr =
   let alphabet, lowered, masks = Rewrite.build expr in
   let compiled = Compile.compile ~m:(Rewrite.n_symbols alphabet) lowered in
-  { expr; alphabet; masks; compiled; mode }
+  let has_formals =
+    Array.exists
+      (Array.exists (fun (g : Rewrite.guard) -> g.g_formals <> []))
+      alphabet.Rewrite.guards
+  in
+  { expr; alphabet; masks; compiled; mode; has_formals }
+
+(* Triggers with identical specifications can share one compiled detector
+   (the paper compiles per class; sharing extends that across declarations).
+   Opt-in because the result must not depend on the mutable compilation
+   knobs ([Compile.minimization], [Rewrite.max_atoms]); the database layer,
+   which never touches them, opts in. *)
+let shared : (mode * Expr.t, t) Hashtbl.t = Hashtbl.create 32
+
+let make ?(mode = Full_history) ?(share = false) expr =
+  if not share then build ~mode expr
+  else
+    match Hashtbl.find_opt shared (mode, expr) with
+    | Some t -> t
+    | None ->
+      let t = build ~mode expr in
+      Hashtbl.add shared (mode, expr) t;
+      t
 
 let initial t = Compile.initial t.compiled
 let n_state_words t = Compile.n_state_words t.compiled
 
-let post t state ~env occurrence =
-  let sym = Rewrite.classify t.alphabet ~env occurrence in
+let concerns t basic = Rewrite.concerns t.alphabet basic
+let relevant_basics t = Rewrite.relevant_basics t.alphabet
+
+type classified = {
+  c_sym : int;
+  c_key : int;
+  c_bits : int;
+}
+
+let is_relevant c = c.c_key >= 0 && c.c_bits <> 0
+
+let classify t ~env occurrence =
+  match Rewrite.classify_guards t.alphabet ~env occurrence with
+  | None -> { c_sym = Rewrite.other t.alphabet; c_key = -1; c_bits = 0 }
+  | Some (key, bits) ->
+    let sym =
+      if bits = 0 then Rewrite.other t.alphabet
+      else
+        match Rewrite.atom_lookup t.alphabet ~key ~bits with
+        | Some sym -> sym
+        | None -> Rewrite.other t.alphabet (* statically impossible: defensive *)
+    in
+    { c_sym = sym; c_key = key; c_bits = bits }
+
+let post_classified t state ~env c =
   (* §5: the automaton is advanced only "for each active trigger for which
      a logical event has occurred". An occurrence matching none of this
      trigger's logical events is not part of its history at all — it must
      not break adjacency (sequence) or feed negations. *)
-  if sym = Rewrite.other t.alphabet then false
+  if c.c_sym = Rewrite.other t.alphabet then false
   else
     let mask id = Mask.eval_bool env t.masks.(id) in
-    Compile.step t.compiled state sym ~mask
+    Compile.step t.compiled state c.c_sym ~mask
+
+let post t state ~env occurrence =
+  post_classified t state ~env (classify t ~env occurrence)
 
 let copy_state = Array.copy
 
-let collect t ~env (occurrence : Symbol.occurrence) =
-  let alphabet = t.alphabet in
-  let bindings = ref [] in
-  Array.iteri
-    (fun k basic ->
-      if Symbol.equal_basic basic occurrence.basic then
-        Array.iter
-          (fun (g : Rewrite.guard) ->
-            if g.g_formals <> [] && Rewrite.guard_matches ~env occurrence g then
-              List.iteri
-                (fun i (f : Expr.formal) ->
-                  match List.nth_opt occurrence.args i with
-                  | Some v -> bindings := (f.f_name, v) :: !bindings
-                  | None -> ())
-                g.g_formals)
-          alphabet.Rewrite.guards.(k))
-    alphabet.Rewrite.keys;
-  List.rev !bindings
+let collect_classified t c (occurrence : Symbol.occurrence) =
+  if (not t.has_formals) || not (is_relevant c) then []
+  else begin
+    let gs = t.alphabet.Rewrite.guards.(c.c_key) in
+    let bindings = ref [] in
+    Array.iteri
+      (fun i (g : Rewrite.guard) ->
+        if c.c_bits land (1 lsl i) <> 0 && g.g_formals <> [] then
+          (* formals and args in lockstep; a matched guard with formals
+             pins the arity, so the two lists have equal length *)
+          let rec bind formals args =
+            match formals, args with
+            | (f : Expr.formal) :: fs, v :: vs ->
+              bindings := (f.f_name, v) :: !bindings;
+              bind fs vs
+            | _, _ -> ()
+          in
+          bind g.g_formals occurrence.args)
+      gs;
+    List.rev !bindings
+  end
+
+let collect t ~env occurrence =
+  collect_classified t (classify t ~env occurrence) occurrence
 
 let encode_state t state =
   if Array.length state <> n_state_words t then

@@ -21,14 +21,24 @@ type t = {
   masks : Mask.t array;  (** composite-mask table *)
   compiled : Compile.t;
   mode : mode;
+  has_formals : bool;
+      (** precomputed: does any logical event declare formals? When
+          false, {!collect} can never bind anything and is skipped. *)
 }
 
 type state = int array
 
-val make : ?mode:mode -> Expr.t -> t
+val make : ?mode:mode -> ?share:bool -> Expr.t -> t
 (** Compile a trigger event specification. Raises [Invalid_argument] on
     invalid expressions (see {!Expr.validate}) or §5 atom blowup beyond
-    {!Rewrite.max_atoms}. Default mode is [Full_history]. *)
+    {!Rewrite.max_atoms}. Default mode is [Full_history].
+
+    With [~share:true], structurally identical [(mode, expr)] pairs
+    return one physically shared (immutable) detector, so the database's
+    per-occurrence classification cache classifies once for all triggers
+    declaring the same event. Sharing memoizes across the process: only
+    opt in when the compilation knobs ([Compile.minimization],
+    [Rewrite.max_atoms]) are at their defaults. *)
 
 val initial : t -> state
 val n_state_words : t -> int
@@ -48,6 +58,49 @@ val post : t -> state -> env:Mask.env -> Symbol.occurrence -> bool
     posts access/update events. *)
 
 val copy_state : state -> state
+
+(** {2 Dispatch relevance and split classification}
+
+    The database's hot path posts each occurrence to many triggers. These
+    entry points let it (a) index triggers by the basic events they can
+    react to, and (b) classify an occurrence once and reuse the result
+    for the automaton step, the §9 parameter collection, and the
+    undo-logging decision. *)
+
+val concerns : t -> Symbol.basic -> bool
+(** Can an occurrence of this basic event ever advance this detector?
+    O(1); false means {!post} is guaranteed to return [false] and leave
+    the state untouched. *)
+
+val relevant_basics : t -> Symbol.basic_key list
+(** Dispatch keys of the detector's alphabet — see
+    {!Rewrite.relevant_basics}. *)
+
+type classified = {
+  c_sym : int;  (** the alphabet symbol ({!Rewrite.classify} result) *)
+  c_key : int;  (** alphabet key index, [-1] if the basic is foreign *)
+  c_bits : int;  (** guard truth-assignment bits (0 if none matched) *)
+}
+
+val classify : t -> env:Mask.env -> Symbol.occurrence -> classified
+(** Evaluate the occurrence against the detector's guards once. Mask
+    evaluation errors propagate as {!Mask.Eval_error}. *)
+
+val is_relevant : classified -> bool
+(** Did the occurrence match at least one of the detector's logical
+    events? When false, stepping is a no-op and collection binds
+    nothing — callers may skip undo logging (state provably unchanged). *)
+
+val post_classified : t -> state -> env:Mask.env -> classified -> bool
+(** The automaton-stepping half of {!post}, given a prior
+    {!classify} result (composite masks are still evaluated in [env]
+    "now"). *)
+
+val collect_classified :
+  t -> classified -> Symbol.occurrence -> (string * Ode_base.Value.t) list
+(** The collection half of {!collect}, given a prior {!classify} result:
+    no guard mask is re-evaluated; formals and arguments are walked in
+    lockstep. *)
 
 val collect :
   t -> env:Mask.env -> Symbol.occurrence -> (string * Ode_base.Value.t) list

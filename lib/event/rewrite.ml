@@ -10,6 +10,7 @@ type t = {
   guards : guard array array;
   atoms : (int * int) array;
   atom_of : (int, int) Hashtbl.t;
+  key_of : (Symbol.basic, int) Hashtbl.t;
 }
 
 let max_atoms = ref 4096
@@ -99,7 +100,8 @@ let build expr =
       done)
     guards;
   let alphabet =
-    { keys; guards; atoms = Array.of_list (List.rev !atoms); atom_of }
+    { keys; guards; atoms = Array.of_list (List.rev !atoms); atom_of;
+      key_of = key_index }
   in
   let m = n_symbols alphabet in
   (* Lower the expression. *)
@@ -174,20 +176,33 @@ let guard_matches ~env (o : Symbol.occurrence) g =
     in
     Mask.eval_bool env mask
 
-let classify t ~env (o : Symbol.occurrence) =
-  let key = ref (-1) in
-  Array.iteri (fun k b -> if Symbol.equal_basic b o.basic then key := k) t.keys;
-  if !key < 0 then other t
-  else begin
-    let gs = t.guards.(!key) in
+let concerns t (b : Symbol.basic) = Hashtbl.mem t.key_of b
+
+let relevant_basics t =
+  Array.fold_left
+    (fun acc b ->
+      let key = Symbol.basic_key b in
+      if List.exists (Symbol.equal_basic_key key) acc then acc else key :: acc)
+    [] t.keys
+  |> List.rev
+
+let classify_guards t ~env (o : Symbol.occurrence) =
+  match Hashtbl.find_opt t.key_of o.basic with
+  | None -> None
+  | Some key ->
+    let gs = t.guards.(key) in
     let bits = ref 0 in
     Array.iteri (fun i g -> if guard_matches ~env o g then bits := !bits lor (1 lsl i)) gs;
-    if !bits = 0 then other t
-    else
-      match Hashtbl.find_opt t.atom_of (encode !key !bits) with
-      | Some sym -> sym
-      | None -> other t (* statically impossible assignment: defensive *)
-  end
+    Some (key, !bits)
+
+let classify t ~env (o : Symbol.occurrence) =
+  match classify_guards t ~env o with
+  | None -> other t
+  | Some (_, 0) -> other t
+  | Some (key, bits) -> (
+    match Hashtbl.find_opt t.atom_of (encode key bits) with
+    | Some sym -> sym
+    | None -> other t (* statically impossible assignment: defensive *))
 
 let atom_lookup t ~key ~bits = Hashtbl.find_opt t.atom_of (encode key bits)
 

@@ -24,6 +24,9 @@ type t = {
   atoms : (int * int) array;
       (** symbol -> (key index, guard truth-assignment bits) *)
   atom_of : (int, int) Hashtbl.t;  (** (key, bits) encoded -> symbol *)
+  key_of : (Symbol.basic, int) Hashtbl.t;
+      (** basic event -> key index; makes classification O(guards of the
+          posted basic) rather than O(whole alphabet) *)
 }
 
 val n_symbols : t -> int
@@ -49,6 +52,27 @@ val classify :
     dereference and function bindings; event parameters are bound from the
     occurrence's arguments by position using each guard's own formals.
     Mask evaluation errors propagate as {!Mask.Eval_error}. *)
+
+val concerns : t -> Symbol.basic -> bool
+(** Is this basic-event kind one of the alphabet's keys? O(1). An
+    occurrence whose basic is not in the alphabet always classifies to
+    {!other} — the database's dispatch index uses this to skip whole
+    triggers without classifying. *)
+
+val relevant_basics : t -> Symbol.basic_key list
+(** The distinct dispatch keys ({!Symbol.basic_key}) guarded on by this
+    alphabet, in key order. The set is an over-approximation only for
+    time events (all [Time _] collapse to one key); for every other
+    basic it is exact: [concerns t b] implies
+    [List.mem (Symbol.basic_key b) (relevant_basics t)]. *)
+
+val classify_guards :
+  t -> env:Mask.env -> Symbol.occurrence -> (int * int) option
+(** The raw classification of an occurrence: [None] when its basic is not
+    in the alphabet, otherwise [Some (key, bits)] where bit [i] of [bits]
+    is set iff guard [i] of [key] matches. [classify] is this plus the
+    {!atom_lookup}; exposing the pair lets callers reuse one guard
+    evaluation for both automaton stepping and §9 parameter collection. *)
 
 val guard_matches : env:Mask.env -> Symbol.occurrence -> guard -> bool
 (** Does the occurrence satisfy this guard (arity and mask, with the

@@ -34,6 +34,16 @@ type occurrence = {
   at : int64;
 }
 
+(* Dispatch keys: [Time] payloads collapse to one bucket so hashing a key
+   never walks a time pattern, and all time events share one index slot
+   (classification still compares full specs). *)
+type basic_key =
+  | Key of basic
+  | Key_time
+
+let basic_key = function Time _ -> Key_time | b -> Key b
+let equal_basic_key (a : basic_key) (b : basic_key) = a = b
+
 let wildcard_pattern =
   { year = None; mon = None; day = None; hr = None; min = None; sec = None; ms = None }
 
@@ -78,6 +88,10 @@ let pp_basic ppf = function
   | Tcommit -> Fmt.string ppf "after tcommit"
   | Tabort q -> Fmt.pf ppf "%a tabort" pp_qualifier q
   | Time spec -> pp_time_spec ppf spec
+
+let pp_basic_key ppf = function
+  | Key b -> pp_basic ppf b
+  | Key_time -> Fmt.string ppf "time(*)"
 
 let pp_occurrence ppf o =
   Fmt.pf ppf "%a(%a)@%Ld" pp_basic o.basic

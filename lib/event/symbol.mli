@@ -43,6 +43,19 @@ type occurrence = {
   at : int64;  (** simulated timestamp, ms *)
 }
 
+type basic_key =
+  | Key of basic  (** never [Time _] — see {!basic_key} *)
+  | Key_time
+(** Hashable dispatch key of a basic event, used by the database's
+    per-class event index. All [Time] events collapse into {!Key_time}
+    (the payload is erased) so key hashing never traverses a time spec
+    and a single index bucket covers every clock-driven trigger; the
+    classifier still discriminates full specs. *)
+
+val basic_key : basic -> basic_key
+val equal_basic_key : basic_key -> basic_key -> bool
+val pp_basic_key : Format.formatter -> basic_key -> unit
+
 val wildcard_pattern : time_pattern
 val pattern :
   ?year:int -> ?mon:int -> ?day:int -> ?hr:int -> ?min:int -> ?sec:int ->

@@ -63,7 +63,10 @@ let method_ b ?arity ~kind name impl =
 let trigger b ?(perpetual = false) ?(mode = Detector.Full_history)
     ?(witnesses = false) name ~event ~action =
   let detector =
-    try Detector.make ~mode event
+    (* ~share: triggers declaring the same event reuse one compiled
+       detector, so the per-occurrence classification cache in [post]
+       classifies once for all of them *)
+    try Detector.make ~mode ~share:true event
     with Invalid_argument msg -> ode_error "trigger %s.%s: %s" b.b_name name msg
   in
   let def =
@@ -84,6 +87,15 @@ let trigger_str b ?perpetual ?mode ?witnesses name ~event ~action =
   | Error msg -> ode_error "trigger %s.%s: %s" b.b_name name msg
   | Ok expr -> trigger b ?perpetual ?mode ?witnesses name ~event:expr ~action
 
+(* Append [d] to the dispatch bucket of every basic-event key its
+   detector's alphabet guards on. Buckets keep declaration order. *)
+let index_trigger_def dispatch (d : trigger_def) =
+  List.iter
+    (fun key ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt dispatch key) in
+      Hashtbl.replace dispatch key (prev @ [ d ]))
+    (Detector.relevant_basics d.t_detector)
+
 let register_class_schema db b =
   if Hashtbl.mem db.classes b.b_name then ode_error "class %s already defined" b.b_name;
   let k =
@@ -92,6 +104,7 @@ let register_class_schema db b =
       k_fields = List.rev b.b_fields;
       k_methods = Hashtbl.create 8;
       k_triggers = Hashtbl.create 8;
+      k_dispatch = Hashtbl.create 16;
       k_constructor = b.b_constructor;
     }
   in
@@ -107,6 +120,10 @@ let register_class_schema db b =
         ode_error "class %s: duplicate trigger %s" b.b_name d.t_name;
       Hashtbl.add k.k_triggers d.t_name d)
     b.b_triggers;
+  (* b_triggers is accumulated in reverse; index in declaration order so
+     dispatch (and therefore action execution on a shared occurrence) is
+     deterministic *)
+  List.iter (index_trigger_def k.k_dispatch) (List.rev b.b_triggers);
   Hashtbl.add db.classes b.b_name k
 
 let register_fun db name f =
@@ -132,6 +149,7 @@ let create_db ?(start_time = 0L) () =
     history_limit = 0;
     db_trigger_defs = Hashtbl.create 4;
     db_triggers = Hashtbl.create 4;
+    db_dispatch = Hashtbl.create 8;
   }
 
 let now db = db.clock_ms
@@ -159,8 +177,7 @@ let live_obj db oid =
 
 let object_history db oid =
   let obj = live_obj db oid in
-  let recent = List.filteri (fun i _ -> i < db.history_limit) obj.o_history in
-  List.rev recent
+  List.rev (History.truncate db.history_limit obj.o_history)
 
 let mask_env db obj : Mask.env =
   {
@@ -188,55 +205,64 @@ let log_firing db tx (at : active_trigger) obj =
     }
     :: db.firings
 
-(* The §5 monitoring pipeline: advance every active trigger's automaton on
-   the occurrence, collect the set that fired, then execute their actions
-   (order unspecified in the paper; we use activation order). Returns
-   whether anything fired. *)
 let record_history db tx obj occurrence =
   if db.history_limit > 0 then begin
     obj.o_history <-
       { History.h_occurrence = occurrence; h_txn = tx.tx_id } :: obj.o_history;
     obj.o_history_len <- obj.o_history_len + 1;
     if obj.o_history_len > 2 * db.history_limit then begin
-      obj.o_history <- List.filteri (fun i _ -> i < db.history_limit) obj.o_history;
+      obj.o_history <- History.truncate db.history_limit obj.o_history;
       obj.o_history_len <- db.history_limit
     end
   end
 
-let post db tx obj (basic : Symbol.basic) args =
-  let occurrence = { Symbol.basic; args; at = db.clock_ms } in
-  record_history db tx obj occurrence;
-  let env = mask_env db obj in
-  let fired = ref [] in
-  let snapshot = Hashtbl.fold (fun _ at acc -> at :: acc) obj.o_triggers [] in
-  List.iter
-    (fun at ->
-      if at.at_active then begin
-        let detector = at.at_def.t_detector in
-        if detector.Detector.mode = Detector.Committed then begin
-          tx.tx_undo <- U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
-          tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
-        end;
-        let occurred =
-          try
-            let bindings = Detector.collect detector ~env occurrence in
-            List.iter
-              (fun (name, v) ->
-                at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-              bindings;
-            (match at.at_provenance with
-            | Some prov ->
-              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
-            | None -> ());
-            Detector.post detector at.at_state ~env occurrence
-          with Mask.Eval_error msg ->
-            ode_error "trigger %s.%s: mask evaluation failed: %s"
-              at.at_def.t_class at.at_def.t_name msg
-        in
-        if occurred then fired := at :: !fired
-      end)
-    snapshot;
-  let fired = List.rev !fired in
+(* When true (the default), [post]/[post_db] consult the per-class /
+   per-database dispatch index and touch only the triggers whose alphabet
+   can contain the posted basic event. When false they fall back to the
+   pre-index reference path — a snapshot of every activation — kept for
+   the equivalence property test and the E9 dispatch benchmark. *)
+let dispatch_index = ref true
+
+(* Classify the occurrence at most once per distinct compiled detector:
+   triggers declaring the same event share a detector (Detector.make
+   ~share) and reuse the cached result. The cache is per occurrence; a
+   short assoc list on physical identity beats hashing for the handful of
+   candidates a post touches. It is capped so that a post touching many
+   {e distinct} detectors (only possible on the brute-force reference
+   path) stays linear instead of walking an ever-longer list. *)
+let classify_cache_cap = 16
+
+let classify_cached cache detector ~env occurrence =
+  let rec find n = function
+    | [] -> Error n
+    | (d, c) :: rest -> if d == detector then Ok c else find (n + 1) rest
+  in
+  match find 0 !cache with
+  | Ok c -> c
+  | Error n ->
+    let c = Detector.classify detector ~env occurrence in
+    if n < classify_cache_cap then cache := (detector, c) :: !cache;
+    c
+
+let candidate_triggers obj (basic : Symbol.basic) =
+  if !dispatch_index then
+    match Hashtbl.find_opt obj.o_class.k_dispatch (Symbol.basic_key basic) with
+    | None -> []
+    | Some defs ->
+      List.filter_map
+        (fun (d : trigger_def) ->
+          match Hashtbl.find_opt obj.o_triggers d.t_name with
+          | Some at when at.at_active -> Some at
+          | Some _ | None -> None)
+        defs
+  else
+    Hashtbl.fold
+      (fun _ at acc -> if at.at_active then at :: acc else acc)
+      obj.o_triggers []
+
+(* Phase 2 of the pipeline: deactivate one-shot triggers, log and run the
+   actions of the set that fired. *)
+let post_fired db tx obj occurrence fired =
   List.iter
     (fun at ->
       if not at.at_def.t_perpetual then begin
@@ -257,6 +283,53 @@ let post db tx obj (basic : Symbol.basic) args =
     fired;
   fired <> []
 
+(* The §5 monitoring pipeline: advance the automaton of every active
+   trigger the occurrence can concern (per the dispatch index), collect
+   the set that fired, then execute their actions (order unspecified in
+   the paper; we use declaration order). Returns whether anything
+   fired. *)
+let post db tx obj (basic : Symbol.basic) args =
+  let occurrence = { Symbol.basic; args; at = db.clock_ms } in
+  record_history db tx obj occurrence;
+  match candidate_triggers obj basic with
+  | [] -> false
+  | candidates ->
+    let env = mask_env db obj in
+    let cache = ref [] in
+    let fired = ref [] in
+    List.iter
+      (fun at ->
+        let detector = at.at_def.t_detector in
+        let occurred =
+          try
+            let c = classify_cached cache detector ~env occurrence in
+            let relevant = Detector.is_relevant c in
+            if relevant && detector.Detector.mode = Detector.Committed then begin
+              (* an irrelevant occurrence provably changes neither the
+                 automaton state nor the collected bindings, so the undo
+                 copies are only taken here *)
+              tx.tx_undo <-
+                U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
+              tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
+            end;
+            if relevant then
+              List.iter
+                (fun (name, v) ->
+                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
+                (Detector.collect_classified detector c occurrence);
+            (match at.at_provenance with
+            | Some prov ->
+              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+            | None -> ());
+            Detector.post_classified detector at.at_state ~env c
+          with Mask.Eval_error msg ->
+            ode_error "trigger %s.%s: mask evaluation failed: %s"
+              at.at_def.t_class at.at_def.t_name msg
+        in
+        if occurred then fired := at :: !fired)
+      candidates;
+    post_fired db tx obj occurrence (List.rev !fired)
+
 (* ------------------------------------------------------------------ *)
 (* Database-scope triggers (§3)                                        *)
 (* ------------------------------------------------------------------ *)
@@ -276,30 +349,48 @@ let db_mask_env db : Mask.env =
         | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
   }
 
+let db_candidate_triggers db (basic : Symbol.basic) =
+  if !dispatch_index then
+    match Hashtbl.find_opt db.db_dispatch (Symbol.basic_key basic) with
+    | None -> []
+    | Some defs ->
+      List.filter_map
+        (fun (d : trigger_def) ->
+          match Hashtbl.find_opt db.db_triggers d.t_name with
+          | Some at when at.at_active -> Some at
+          | Some _ | None -> None)
+        defs
+  else
+    Hashtbl.fold
+      (fun _ at acc -> if at.at_active then at :: acc else acc)
+      db.db_triggers []
+
 let post_db db (basic : Symbol.basic) args =
-  if Hashtbl.length db.db_triggers > 0 then begin
+  match db_candidate_triggers db basic with
+  | [] -> ()
+  | candidates ->
     let occurrence = { Symbol.basic; args; at = db.clock_ms } in
     let env = db_mask_env db in
+    let cache = ref [] in
     let fired = ref [] in
-    Hashtbl.iter
-      (fun _ at ->
-        if at.at_active then begin
-          let detector = at.at_def.t_detector in
-          let occurred =
-            try
-              let bindings = Detector.collect detector ~env occurrence in
+    List.iter
+      (fun at ->
+        let detector = at.at_def.t_detector in
+        let occurred =
+          try
+            let c = classify_cached cache detector ~env occurrence in
+            if Detector.is_relevant c then
               List.iter
                 (fun (name, v) ->
                   at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                bindings;
-              Detector.post detector at.at_state ~env occurrence
-            with Mask.Eval_error msg ->
-              ode_error "database trigger %s: mask evaluation failed: %s"
-                at.at_def.t_name msg
-          in
-          if occurred then fired := at :: !fired
-        end)
-      db.db_triggers;
+                (Detector.collect_classified detector c occurrence);
+            Detector.post_classified detector at.at_state ~env c
+          with Mask.Eval_error msg ->
+            ode_error "database trigger %s: mask evaluation failed: %s"
+              at.at_def.t_name msg
+        in
+        if occurred then fired := at :: !fired)
+      candidates;
     let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
     let txn_id = match db.current with Some tx -> tx.tx_id | None -> 0 in
     List.iter
@@ -323,16 +414,15 @@ let post_db db (basic : Symbol.basic) args =
             fc_witnesses = None;
           })
       (List.rev !fired)
-  end
 
 let db_trigger db ?(perpetual = false) name ~event ~action =
   if Hashtbl.mem db.db_trigger_defs name then
     ode_error "database trigger %s already defined" name;
   let detector =
-    try Detector.make ~mode:Detector.Full_history event
+    try Detector.make ~mode:Detector.Full_history ~share:true event
     with Invalid_argument msg -> ode_error "database trigger %s: %s" name msg
   in
-  Hashtbl.add db.db_trigger_defs name
+  let def =
     {
       t_name = name;
       t_class = "<database>";
@@ -342,6 +432,9 @@ let db_trigger db ?(perpetual = false) name ~event ~action =
       t_witnesses = false;
       t_action = action;
     }
+  in
+  Hashtbl.add db.db_trigger_defs name def;
+  index_trigger_def db.db_dispatch def
 
 let db_trigger_str db ?perpetual name ~event ~action =
   match Ode_lang.Parser.event_of_string event with

@@ -117,6 +117,20 @@ val trigger_str :
     Raises {!Ode_error} on a parse error. *)
 
 val register_class : t -> class_builder -> unit
+(** Install the class: methods, triggers (compiling their detectors) and
+    the per-class dispatch index — a map from each basic-event kind to
+    the trigger definitions whose alphabet can react to it, built once
+    here so that posting an occurrence touches only those triggers
+    instead of scanning every activation on the object (§5's O(1)
+    per-trigger claim, made per-event). *)
+
+val dispatch_index : bool ref
+(** When true (default) event posting consults the per-class /
+    per-database dispatch index. Setting it to false restores the
+    pre-index brute-force path — every active trigger on the object is
+    snapshotted and classified per occurrence. Both paths are
+    observably equivalent (property-tested in [test/test_dispatch.ml]);
+    the switch exists for that test and for the E9 dispatch benchmark. *)
 
 val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 (** Register a database function callable from masks, e.g.

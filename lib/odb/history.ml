@@ -7,6 +7,13 @@ type record = {
 
 type t = record list
 
+let truncate n l =
+  let rec go n acc = function
+    | x :: tl when n > 0 -> go (n - 1) (x :: acc) tl
+    | _ -> List.rev acc
+  in
+  if n <= 0 then [] else go n [] l
+
 let of_basic basic =
   List.filter (fun r -> Symbol.equal_basic r.h_occurrence.Symbol.basic basic)
 

@@ -16,6 +16,13 @@ type record = {
 type t = record list
 (** Oldest first. *)
 
+val truncate : int -> t -> t
+(** Keep the first [n] records, dropping the rest. Unlike
+    [List.filteri (fun i _ -> i < n)] — the database's previous pruning —
+    this stops walking (and allocating) after [n] cells, so pruning a log
+    capped at [2 * limit] costs O(limit), not O(2 * limit) plus a closure
+    call per record. Tail-recursive. *)
+
 val of_basic : Ode_event.Symbol.basic -> t -> t
 val methods_named : string -> t -> t
 (** Before- and after-method events with this name. *)

@@ -25,6 +25,9 @@ type db = {
   mutable history_limit : int;  (* 0 = recording off *)
   db_trigger_defs : (string, trigger_def) Hashtbl.t;  (* database scope (§3) *)
   db_triggers : (string, active_trigger) Hashtbl.t;
+  db_dispatch : (Symbol.basic_key, trigger_def list) Hashtbl.t;
+      (* dispatch index for database-scope triggers: posted basic ->
+         definitions whose alphabet can react, in declaration order *)
 }
 
 and klass = {
@@ -32,6 +35,11 @@ and klass = {
   k_fields : (string * Value.t) list;  (* declaration order, with defaults *)
   k_methods : (string, meth) Hashtbl.t;
   k_triggers : (string, trigger_def) Hashtbl.t;
+  k_dispatch : (Symbol.basic_key, trigger_def list) Hashtbl.t;
+      (* §5 hot-path index, built once at schema registration: posted
+         basic -> trigger definitions whose alphabet can react to it, in
+         declaration order. [post] consults this instead of scanning
+         every activation on the object. *)
   k_constructor : (db -> oid -> Value.t list -> unit) option;
 }
 
