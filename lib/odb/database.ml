@@ -1,13 +1,23 @@
-module Value = Ode_base.Value
-module Codec = Ode_base.Codec
-module Symbol = Ode_event.Symbol
-module Mask = Ode_event.Mask
-module Expr = Ode_event.Expr
-module Detector = Ode_event.Detector
-open Types
+(* Thin facade over the layered subsystems. All behaviour lives below:
 
-type t = db
-type nonrec txn = txn
+     Schema    — class builders, trigger definitions, detector
+                 compilation, dispatch-index construction
+     Store     — the object heap (STORE backend signature, oid
+                 allocation, field access, histories, stats)
+     Txn       — begin/commit/abort, undo log, locks, the §6
+                 [before tcomplete] fixpoint
+     Engine    — the §5 posting pipeline, candidate selection,
+                 classification cache, firing, system transactions
+     Timewheel — timers and simulated-time advancement
+     Persist   — the ODE1 save/load codec
+
+   This module only re-exports; keep it free of logic so the public API
+   stays a stable surface over the layers. *)
+
+module Value = Ode_base.Value
+
+type t = Types.db
+type txn = Types.txn
 type oid = int
 type method_kind = Types.method_kind = Read_only | Updating
 
@@ -31,1155 +41,81 @@ type firing = Types.firing = {
   f_txn : int;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Schema definition                                                   *)
-(* ------------------------------------------------------------------ *)
-
-type class_builder = {
-  b_name : string;
-  b_constructor : (db -> oid -> Value.t list -> unit) option;
-  b_fields : (string * Value.t) list;  (* reversed *)
-  b_methods : meth list;
-  b_triggers : trigger_def list;
-}
-
-let define_class ?constructor name =
-  {
-    b_name = name;
-    b_constructor = constructor;
-    b_fields = [];
-    b_methods = [];
-    b_triggers = [];
-  }
-
-let field b name default =
-  if List.mem_assoc name b.b_fields then
-    ode_error "class %s: duplicate field %s" b.b_name name;
-  { b with b_fields = (name, default) :: b.b_fields }
-
-let method_ b ?arity ~kind name impl =
-  { b with b_methods = { m_name = name; m_kind = kind; m_arity = arity; m_impl = impl } :: b.b_methods }
-
-let trigger b ?(perpetual = false) ?(mode = Detector.Full_history)
-    ?(witnesses = false) name ~event ~action =
-  let detector =
-    (* ~share: triggers declaring the same event reuse one compiled
-       detector, so the per-occurrence classification cache in [post]
-       classifies once for all of them *)
-    try Detector.make ~mode ~share:true event
-    with Invalid_argument msg -> ode_error "trigger %s.%s: %s" b.b_name name msg
-  in
-  let def =
-    {
-      t_name = name;
-      t_class = b.b_name;
-      t_event = event;
-      t_detector = detector;
-      t_perpetual = perpetual;
-      t_witnesses = witnesses;
-      t_action = action;
-    }
-  in
-  { b with b_triggers = def :: b.b_triggers }
-
-let trigger_str b ?perpetual ?mode ?witnesses name ~event ~action =
-  match Ode_lang.Parser.event_of_string event with
-  | Error msg -> ode_error "trigger %s.%s: %s" b.b_name name msg
-  | Ok expr -> trigger b ?perpetual ?mode ?witnesses name ~event:expr ~action
-
-(* Append [d] to the dispatch bucket of every basic-event key its
-   detector's alphabet guards on. Buckets keep declaration order. *)
-let index_trigger_def dispatch (d : trigger_def) =
-  List.iter
-    (fun key ->
-      let prev = Option.value ~default:[] (Hashtbl.find_opt dispatch key) in
-      Hashtbl.replace dispatch key (prev @ [ d ]))
-    (Detector.relevant_basics d.t_detector)
-
-let register_class_schema db b =
-  if Hashtbl.mem db.classes b.b_name then ode_error "class %s already defined" b.b_name;
-  let k =
-    {
-      k_name = b.b_name;
-      k_fields = List.rev b.b_fields;
-      k_methods = Hashtbl.create 8;
-      k_triggers = Hashtbl.create 8;
-      k_dispatch = Hashtbl.create 16;
-      k_constructor = b.b_constructor;
-    }
-  in
-  List.iter
-    (fun m ->
-      if Hashtbl.mem k.k_methods m.m_name then
-        ode_error "class %s: duplicate method %s" b.b_name m.m_name;
-      Hashtbl.add k.k_methods m.m_name m)
-    b.b_methods;
-  List.iter
-    (fun (d : trigger_def) ->
-      if Hashtbl.mem k.k_triggers d.t_name then
-        ode_error "class %s: duplicate trigger %s" b.b_name d.t_name;
-      Hashtbl.add k.k_triggers d.t_name d)
-    b.b_triggers;
-  (* b_triggers is accumulated in reverse; index in declaration order so
-     dispatch (and therefore action execution on a shared occurrence) is
-     deterministic *)
-  List.iter (index_trigger_def k.k_dispatch) (List.rev b.b_triggers);
-  Hashtbl.add db.classes b.b_name k
-
-let register_fun db name f =
-  Hashtbl.replace db.functions name f
-
-(* ------------------------------------------------------------------ *)
-(* Lifecycle                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let create_db ?(start_time = 0L) () =
-  {
-    objects = Hashtbl.create 64;
-    classes = Hashtbl.create 8;
-    functions = Hashtbl.create 8;
-    next_oid = 1;
-    next_txn_id = 1;
-    clock_ms = start_time;
-    timers = [];
-    current = None;
-    open_txns = [];
-    firings = [];
-    in_abort = false;
-    history_limit = 0;
-    db_trigger_defs = Hashtbl.create 4;
-    db_triggers = Hashtbl.create 4;
-    db_dispatch = Hashtbl.create 8;
-  }
-
-let now db = db.clock_ms
-
-let enable_history db ~limit =
-  if limit < 0 then ode_error "history limit must be >= 0";
-  db.history_limit <- limit
-
-(* [object_history] is defined after [live_obj] below. *)
-
-(* ------------------------------------------------------------------ *)
-(* Internal helpers                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let require_txn db =
-  match db.current with
-  | Some tx when tx.tx_status = Active -> tx
-  | Some _ | None -> ode_error "this operation requires an active transaction"
-
-let live_obj db oid =
-  match Hashtbl.find_opt db.objects oid with
-  | Some o when not o.o_deleted -> o
-  | Some _ -> ode_error "object @%d has been deleted" oid
-  | None -> ode_error "no such object @%d" oid
-
-let object_history db oid =
-  let obj = live_obj db oid in
-  List.rev (History.truncate db.history_limit obj.o_history)
-
-let mask_env db obj : Mask.env =
-  {
-    var = (fun name -> Hashtbl.find_opt obj.o_fields name);
-    deref =
-      (fun oid fieldname ->
-        match Hashtbl.find_opt db.objects oid with
-        | Some o when not o.o_deleted -> Hashtbl.find_opt o.o_fields fieldname
-        | Some _ | None -> None);
-    call =
-      (fun name args ->
-        match Hashtbl.find_opt db.functions name with
-        | Some f -> f db args
-        | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
-  }
-
-let log_firing db tx (at : active_trigger) obj =
-  db.firings <-
-    {
-      f_trigger = at.at_def.t_name;
-      f_class = at.at_def.t_class;
-      f_oid = obj.o_id;
-      f_at = db.clock_ms;
-      f_txn = tx.tx_id;
-    }
-    :: db.firings
-
-let record_history db tx obj occurrence =
-  if db.history_limit > 0 then begin
-    obj.o_history <-
-      { History.h_occurrence = occurrence; h_txn = tx.tx_id } :: obj.o_history;
-    obj.o_history_len <- obj.o_history_len + 1;
-    if obj.o_history_len > 2 * db.history_limit then begin
-      obj.o_history <- History.truncate db.history_limit obj.o_history;
-      obj.o_history_len <- db.history_limit
-    end
-  end
-
-(* When true (the default), [post]/[post_db] consult the per-class /
-   per-database dispatch index and touch only the triggers whose alphabet
-   can contain the posted basic event. When false they fall back to the
-   pre-index reference path — a snapshot of every activation — kept for
-   the equivalence property test and the E9 dispatch benchmark. *)
-let dispatch_index = ref true
-
-(* Classify the occurrence at most once per distinct compiled detector:
-   triggers declaring the same event share a detector (Detector.make
-   ~share) and reuse the cached result. The cache is per occurrence; a
-   short assoc list on physical identity beats hashing for the handful of
-   candidates a post touches. It is capped so that a post touching many
-   {e distinct} detectors (only possible on the brute-force reference
-   path) stays linear instead of walking an ever-longer list. *)
-let classify_cache_cap = 16
-
-let classify_cached cache detector ~env occurrence =
-  let rec find n = function
-    | [] -> Error n
-    | (d, c) :: rest -> if d == detector then Ok c else find (n + 1) rest
-  in
-  match find 0 !cache with
-  | Ok c -> c
-  | Error n ->
-    let c = Detector.classify detector ~env occurrence in
-    if n < classify_cache_cap then cache := (detector, c) :: !cache;
-    c
-
-let candidate_triggers obj (basic : Symbol.basic) =
-  if !dispatch_index then
-    match Hashtbl.find_opt obj.o_class.k_dispatch (Symbol.basic_key basic) with
-    | None -> []
-    | Some defs ->
-      List.filter_map
-        (fun (d : trigger_def) ->
-          match Hashtbl.find_opt obj.o_triggers d.t_name with
-          | Some at when at.at_active -> Some at
-          | Some _ | None -> None)
-        defs
-  else
-    Hashtbl.fold
-      (fun _ at acc -> if at.at_active then at :: acc else acc)
-      obj.o_triggers []
-
-(* Phase 2 of the pipeline: deactivate one-shot triggers, log and run the
-   actions of the set that fired. *)
-let post_fired db tx obj occurrence fired =
-  List.iter
-    (fun at ->
-      if not at.at_def.t_perpetual then begin
-        if at.at_def.t_detector.Detector.mode = Detector.Committed then
-          tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
-        at.at_active <- false
-      end;
-      log_firing db tx at obj;
-      at.at_def.t_action db
-        {
-          fc_oid = obj.o_id;
-          fc_params = at.at_params;
-          fc_occurrence = occurrence;
-          fc_collected = at.at_collected;
-          fc_witnesses =
-            (if at.at_def.t_witnesses then Some at.at_last_witnesses else None);
-        })
-    fired;
-  fired <> []
-
-(* The §5 monitoring pipeline: advance the automaton of every active
-   trigger the occurrence can concern (per the dispatch index), collect
-   the set that fired, then execute their actions (order unspecified in
-   the paper; we use declaration order). Returns whether anything
-   fired. *)
-let post db tx obj (basic : Symbol.basic) args =
-  let occurrence = { Symbol.basic; args; at = db.clock_ms } in
-  record_history db tx obj occurrence;
-  match candidate_triggers obj basic with
-  | [] -> false
-  | candidates ->
-    let env = mask_env db obj in
-    let cache = ref [] in
-    let fired = ref [] in
-    List.iter
-      (fun at ->
-        let detector = at.at_def.t_detector in
-        let occurred =
-          try
-            let c = classify_cached cache detector ~env occurrence in
-            let relevant = Detector.is_relevant c in
-            if relevant && detector.Detector.mode = Detector.Committed then begin
-              (* an irrelevant occurrence provably changes neither the
-                 automaton state nor the collected bindings, so the undo
-                 copies are only taken here *)
-              tx.tx_undo <-
-                U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
-              tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
-            end;
-            if relevant then
-              List.iter
-                (fun (name, v) ->
-                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                (Detector.collect_classified detector c occurrence);
-            (match at.at_provenance with
-            | Some prov ->
-              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
-            | None -> ());
-            Detector.post_classified detector at.at_state ~env c
-          with Mask.Eval_error msg ->
-            ode_error "trigger %s.%s: mask evaluation failed: %s"
-              at.at_def.t_class at.at_def.t_name msg
-        in
-        if occurred then fired := at :: !fired)
-      candidates;
-    post_fired db tx obj occurrence (List.rev !fired)
-
-(* ------------------------------------------------------------------ *)
-(* Database-scope triggers (§3)                                        *)
-(* ------------------------------------------------------------------ *)
-
-let db_mask_env db : Mask.env =
-  {
-    var = (fun _ -> None);
-    deref =
-      (fun oid fieldname ->
-        match Hashtbl.find_opt db.objects oid with
-        | Some o when not o.o_deleted -> Hashtbl.find_opt o.o_fields fieldname
-        | Some _ | None -> None);
-    call =
-      (fun name args ->
-        match Hashtbl.find_opt db.functions name with
-        | Some f -> f db args
-        | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
-  }
-
-let db_candidate_triggers db (basic : Symbol.basic) =
-  if !dispatch_index then
-    match Hashtbl.find_opt db.db_dispatch (Symbol.basic_key basic) with
-    | None -> []
-    | Some defs ->
-      List.filter_map
-        (fun (d : trigger_def) ->
-          match Hashtbl.find_opt db.db_triggers d.t_name with
-          | Some at when at.at_active -> Some at
-          | Some _ | None -> None)
-        defs
-  else
-    Hashtbl.fold
-      (fun _ at acc -> if at.at_active then at :: acc else acc)
-      db.db_triggers []
-
-let post_db db (basic : Symbol.basic) args =
-  match db_candidate_triggers db basic with
-  | [] -> ()
-  | candidates ->
-    let occurrence = { Symbol.basic; args; at = db.clock_ms } in
-    let env = db_mask_env db in
-    let cache = ref [] in
-    let fired = ref [] in
-    List.iter
-      (fun at ->
-        let detector = at.at_def.t_detector in
-        let occurred =
-          try
-            let c = classify_cached cache detector ~env occurrence in
-            if Detector.is_relevant c then
-              List.iter
-                (fun (name, v) ->
-                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                (Detector.collect_classified detector c occurrence);
-            Detector.post_classified detector at.at_state ~env c
-          with Mask.Eval_error msg ->
-            ode_error "database trigger %s: mask evaluation failed: %s"
-              at.at_def.t_name msg
-        in
-        if occurred then fired := at :: !fired)
-      candidates;
-    let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
-    let txn_id = match db.current with Some tx -> tx.tx_id | None -> 0 in
-    List.iter
-      (fun at ->
-        if not at.at_def.t_perpetual then at.at_active <- false;
-        db.firings <-
-          {
-            f_trigger = at.at_def.t_name;
-            f_class = "<database>";
-            f_oid = affected;
-            f_at = db.clock_ms;
-            f_txn = txn_id;
-          }
-          :: db.firings;
-        at.at_def.t_action db
-          {
-            fc_oid = affected;
-            fc_params = at.at_params;
-            fc_occurrence = occurrence;
-            fc_collected = at.at_collected;
-            fc_witnesses = None;
-          })
-      (List.rev !fired)
-
-let db_trigger db ?(perpetual = false) name ~event ~action =
-  if Hashtbl.mem db.db_trigger_defs name then
-    ode_error "database trigger %s already defined" name;
-  let detector =
-    try Detector.make ~mode:Detector.Full_history ~share:true event
-    with Invalid_argument msg -> ode_error "database trigger %s: %s" name msg
-  in
-  let def =
-    {
-      t_name = name;
-      t_class = "<database>";
-      t_event = event;
-      t_detector = detector;
-      t_perpetual = perpetual;
-      t_witnesses = false;
-      t_action = action;
-    }
-  in
-  Hashtbl.add db.db_trigger_defs name def;
-  index_trigger_def db.db_dispatch def
-
-let db_trigger_str db ?perpetual name ~event ~action =
-  match Ode_lang.Parser.event_of_string event with
-  | Error msg -> ode_error "database trigger %s: %s" name msg
-  | Ok expr -> db_trigger db ?perpetual name ~event:expr ~action
-
-let activate_db_trigger db name params =
-  match Hashtbl.find_opt db.db_trigger_defs name with
-  | None -> ode_error "no database trigger %s" name
-  | Some def -> (
-    match Hashtbl.find_opt db.db_triggers name with
-    | Some at ->
-      at.at_state <- Detector.initial def.t_detector;
-      at.at_collected <- [];
-      at.at_active <- true;
-      at.at_epoch <- at.at_epoch + 1;
-      at.at_params <- params
-    | None ->
-      Hashtbl.add db.db_triggers name
-        {
-          at_def = def;
-          at_params = params;
-          at_state = Detector.initial def.t_detector;
-          at_collected = [];
-          at_provenance =
-            (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
-             else None);
-          at_last_witnesses = [];
-          at_active = true;
-          at_epoch = 0;
-        })
-
-let deactivate_db_trigger db name =
-  match Hashtbl.find_opt db.db_triggers name with
-  | Some at -> at.at_active <- false
-  | None -> ()
-
-(* schema registration, now that [post_db] exists to announce it *)
-let register_class db b =
-  register_class_schema db b;
-  post_db db (Symbol.Method (After, "defclass")) [ Value.String b.b_name ]
-
-(* Lazy [after tbegin]: posted to an object immediately before the
-   transaction's first access to it (§3.1(4)). *)
-let touch db tx obj =
-  if not (List.mem obj.o_id tx.tx_accessed) then begin
-    tx.tx_accessed <- obj.o_id :: tx.tx_accessed;
-    if not tx.tx_system then ignore (post db tx obj Symbol.Tbegin [])
-  end
-
-let acquire db tx obj request =
-  ignore db;
-  match Lock.acquire obj.o_lock ~holder:tx.tx_id request with
-  | Some l -> obj.o_lock <- l
-  | None -> raise (Lock_conflict obj.o_id)
-
-(* ------------------------------------------------------------------ *)
-(* Timers                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let insert_timer db tm =
-  let rec ins = function
-    | [] -> [ tm ]
-    | t :: rest when t.tm_due <= tm.tm_due -> t :: ins rest
-    | rest -> tm :: rest
-  in
-  db.timers <- ins db.timers
-
-let first_due (spec : Symbol.time_spec) ~after =
-  match spec with
-  | Every p | After_period p ->
-    if p <= 0L then None else Some (Int64.add after p)
-  | At pattern -> Clock.next_match pattern ~after
-
-let schedule_trigger_timers db obj (at : active_trigger) =
-  let specs =
-    List.filter_map
-      (fun (l : Expr.leaf) ->
-        match l.basic with Symbol.Time spec -> Some spec | _ -> None)
-      (Expr.logical_events at.at_def.t_event)
-  in
-  List.iter
-    (fun spec ->
-      match first_due spec ~after:db.clock_ms with
-      | None -> ()
-      | Some due ->
-        insert_timer db
-          {
-            tm_due = due;
-            tm_oid = obj.o_id;
-            tm_trigger = at.at_def.t_name;
-            tm_epoch = at.at_epoch;
-            tm_spec = spec;
-            tm_anchor = db.clock_ms;
-          })
-    specs
-
-(* ------------------------------------------------------------------ *)
-(* Transactions                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let begin_txn db =
-  let tx =
-    {
-      tx_id = db.next_txn_id;
-      tx_system = false;
-      tx_status = Active;
-      tx_accessed = [];
-      tx_undo = [];
-    }
-  in
-  db.next_txn_id <- db.next_txn_id + 1;
-  db.open_txns <- tx :: db.open_txns;
-  db.current <- Some tx;
-  tx
-
-let switch_txn db tx =
-  if tx.tx_status <> Active then ode_error "cannot switch to a finished transaction";
-  if not (List.memq tx db.open_txns) then ode_error "transaction is not open here";
-  db.current <- Some tx
-
-let current_txn db = db.current
-let txn_id tx = tx.tx_id
-
-let release_locks db tx =
-  List.iter
-    (fun oid ->
-      match Hashtbl.find_opt db.objects oid with
-      | Some obj -> obj.o_lock <- Lock.release obj.o_lock ~holder:tx.tx_id
-      | None -> ())
-    tx.tx_accessed
-
-let detach db tx =
-  db.open_txns <- List.filter (fun t -> not (t == tx)) db.open_txns;
-  (match db.current with
-  | Some cur when cur == tx ->
-    db.current <- (match db.open_txns with t :: _ -> Some t | [] -> None)
-  | Some _ | None -> ())
-
-let apply_undo db entry =
-  match entry with
-  | U_field (obj, name, prev) -> Hashtbl.replace obj.o_fields name prev
-  | U_create obj ->
-    Hashtbl.remove db.objects obj.o_id;
-    db.timers <- List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.timers
-  | U_delete obj -> obj.o_deleted <- false
-  | U_trigger_state (at, prev) -> at.at_state <- prev
-  | U_trigger_collected (at, prev) -> at.at_collected <- prev
-  | U_trigger_active (at, prev) -> at.at_active <- prev
-  | U_trigger_added (obj, name) -> Hashtbl.remove obj.o_triggers name
-
-(* Post a transaction event to every object the finished transaction
-   accessed, inside a fresh system transaction (§5: commit/abort events
-   belong to no user transaction). A [Tabort] raised by an action there
-   aborts only the system transaction. *)
-let rec system_post db oids basic =
-  let sys =
-    {
-      tx_id = db.next_txn_id;
-      tx_system = true;
-      tx_status = Active;
-      tx_accessed = [];
-      tx_undo = [];
-    }
-  in
-  db.next_txn_id <- db.next_txn_id + 1;
-  db.open_txns <- sys :: db.open_txns;
-  let saved_current = db.current in
-  db.current <- Some sys;
-  let finish () =
-    db.current <- saved_current;
-    (* [detach] would reset current; restore by hand afterwards *)
-    db.open_txns <- List.filter (fun t -> not (t == sys)) db.open_txns
-  in
-  (try
-     List.iter
-       (fun oid ->
-         match Hashtbl.find_opt db.objects oid with
-         | Some obj when not obj.o_deleted -> ignore (post db sys obj basic [])
-         | Some _ | None -> ())
-       oids;
-     sys.tx_status <- Committed;
-     release_locks db sys;
-     finish ()
-   with
-  | Tabort ->
-    abort_txn db sys;
-    finish ()
-  | e ->
-    abort_txn db sys;
-    finish ();
-    raise e);
-  ()
-
-and abort_txn db tx =
-  if tx.tx_status <> Active then ode_error "transaction already finished";
-  (* Post [before tabort] while the transaction's effects are still
-     visible; actions fired here are undone along with everything else. *)
-  if (not tx.tx_system) && not db.in_abort then begin
-    db.in_abort <- true;
-    (try
-       List.iter
-         (fun oid ->
-           match Hashtbl.find_opt db.objects oid with
-           | Some obj when not obj.o_deleted ->
-             ignore (post db tx obj (Symbol.Tabort Before) [])
-           | Some _ | None -> ())
-         (List.rev tx.tx_accessed)
-     with Tabort -> () (* already aborting *));
-    db.in_abort <- false
-  end;
-  List.iter (apply_undo db) tx.tx_undo;
-  tx.tx_undo <- [];
-  tx.tx_status <- Aborted;
-  release_locks db tx;
-  detach db tx;
-  if not tx.tx_system then system_post db (List.rev tx.tx_accessed) (Symbol.Tabort After)
-
-let abort = abort_txn
-
-let max_tcomplete_rounds = 1000
-
-let commit db tx =
-  if tx.tx_status <> Active then ode_error "transaction already finished";
-  let saved_current = db.current in
-  db.current <- Some tx;
-  let restore () =
-    match saved_current with
-    | Some cur when cur.tx_status = Active && not (cur == tx) -> db.current <- Some cur
-    | _ -> ()
-  in
-  match
-    if not tx.tx_system then begin
-      (* §6: keep posting [before tcomplete] until a round fires nothing. *)
-      let rec rounds n =
-        if n > max_tcomplete_rounds then
-          ode_error "commit livelock: before tcomplete keeps firing triggers";
-        let fired = ref false in
-        List.iter
-          (fun oid ->
-            match Hashtbl.find_opt db.objects oid with
-            | Some obj when not obj.o_deleted ->
-              if post db tx obj Symbol.Tcomplete [] then fired := true
-            | Some _ | None -> ())
-          (List.rev tx.tx_accessed);
-        if !fired then rounds (n + 1)
-      in
-      rounds 1
-    end
-  with
-  | () ->
-    tx.tx_status <- Committed;
-    tx.tx_undo <- [];
-    release_locks db tx;
-    detach db tx;
-    restore ();
-    if not tx.tx_system then system_post db (List.rev tx.tx_accessed) Symbol.Tcommit;
-    Ok ()
-  | exception Tabort ->
-    abort_txn db tx;
-    restore ();
-    Error `Aborted
-
-let with_txn db f =
-  let tx = begin_txn db in
-  match f tx with
-  | v -> (
-    match commit db tx with Ok () -> Ok v | Error `Aborted -> Error `Aborted)
-  | exception Tabort ->
-    abort_txn db tx;
-    Error `Aborted
-  | exception e ->
-    if tx.tx_status = Active then abort_txn db tx;
-    raise e
-
-(* ------------------------------------------------------------------ *)
-(* Objects                                                             *)
-(* ------------------------------------------------------------------ *)
-
-let create db cname args =
-  let tx = require_txn db in
-  let k =
-    match Hashtbl.find_opt db.classes cname with
-    | Some k -> k
-    | None -> ode_error "no such class %s" cname
-  in
-  let oid = db.next_oid in
-  db.next_oid <- db.next_oid + 1;
-  let obj =
-    {
-      o_id = oid;
-      o_class = k;
-      o_fields = Hashtbl.create 8;
-      o_triggers = Hashtbl.create 4;
-      o_deleted = false;
-      o_lock = Lock.Free;
-      o_history = [];
-      o_history_len = 0;
-    }
-  in
-  List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) k.k_fields;
-  Hashtbl.add db.objects oid obj;
-  tx.tx_undo <- U_create obj :: tx.tx_undo;
-  touch db tx obj;
-  acquire db tx obj Lock.Write;
-  (match k.k_constructor with None -> () | Some body -> body db oid args);
-  ignore (post db tx obj Symbol.Create args);
-  post_db db Symbol.Create [ Value.Oid oid; Value.String cname ];
-  oid
-
-let delete db oid =
-  let tx = require_txn db in
-  let obj = live_obj db oid in
-  touch db tx obj;
-  acquire db tx obj Lock.Write;
-  ignore (post db tx obj Symbol.Delete []);
-  post_db db Symbol.Delete [ Value.Oid oid; Value.String obj.o_class.k_name ];
-  obj.o_deleted <- true;
-  tx.tx_undo <- U_delete obj :: tx.tx_undo
-
-let exists db oid =
-  match Hashtbl.find_opt db.objects oid with
-  | Some o -> not o.o_deleted
-  | None -> false
-
-let class_of db oid = (live_obj db oid).o_class.k_name
-
-let objects db =
-  Hashtbl.fold (fun oid o acc -> if o.o_deleted then acc else oid :: acc) db.objects []
-  |> List.sort compare
-
-let objects_of_class db cname =
-  Hashtbl.fold
-    (fun oid o acc ->
-      if (not o.o_deleted) && o.o_class.k_name = cname then oid :: acc else acc)
-    db.objects []
-  |> List.sort compare
-
-let get_field db oid name =
-  let obj = live_obj db oid in
-  match Hashtbl.find_opt obj.o_fields name with
-  | Some v -> v
-  | None -> ode_error "class %s has no field %s" obj.o_class.k_name name
-
-let set_field db oid name v =
-  let tx = require_txn db in
-  let obj = live_obj db oid in
-  touch db tx obj;
-  acquire db tx obj Lock.Write;
-  match Hashtbl.find_opt obj.o_fields name with
-  | None -> ode_error "class %s has no field %s" obj.o_class.k_name name
-  | Some prev ->
-    tx.tx_undo <- U_field (obj, name, prev) :: tx.tx_undo;
-    Hashtbl.replace obj.o_fields name v
-
-let call db oid mname args =
-  let tx = require_txn db in
-  let obj = live_obj db oid in
-  let meth =
-    match Hashtbl.find_opt obj.o_class.k_methods mname with
-    | Some m -> m
-    | None -> ode_error "class %s has no method %s" obj.o_class.k_name mname
-  in
-  (match meth.m_arity with
-  | Some a when a <> List.length args ->
-    ode_error "%s.%s expects %d arguments, got %d" obj.o_class.k_name mname a
-      (List.length args)
-  | Some _ | None -> ());
-  touch db tx obj;
-  let request, rw_event =
-    match meth.m_kind with
-    | Read_only -> (Lock.Read, fun q -> Symbol.Read q)
-    | Updating -> (Lock.Write, fun q -> Symbol.Update q)
-  in
-  acquire db tx obj request;
-  ignore (post db tx obj (Symbol.Access Before) []);
-  ignore (post db tx obj (rw_event Symbol.Before) []);
-  ignore (post db tx obj (Symbol.Method (Before, mname)) args);
-  let result = meth.m_impl db oid args in
-  ignore (post db tx obj (Symbol.Method (After, mname)) args);
-  ignore (post db tx obj (rw_event Symbol.After) []);
-  ignore (post db tx obj (Symbol.Access After) []);
-  result
-
-let has_method db oid mname =
-  let obj = live_obj db oid in
-  Hashtbl.mem obj.o_class.k_methods mname
-
-let apply_fun db name args =
-  match Hashtbl.find_opt db.functions name with
-  | Some f -> f db args
-  | None -> ode_error "unknown database function %s" name
-
-(* ------------------------------------------------------------------ *)
-(* Triggers                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let activate db oid tname params =
-  let tx = require_txn db in
-  let obj = live_obj db oid in
-  let def =
-    match Hashtbl.find_opt obj.o_class.k_triggers tname with
-    | Some d -> d
-    | None -> ode_error "class %s has no trigger %s" obj.o_class.k_name tname
-  in
-  (match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at ->
-    (* Re-activation re-arms the trigger: fresh automaton state. *)
-    tx.tx_undo <-
-      U_trigger_state (at, Detector.copy_state at.at_state)
-      :: U_trigger_active (at, at.at_active)
-      :: tx.tx_undo;
-    at.at_state <- Detector.initial def.t_detector;
-    at.at_collected <- [];
-    at.at_provenance <-
-      (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event) else None);
-    at.at_last_witnesses <- [];
-    at.at_active <- true;
-    at.at_epoch <- at.at_epoch + 1;
-    at.at_params <- params;
-    schedule_trigger_timers db obj at
-  | None ->
-    let at =
-      {
-        at_def = def;
-        at_params = params;
-        at_state = Detector.initial def.t_detector;
-        at_collected = [];
-        at_provenance =
-          (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
-           else None);
-        at_last_witnesses = [];
-        at_active = true;
-        at_epoch = 0;
-      }
-    in
-    Hashtbl.add obj.o_triggers tname at;
-    tx.tx_undo <- U_trigger_added (obj, tname) :: tx.tx_undo;
-    schedule_trigger_timers db obj at);
-  ()
-
-let deactivate db oid tname =
-  let tx = require_txn db in
-  let obj = live_obj db oid in
-  match Hashtbl.find_opt obj.o_triggers tname with
-  | None -> ()
-  | Some at ->
-    tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
-    at.at_active <- false
-
-let is_active db oid tname =
-  let obj = live_obj db oid in
-  match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at -> at.at_active
-  | None -> false
-
-let trigger_state_words db oid tname =
-  let obj = live_obj db oid in
-  match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at -> Array.length at.at_state
-  | None -> ode_error "trigger %s not activated on @%d" tname oid
-
-let trigger_state db oid tname =
-  let obj = live_obj db oid in
-  match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at -> Array.copy at.at_state
-  | None -> ode_error "trigger %s not activated on @%d" tname oid
-
-let take_firings db =
-  let fs = List.rev db.firings in
-  db.firings <- [];
-  fs
-
-(* ------------------------------------------------------------------ *)
-(* Clock                                                               *)
-(* ------------------------------------------------------------------ *)
-
-let reschedule (tm : timer) ~fired_at =
-  match tm.tm_spec with
-  | Symbol.Every p -> Some { tm with tm_due = Int64.add fired_at p }
-  | Symbol.After_period _ -> None
-  | Symbol.At pattern ->
-    Option.map (fun due -> { tm with tm_due = due }) (Clock.next_match pattern ~after:fired_at)
-
-let timer_alive db (tm : timer) =
-  match Hashtbl.find_opt db.objects tm.tm_oid with
-  | Some obj when not obj.o_deleted -> (
-    match Hashtbl.find_opt obj.o_triggers tm.tm_trigger with
-    | Some at -> at.at_active && at.at_epoch = tm.tm_epoch
-    | None -> false)
-  | Some _ | None -> false
-
-(* Deliver one time-event occurrence to an object, inside a system
-   transaction so fired actions can mutate objects transactionally. *)
-let deliver_time_event db oid spec =
-  match Hashtbl.find_opt db.objects oid with
-  | Some obj when not obj.o_deleted ->
-    let sys =
-      {
-        tx_id = db.next_txn_id;
-        tx_system = true;
-        tx_status = Active;
-        tx_accessed = [];
-        tx_undo = [];
-      }
-    in
-    db.next_txn_id <- db.next_txn_id + 1;
-    db.open_txns <- sys :: db.open_txns;
-    let saved = db.current in
-    db.current <- Some sys;
-    (try
-       ignore (post db sys obj (Symbol.Time spec) []);
-       sys.tx_status <- Committed;
-       release_locks db sys
-     with Tabort -> abort_txn db sys);
-    db.open_txns <- List.filter (fun t -> not (t == sys)) db.open_txns;
-    db.current <- saved
-  | Some _ | None -> ()
-
-let advance_to db target =
-  if target < db.clock_ms then ode_error "clock cannot go backwards";
-  let rec loop () =
-    match db.timers with
-    | tm :: rest when tm.tm_due <= target ->
-      (* Several triggers may watch the same time event on the same
-         object; pull every timer for this (object, spec, instant) and
-         deliver a single occurrence — logical events are points, and a
-         doubled delivery would wrongly feed expressions like
-         [!prior(dayBegin, ...)] twice. *)
-      let same t =
-        t.tm_due = tm.tm_due && t.tm_oid = tm.tm_oid && t.tm_spec = tm.tm_spec
-      in
-      let dups, rest = List.partition same rest in
-      db.timers <- rest;
-      let group = tm :: dups in
-      db.clock_ms <- max db.clock_ms tm.tm_due;
-      if List.exists (timer_alive db) group then
-        deliver_time_event db tm.tm_oid tm.tm_spec;
-      List.iter
-        (fun t ->
-          if timer_alive db t then
-            match reschedule t ~fired_at:t.tm_due with
-            | Some t' -> insert_timer db t'
-            | None -> ())
-        group;
-      loop ()
-    | _ -> ()
-  in
-  loop ();
-  db.clock_ms <- target
-
-let advance_clock db span =
-  if span < 0L then ode_error "clock cannot go backwards";
-  advance_to db (Int64.add db.clock_ms span)
-
-(* ------------------------------------------------------------------ *)
-(* Persistence                                                         *)
-(* ------------------------------------------------------------------ *)
-
-let magic = "ODE1"
-
-let write_time_spec w (spec : Symbol.time_spec) =
-  let write_pattern (p : Symbol.time_pattern) =
-    let opt v = Codec.write_option w Codec.write_int v in
-    opt p.year; opt p.mon; opt p.day; opt p.hr; opt p.min; opt p.sec; opt p.ms
-  in
-  match spec with
-  | At p ->
-    Codec.write_int w 0;
-    write_pattern p
-  | Every ms ->
-    Codec.write_int w 1;
-    Codec.write_int w (Int64.to_int ms)
-  | After_period ms ->
-    Codec.write_int w 2;
-    Codec.write_int w (Int64.to_int ms)
-
-let read_time_spec r : Symbol.time_spec =
-  let read_pattern () : Symbol.time_pattern =
-    let opt () = Codec.read_option r Codec.read_int in
-    let year = opt () in
-    let mon = opt () in
-    let day = opt () in
-    let hr = opt () in
-    let min = opt () in
-    let sec = opt () in
-    let ms = opt () in
-    { year; mon; day; hr; min; sec; ms }
-  in
-  match Codec.read_int r with
-  | 0 -> At (read_pattern ())
-  | 1 -> Every (Int64.of_int (Codec.read_int r))
-  | 2 -> After_period (Int64.of_int (Codec.read_int r))
-  | t -> raise (Codec.Corrupt (Printf.sprintf "bad time spec tag %d" t))
-
-let save db path =
-  if db.open_txns <> [] then ode_error "cannot save with open transactions";
-  let w = Codec.writer () in
-  Codec.write_string w magic;
-  Codec.write_int w db.next_oid;
-  Codec.write_int w db.next_txn_id;
-  Codec.write_int w (Int64.to_int db.clock_ms);
-  let live =
-    Hashtbl.fold (fun _ o acc -> if o.o_deleted then acc else o :: acc) db.objects []
-    |> List.sort (fun a b -> compare a.o_id b.o_id)
-  in
-  Codec.write_list w
-    (fun w obj ->
-      Codec.write_int w obj.o_id;
-      Codec.write_string w obj.o_class.k_name;
-      Codec.write_list w
-        (fun w (name, v) ->
-          Codec.write_string w name;
-          Codec.write_value w v)
-        (Hashtbl.fold (fun name v acc -> (name, v) :: acc) obj.o_fields []
-        |> List.sort compare);
-      Codec.write_list w
-        (fun w (name, (at : active_trigger)) ->
-          Codec.write_string w name;
-          Codec.write_list w Codec.write_value at.at_params;
-          Codec.write_array w Codec.write_int at.at_state;
-          Codec.write_list w
-            (fun w (name, v) ->
-              Codec.write_string w name;
-              Codec.write_value w v)
-            at.at_collected;
-          Codec.write_bool w at.at_active;
-          Codec.write_int w at.at_epoch)
-        (Hashtbl.fold (fun name at acc -> (name, at) :: acc) obj.o_triggers []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)))
-    live;
-  Codec.write_list w
-    (fun w (tm : timer) ->
-      Codec.write_int w (Int64.to_int tm.tm_due);
-      Codec.write_int w tm.tm_oid;
-      Codec.write_string w tm.tm_trigger;
-      Codec.write_int w tm.tm_epoch;
-      write_time_spec w tm.tm_spec;
-      Codec.write_int w (Int64.to_int tm.tm_anchor))
-    db.timers;
-  Codec.to_file path (Codec.contents w)
-
-let load db path =
-  if db.open_txns <> [] then ode_error "cannot load with open transactions";
-  let r = Codec.reader (Codec.of_file path) in
-  if Codec.read_string r <> magic then raise (Codec.Corrupt "not an Ode image");
-  let next_oid = Codec.read_int r in
-  let next_txn_id = Codec.read_int r in
-  let clock_ms = Int64.of_int (Codec.read_int r) in
-  Hashtbl.reset db.objects;
-  db.timers <- [];
-  db.firings <- [];
-  db.next_oid <- next_oid;
-  db.next_txn_id <- next_txn_id;
-  db.clock_ms <- clock_ms;
-  let objs =
-    Codec.read_list r (fun r ->
-        let oid = Codec.read_int r in
-        let cname = Codec.read_string r in
-        let fields =
-          Codec.read_list r (fun r ->
-              let name = Codec.read_string r in
-              let v = Codec.read_value r in
-              (name, v))
-        in
-        let triggers =
-          Codec.read_list r (fun r ->
-              let name = Codec.read_string r in
-              let params = Codec.read_list r Codec.read_value in
-              let state = Codec.read_array r Codec.read_int in
-              let collected =
-                Codec.read_list r (fun r ->
-                    let name = Codec.read_string r in
-                    let v = Codec.read_value r in
-                    (name, v))
-              in
-              let active = Codec.read_bool r in
-              let epoch = Codec.read_int r in
-              (name, params, state, collected, active, epoch))
-        in
-        (oid, cname, fields, triggers))
-  in
-  List.iter
-    (fun (oid, cname, fields, triggers) ->
-      let k =
-        match Hashtbl.find_opt db.classes cname with
-        | Some k -> k
-        | None -> raise (Codec.Corrupt ("image references unregistered class " ^ cname))
-      in
-      let obj =
-        {
-          o_id = oid;
-          o_class = k;
-          o_fields = Hashtbl.create 8;
-          o_triggers = Hashtbl.create 4;
-          o_deleted = false;
-          o_lock = Lock.Free;
-          o_history = [];
-          o_history_len = 0;
-        }
-      in
-      List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) fields;
-      List.iter
-        (fun (name, params, state, collected, active, epoch) ->
-          match Hashtbl.find_opt k.k_triggers name with
-          | None -> raise (Codec.Corrupt ("image references unknown trigger " ^ name))
-          | Some def ->
-            if Array.length state <> Detector.n_state_words def.t_detector then
-              raise (Codec.Corrupt "trigger state size mismatch (schema changed?)");
-            Hashtbl.add obj.o_triggers name
-              {
-                at_def = def;
-                at_params = params;
-                at_state = state;
-                at_collected = collected;
-                (* provenance instances are volatile: rebuilt empty after a
-                   load (documented in save) *)
-                at_provenance =
-                  (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
-                   else None);
-                at_last_witnesses = [];
-                at_active = active;
-                at_epoch = epoch;
-              })
-        triggers;
-      Hashtbl.add db.objects oid obj)
-    objs;
-  let timers =
-    Codec.read_list r (fun r ->
-        let due = Int64.of_int (Codec.read_int r) in
-        let oid = Codec.read_int r in
-        let tname = Codec.read_string r in
-        let epoch = Codec.read_int r in
-        let spec = read_time_spec r in
-        let anchor = Int64.of_int (Codec.read_int r) in
-        { tm_due = due; tm_oid = oid; tm_trigger = tname; tm_epoch = epoch;
-          tm_spec = spec; tm_anchor = anchor })
-  in
-  List.iter (insert_timer db) timers
-
-(* ------------------------------------------------------------------ *)
-(* Statistics                                                          *)
-(* ------------------------------------------------------------------ *)
-
-type stats = {
+(* Schema definition *)
+
+type class_builder = Schema.class_builder
+
+let define_class = Schema.define_class
+let field = Schema.field
+let method_ = Schema.method_
+let trigger = Schema.trigger
+let trigger_str = Schema.trigger_str
+let register_class = Engine.register_class
+let register_fun = Schema.register_fun
+
+(* Dispatch-index configuration *)
+
+let dispatch_index = Engine.dispatch_index
+let set_dispatch_index = Engine.set_dispatch_index
+let dispatch_index_enabled = Engine.dispatch_index_enabled
+
+(* Lifecycle *)
+
+let create_db = Types.create_db
+let now = Timewheel.now
+let advance_clock = Timewheel.advance_clock
+let advance_to = Timewheel.advance_to
+let save = Persist.save
+let load = Persist.load
+
+(* Transactions *)
+
+let begin_txn = Txn.begin_txn
+let switch_txn = Txn.switch_txn
+let current_txn = Txn.current_txn
+let txn_id = Txn.txn_id
+let commit = Txn.commit
+let abort = Txn.abort
+let with_txn = Txn.with_txn
+
+(* Objects *)
+
+let create = Engine.create
+let delete = Engine.delete
+let exists = Store.exists
+let class_of = Store.class_of
+let objects = Store.objects
+let objects_of_class = Store.objects_of_class
+let call = Engine.call
+let has_method = Engine.has_method
+let apply_fun = Engine.apply_fun
+let get_field = Store.get_field
+let set_field = Engine.set_field
+
+(* Triggers *)
+
+let activate = Engine.activate
+let deactivate = Engine.deactivate
+let is_active = Engine.is_active
+let trigger_state_words = Engine.trigger_state_words
+let trigger_state = Engine.trigger_state
+let take_firings = Engine.take_firings
+
+(* Database-scope triggers (§3) *)
+
+let db_trigger = Schema.db_trigger
+let db_trigger_str = Schema.db_trigger_str
+let activate_db_trigger = Engine.activate_db_trigger
+let deactivate_db_trigger = Engine.deactivate_db_trigger
+
+(* Event histories (§9) *)
+
+let enable_history = Store.enable_history
+let object_history = Store.object_history
+
+(* Statistics *)
+
+type stats = Store.stats = {
   n_objects : int;
   n_classes : int;
   n_active_triggers : int;
@@ -1187,25 +123,4 @@ type stats = {
   state_bytes : int;
 }
 
-let stats db =
-  let n_objects = ref 0 in
-  let n_active = ref 0 in
-  let state_bytes = ref 0 in
-  Hashtbl.iter
-    (fun _ obj ->
-      if not obj.o_deleted then begin
-        incr n_objects;
-        Hashtbl.iter
-          (fun _ at ->
-            if at.at_active then incr n_active;
-            state_bytes := !state_bytes + (8 * Array.length at.at_state))
-          obj.o_triggers
-      end)
-    db.objects;
-  {
-    n_objects = !n_objects;
-    n_classes = Hashtbl.length db.classes;
-    n_active_triggers = !n_active;
-    n_timers = List.length db.timers;
-    state_bytes = !state_bytes;
-  }
+let stats = Store.stats

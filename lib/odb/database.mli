@@ -23,7 +23,18 @@
     - [before tcomplete] is posted repeatedly at commit until a round
       fires no triggers (§6); then the transaction commits.
     - Masks are evaluated against the database with {e no} events posted:
-      conditions are required to be side-effect-free (§7). *)
+      conditions are required to be side-effect-free (§7).
+
+    {1 Architecture}
+
+    This module is a thin facade: the implementation is layered into
+    [Schema] (compiled class/trigger definitions and dispatch indexes),
+    [Store] (the object heap, behind a [STORE] backend signature),
+    [Txn] (transactions, undo, locks), [Engine] (the posting pipeline),
+    [Timewheel] (timers) and [Persist] (the save/load codec), with the
+    mutually-recursive state knot tied in [Types]. See
+    docs/INTERNALS.md for the layer diagram and the allowed dependency
+    direction. *)
 
 module Value = Ode_base.Value
 
@@ -124,13 +135,23 @@ val register_class : t -> class_builder -> unit
     instead of scanning every activation on the object (§5's O(1)
     per-trigger claim, made per-event). *)
 
+val set_dispatch_index : t -> bool -> unit
+(** Per-database switch (default true): when enabled, event posting
+    consults the per-class / per-database dispatch index and touches
+    only the triggers whose alphabet can contain the posted basic
+    event; when disabled, the pre-index brute-force path is used —
+    every active trigger on the object is snapshotted and classified
+    per occurrence. Both paths are observably equivalent
+    (property-tested in [test/test_dispatch.ml]). *)
+
+val dispatch_index_enabled : t -> bool
+
 val dispatch_index : bool ref
-(** When true (default) event posting consults the per-class /
-    per-database dispatch index. Setting it to false restores the
-    pre-index brute-force path — every active trigger on the object is
-    snapshotted and classified per occurrence. Both paths are
-    observably equivalent (property-tested in [test/test_dispatch.ml]);
-    the switch exists for that test and for the E9 dispatch benchmark. *)
+(** Deprecated process-global override of {!set_dispatch_index}, kept
+    for the ablation bench and the equivalence property test: posting
+    takes the indexed path only when both this ref and the database's
+    own flag are true. Use {!set_dispatch_index} in new code — a global
+    is a test-isolation hazard and incoherent across shards. *)
 
 val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 (** Register a database function callable from masks, e.g.
@@ -138,7 +159,12 @@ val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 
 (** {1 Database lifecycle} *)
 
-val create_db : ?start_time:int64 -> unit -> t
+val create_db : ?start_time:int64 -> ?max_tcomplete_rounds:int -> unit -> t
+(** [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
+    [before tcomplete] fixpoint at commit; when a commit's rounds
+    exceed it, {!commit} raises {!Ode_error} naming the round count
+    instead of livelocking. *)
+
 val now : t -> int64
 
 val advance_clock : t -> int64 -> unit

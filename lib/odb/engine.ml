@@ -1,0 +1,490 @@
+module Value = Ode_base.Value
+module Symbol = Ode_event.Symbol
+module Mask = Ode_event.Mask
+module Detector = Ode_event.Detector
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch-index configuration                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-database switch lives in [engine_state.use_dispatch_index]
+   (default true). The process-global ref below is a deprecated
+   override kept for the ablation bench and the equivalence property
+   test: the indexed path is taken only when {e both} the database's
+   field and the global are true, so legacy [dispatch_index := false]
+   still forces the brute-force reference path everywhere. *)
+let dispatch_index = ref true
+
+let set_dispatch_index db flag = db.engine.use_dispatch_index <- flag
+let dispatch_index_enabled db = db.engine.use_dispatch_index
+
+let use_index db = db.engine.use_dispatch_index && !dispatch_index
+
+(* ------------------------------------------------------------------ *)
+(* Classification cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Classify the occurrence at most once per distinct compiled detector:
+   triggers declaring the same event share a detector (Detector.make
+   ~share) and reuse the cached result. The cache is per occurrence; a
+   short assoc list on physical identity beats hashing for the handful of
+   candidates a post touches. It is capped so that a post touching many
+   {e distinct} detectors (only possible on the brute-force reference
+   path) stays linear instead of walking an ever-longer list. *)
+let classify_cache_cap = 16
+
+let classify_cached cache detector ~env occurrence =
+  let rec find n = function
+    | [] -> Error n
+    | (d, c) :: rest -> if d == detector then Ok c else find (n + 1) rest
+  in
+  match find 0 !cache with
+  | Ok c -> c
+  | Error n ->
+    let c = Detector.classify detector ~env occurrence in
+    if n < classify_cache_cap then cache := (detector, c) :: !cache;
+    c
+
+(* ------------------------------------------------------------------ *)
+(* Candidate-trigger selection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let candidate_triggers db obj (basic : Symbol.basic) =
+  if use_index db then
+    match Hashtbl.find_opt obj.o_class.k_dispatch (Symbol.basic_key basic) with
+    | None -> []
+    | Some defs ->
+      List.filter_map
+        (fun (d : trigger_def) ->
+          match Hashtbl.find_opt obj.o_triggers d.t_name with
+          | Some at when at.at_active -> Some at
+          | Some _ | None -> None)
+        defs
+  else
+    Hashtbl.fold
+      (fun _ at acc -> if at.at_active then at :: acc else acc)
+      obj.o_triggers []
+
+let db_candidate_triggers db (basic : Symbol.basic) =
+  if use_index db then
+    match Hashtbl.find_opt db.schema.db_dispatch (Symbol.basic_key basic) with
+    | None -> []
+    | Some defs ->
+      List.filter_map
+        (fun (d : trigger_def) ->
+          match Hashtbl.find_opt db.engine.db_triggers d.t_name with
+          | Some at when at.at_active -> Some at
+          | Some _ | None -> None)
+        defs
+  else
+    Hashtbl.fold
+      (fun _ at acc -> if at.at_active then at :: acc else acc)
+      db.engine.db_triggers []
+
+(* ------------------------------------------------------------------ *)
+(* The firing pipeline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let log_firing db tx (at : active_trigger) obj =
+  db.engine.firings <-
+    {
+      f_trigger = at.at_def.t_name;
+      f_class = at.at_def.t_class;
+      f_oid = obj.o_id;
+      f_at = db.wheel.clock_ms;
+      f_txn = tx.tx_id;
+    }
+    :: db.engine.firings
+
+(* Phase 2 of the pipeline: deactivate one-shot triggers, log and run the
+   actions of the set that fired. *)
+let post_fired db tx obj occurrence fired =
+  List.iter
+    (fun at ->
+      if not at.at_def.t_perpetual then begin
+        if at.at_def.t_detector.Detector.mode = Detector.Committed then
+          tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
+        at.at_active <- false
+      end;
+      log_firing db tx at obj;
+      at.at_def.t_action db
+        {
+          fc_oid = obj.o_id;
+          fc_params = at.at_params;
+          fc_occurrence = occurrence;
+          fc_collected = at.at_collected;
+          fc_witnesses =
+            (if at.at_def.t_witnesses then Some at.at_last_witnesses else None);
+        })
+    fired;
+  fired <> []
+
+(* The §5 monitoring pipeline: advance the automaton of every active
+   trigger the occurrence can concern (per the dispatch index), collect
+   the set that fired, then execute their actions (order unspecified in
+   the paper; we use declaration order). Returns whether anything
+   fired. *)
+let post db tx obj (basic : Symbol.basic) args =
+  let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
+  Store.record_history db tx obj occurrence;
+  match candidate_triggers db obj basic with
+  | [] -> false
+  | candidates ->
+    let env = Store.mask_env db obj in
+    let cache = ref [] in
+    let fired = ref [] in
+    List.iter
+      (fun at ->
+        let detector = at.at_def.t_detector in
+        let occurred =
+          try
+            let c = classify_cached cache detector ~env occurrence in
+            let relevant = Detector.is_relevant c in
+            if relevant && detector.Detector.mode = Detector.Committed then begin
+              (* an irrelevant occurrence provably changes neither the
+                 automaton state nor the collected bindings, so the undo
+                 copies are only taken here *)
+              tx.tx_undo <-
+                U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
+              tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
+            end;
+            if relevant then
+              List.iter
+                (fun (name, v) ->
+                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
+                (Detector.collect_classified detector c occurrence);
+            (match at.at_provenance with
+            | Some prov ->
+              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+            | None -> ());
+            Detector.post_classified detector at.at_state ~env c
+          with Mask.Eval_error msg ->
+            ode_error "trigger %s.%s: mask evaluation failed: %s"
+              at.at_def.t_class at.at_def.t_name msg
+        in
+        if occurred then fired := at :: !fired)
+      candidates;
+    post_fired db tx obj occurrence (List.rev !fired)
+
+let post_db db (basic : Symbol.basic) args =
+  match db_candidate_triggers db basic with
+  | [] -> ()
+  | candidates ->
+    let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
+    let env = Store.db_mask_env db in
+    let cache = ref [] in
+    let fired = ref [] in
+    List.iter
+      (fun at ->
+        let detector = at.at_def.t_detector in
+        let occurred =
+          try
+            let c = classify_cached cache detector ~env occurrence in
+            if Detector.is_relevant c then
+              List.iter
+                (fun (name, v) ->
+                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
+                (Detector.collect_classified detector c occurrence);
+            Detector.post_classified detector at.at_state ~env c
+          with Mask.Eval_error msg ->
+            ode_error "database trigger %s: mask evaluation failed: %s"
+              at.at_def.t_name msg
+        in
+        if occurred then fired := at :: !fired)
+      candidates;
+    let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
+    let txn_id = match db.txns.current with Some tx -> tx.tx_id | None -> 0 in
+    List.iter
+      (fun at ->
+        if not at.at_def.t_perpetual then at.at_active <- false;
+        db.engine.firings <-
+          {
+            f_trigger = at.at_def.t_name;
+            f_class = "<database>";
+            f_oid = affected;
+            f_at = db.wheel.clock_ms;
+            f_txn = txn_id;
+          }
+          :: db.engine.firings;
+        at.at_def.t_action db
+          {
+            fc_oid = affected;
+            fc_params = at.at_params;
+            fc_occurrence = occurrence;
+            fc_collected = at.at_collected;
+            fc_witnesses = None;
+          })
+      (List.rev !fired)
+
+let take_firings db =
+  let fs = List.rev db.engine.firings in
+  db.engine.firings <- [];
+  fs
+
+(* ------------------------------------------------------------------ *)
+(* Database-scope trigger activation (§3)                              *)
+(* ------------------------------------------------------------------ *)
+
+let activate_db_trigger db name params =
+  match Schema.find_db_trigger db name with
+  | None -> ode_error "no database trigger %s" name
+  | Some def -> (
+    match Hashtbl.find_opt db.engine.db_triggers name with
+    | Some at ->
+      at.at_state <- Detector.initial def.t_detector;
+      at.at_collected <- [];
+      at.at_active <- true;
+      at.at_epoch <- at.at_epoch + 1;
+      at.at_params <- params
+    | None ->
+      Hashtbl.add db.engine.db_triggers name
+        {
+          at_def = def;
+          at_params = params;
+          at_state = Detector.initial def.t_detector;
+          at_collected = [];
+          at_provenance =
+            (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
+             else None);
+          at_last_witnesses = [];
+          at_active = true;
+          at_epoch = 0;
+        })
+
+let deactivate_db_trigger db name =
+  match Hashtbl.find_opt db.engine.db_triggers name with
+  | Some at -> at.at_active <- false
+  | None -> ()
+
+(* Class registration announces itself on the database scope. *)
+let register_class db b =
+  Schema.register_class db b;
+  post_db db
+    (Symbol.Method (After, "defclass"))
+    [ Value.String (Schema.builder_name b) ]
+
+(* ------------------------------------------------------------------ *)
+(* System transactions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Post a transaction event to every object the finished transaction
+   accessed, inside a fresh system transaction (§5: commit/abort events
+   belong to no user transaction). A [Tabort] raised by an action there
+   aborts only the system transaction. *)
+let system_post db oids basic =
+  let sys = Txn.begin_system db in
+  let saved_current = db.txns.current in
+  db.txns.current <- Some sys;
+  let finish () =
+    db.txns.current <- saved_current;
+    (* [Txn.detach] would reset current; restore by hand afterwards *)
+    db.txns.open_txns <- List.filter (fun t -> not (t == sys)) db.txns.open_txns
+  in
+  (try
+     List.iter
+       (fun oid ->
+         match Store.live_obj_opt db oid with
+         | Some obj -> ignore (post db sys obj basic [])
+         | None -> ())
+       oids;
+     sys.tx_status <- Committed;
+     Txn.release_locks db sys;
+     finish ()
+   with
+  | Tabort ->
+    Txn.abort db sys;
+    finish ()
+  | e ->
+    Txn.abort db sys;
+    finish ();
+    raise e);
+  ()
+
+(* Deliver one time-event occurrence to an object, inside a system
+   transaction so fired actions can mutate objects transactionally. *)
+let deliver_time_event db oid spec =
+  match Store.live_obj_opt db oid with
+  | Some obj ->
+    let sys = Txn.begin_system db in
+    let saved = db.txns.current in
+    db.txns.current <- Some sys;
+    (try
+       ignore (post db sys obj (Symbol.Time spec) []);
+       sys.tx_status <- Committed;
+       Txn.release_locks db sys
+     with Tabort -> Txn.abort db sys);
+    db.txns.open_txns <- List.filter (fun t -> not (t == sys)) db.txns.open_txns;
+    db.txns.current <- saved
+  | None -> ()
+
+(* Wire the upward calls: Txn's commit/abort and Timewheel's delivery
+   post through the pipeline defined above. *)
+let () =
+  Txn.set_post_hook post;
+  Txn.set_system_post_hook system_post;
+  Timewheel.set_deliver_hook deliver_time_event
+
+(* ------------------------------------------------------------------ *)
+(* Objects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazy [after tbegin]: posted to an object immediately before the
+   transaction's first access to it (§3.1(4)). *)
+let touch db tx obj =
+  if not (List.mem obj.o_id tx.tx_accessed) then begin
+    tx.tx_accessed <- obj.o_id :: tx.tx_accessed;
+    if not tx.tx_system then ignore (post db tx obj Symbol.Tbegin [])
+  end
+
+let create db cname args =
+  let tx = Txn.require_txn db in
+  let k =
+    match Schema.find_class db cname with
+    | Some k -> k
+    | None -> ode_error "no such class %s" cname
+  in
+  let oid = Store.alloc_oid db in
+  let obj = Store.new_obj k oid in
+  Store.add_obj db obj;
+  tx.tx_undo <- U_create obj :: tx.tx_undo;
+  touch db tx obj;
+  Txn.acquire db tx obj Lock.Write;
+  (match k.k_constructor with None -> () | Some body -> body db oid args);
+  ignore (post db tx obj Symbol.Create args);
+  post_db db Symbol.Create [ Value.Oid oid; Value.String cname ];
+  oid
+
+let delete db oid =
+  let tx = Txn.require_txn db in
+  let obj = Store.live_obj db oid in
+  touch db tx obj;
+  Txn.acquire db tx obj Lock.Write;
+  ignore (post db tx obj Symbol.Delete []);
+  post_db db Symbol.Delete [ Value.Oid oid; Value.String obj.o_class.k_name ];
+  obj.o_deleted <- true;
+  tx.tx_undo <- U_delete obj :: tx.tx_undo
+
+let set_field db oid name v =
+  let tx = Txn.require_txn db in
+  let obj = Store.live_obj db oid in
+  touch db tx obj;
+  Txn.acquire db tx obj Lock.Write;
+  match Hashtbl.find_opt obj.o_fields name with
+  | None -> ode_error "class %s has no field %s" obj.o_class.k_name name
+  | Some prev ->
+    tx.tx_undo <- U_field (obj, name, prev) :: tx.tx_undo;
+    Hashtbl.replace obj.o_fields name v
+
+let call db oid mname args =
+  let tx = Txn.require_txn db in
+  let obj = Store.live_obj db oid in
+  let meth =
+    match Hashtbl.find_opt obj.o_class.k_methods mname with
+    | Some m -> m
+    | None -> ode_error "class %s has no method %s" obj.o_class.k_name mname
+  in
+  (match meth.m_arity with
+  | Some a when a <> List.length args ->
+    ode_error "%s.%s expects %d arguments, got %d" obj.o_class.k_name mname a
+      (List.length args)
+  | Some _ | None -> ());
+  touch db tx obj;
+  let request, rw_event =
+    match meth.m_kind with
+    | Read_only -> (Lock.Read, fun q -> Symbol.Read q)
+    | Updating -> (Lock.Write, fun q -> Symbol.Update q)
+  in
+  Txn.acquire db tx obj request;
+  ignore (post db tx obj (Symbol.Access Before) []);
+  ignore (post db tx obj (rw_event Symbol.Before) []);
+  ignore (post db tx obj (Symbol.Method (Before, mname)) args);
+  let result = meth.m_impl db oid args in
+  ignore (post db tx obj (Symbol.Method (After, mname)) args);
+  ignore (post db tx obj (rw_event Symbol.After) []);
+  ignore (post db tx obj (Symbol.Access After) []);
+  result
+
+let has_method db oid mname =
+  let obj = Store.live_obj db oid in
+  Hashtbl.mem obj.o_class.k_methods mname
+
+let apply_fun db name args =
+  match Schema.find_fun db name with
+  | Some f -> f db args
+  | None -> ode_error "unknown database function %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Trigger activation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let activate db oid tname params =
+  let tx = Txn.require_txn db in
+  let obj = Store.live_obj db oid in
+  let def =
+    match Hashtbl.find_opt obj.o_class.k_triggers tname with
+    | Some d -> d
+    | None -> ode_error "class %s has no trigger %s" obj.o_class.k_name tname
+  in
+  (match Hashtbl.find_opt obj.o_triggers tname with
+  | Some at ->
+    (* Re-activation re-arms the trigger: fresh automaton state. *)
+    tx.tx_undo <-
+      U_trigger_state (at, Detector.copy_state at.at_state)
+      :: U_trigger_active (at, at.at_active)
+      :: tx.tx_undo;
+    at.at_state <- Detector.initial def.t_detector;
+    at.at_collected <- [];
+    at.at_provenance <-
+      (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event) else None);
+    at.at_last_witnesses <- [];
+    at.at_active <- true;
+    at.at_epoch <- at.at_epoch + 1;
+    at.at_params <- params;
+    Timewheel.schedule_trigger_timers db obj at
+  | None ->
+    let at =
+      {
+        at_def = def;
+        at_params = params;
+        at_state = Detector.initial def.t_detector;
+        at_collected = [];
+        at_provenance =
+          (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
+           else None);
+        at_last_witnesses = [];
+        at_active = true;
+        at_epoch = 0;
+      }
+    in
+    Hashtbl.add obj.o_triggers tname at;
+    tx.tx_undo <- U_trigger_added (obj, tname) :: tx.tx_undo;
+    Timewheel.schedule_trigger_timers db obj at);
+  ()
+
+let deactivate db oid tname =
+  let tx = Txn.require_txn db in
+  let obj = Store.live_obj db oid in
+  match Hashtbl.find_opt obj.o_triggers tname with
+  | None -> ()
+  | Some at ->
+    tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
+    at.at_active <- false
+
+let is_active db oid tname =
+  let obj = Store.live_obj db oid in
+  match Hashtbl.find_opt obj.o_triggers tname with
+  | Some at -> at.at_active
+  | None -> false
+
+let trigger_state_words db oid tname =
+  let obj = Store.live_obj db oid in
+  match Hashtbl.find_opt obj.o_triggers tname with
+  | Some at -> Array.length at.at_state
+  | None -> ode_error "trigger %s not activated on @%d" tname oid
+
+let trigger_state db oid tname =
+  let obj = Store.live_obj db oid in
+  match Hashtbl.find_opt obj.o_triggers tname with
+  | Some at -> Array.copy at.at_state
+  | None -> ode_error "trigger %s not activated on @%d" tname oid

@@ -1,0 +1,79 @@
+(** Engine layer: the §5 event-posting pipeline — candidate-trigger
+    selection via the dispatch indexes, the per-occurrence
+    classification cache, the firing pipeline, system-transaction
+    posting — plus the object and trigger operations that compose the
+    layers below (create/delete/call drive Store + Txn + the pipeline).
+
+    Top of the subsystem stack: depends on {!Schema}, {!Store}, {!Txn}
+    and {!Timewheel}, never the reverse. At load time it installs the
+    posting hooks that [Txn] (commit/abort events) and [Timewheel]
+    (time-event delivery) call upward through. *)
+
+module Value = Ode_base.Value
+open Types
+
+(** {1 Dispatch-index configuration} *)
+
+val dispatch_index : bool ref
+(** Deprecated process-global override, kept for the ablation bench and
+    the equivalence property test: posting takes the indexed path only
+    when both this and the per-database flag are true. New code should
+    use {!set_dispatch_index}. *)
+
+val set_dispatch_index : db -> bool -> unit
+(** Per-database switch (default true): when enabled, posting consults
+    the per-class / per-database dispatch index and touches only the
+    triggers whose alphabet can contain the posted basic event; when
+    disabled, every active trigger is snapshotted and classified. *)
+
+val dispatch_index_enabled : db -> bool
+
+(** {1 The posting pipeline} *)
+
+val post : db -> txn -> obj -> Ode_event.Symbol.basic -> Value.t list -> bool
+(** Post one basic-event occurrence to one object: record history,
+    select candidates, classify once per shared detector, collect §9
+    bindings, advance automata, then run fired actions in declaration
+    order inside the posting transaction. Returns whether anything
+    fired. *)
+
+val post_db : db -> Ode_event.Symbol.basic -> Value.t list -> unit
+(** Post to the database scope (§3): [after defclass], [after create],
+    [before delete]. *)
+
+val system_post : db -> oid list -> Ode_event.Symbol.basic -> unit
+(** Post a transaction event to the listed objects inside a fresh system
+    transaction (§5: commit/abort events belong to no user
+    transaction). *)
+
+val take_firings : db -> firing list
+(** Drain the firing log, oldest first. *)
+
+val touch : db -> txn -> obj -> unit
+(** Record first access and lazily post [after tbegin] (§3.1(4)). *)
+
+(** {1 Schema registration} *)
+
+val register_class : db -> Schema.class_builder -> unit
+(** {!Schema.register_class}, then announce [after defclass] on the
+    database scope. *)
+
+(** {1 Objects} *)
+
+val create : db -> string -> Value.t list -> oid
+val delete : db -> oid -> unit
+val set_field : db -> oid -> string -> Value.t -> unit
+val call : db -> oid -> string -> Value.t list -> Value.t
+val has_method : db -> oid -> string -> bool
+val apply_fun : db -> string -> Value.t list -> Value.t
+
+(** {1 Trigger activation} *)
+
+val activate : db -> oid -> string -> Value.t list -> unit
+val deactivate : db -> oid -> string -> unit
+val is_active : db -> oid -> string -> bool
+val trigger_state_words : db -> oid -> string -> int
+val trigger_state : db -> oid -> string -> int array
+
+val activate_db_trigger : db -> string -> Value.t list -> unit
+val deactivate_db_trigger : db -> string -> unit

@@ -1,0 +1,179 @@
+module Value = Ode_base.Value
+module Codec = Ode_base.Codec
+module Symbol = Ode_event.Symbol
+module Detector = Ode_event.Detector
+open Types
+
+let magic = "ODE1"
+
+let write_time_spec w (spec : Symbol.time_spec) =
+  let write_pattern (p : Symbol.time_pattern) =
+    let opt v = Codec.write_option w Codec.write_int v in
+    opt p.year; opt p.mon; opt p.day; opt p.hr; opt p.min; opt p.sec; opt p.ms
+  in
+  match spec with
+  | At p ->
+    Codec.write_int w 0;
+    write_pattern p
+  | Every ms ->
+    Codec.write_int w 1;
+    Codec.write_int w (Int64.to_int ms)
+  | After_period ms ->
+    Codec.write_int w 2;
+    Codec.write_int w (Int64.to_int ms)
+
+let read_time_spec r : Symbol.time_spec =
+  let read_pattern () : Symbol.time_pattern =
+    let opt () = Codec.read_option r Codec.read_int in
+    let year = opt () in
+    let mon = opt () in
+    let day = opt () in
+    let hr = opt () in
+    let min = opt () in
+    let sec = opt () in
+    let ms = opt () in
+    { year; mon; day; hr; min; sec; ms }
+  in
+  match Codec.read_int r with
+  | 0 -> At (read_pattern ())
+  | 1 -> Every (Int64.of_int (Codec.read_int r))
+  | 2 -> After_period (Int64.of_int (Codec.read_int r))
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad time spec tag %d" t))
+
+let save db path =
+  if db.txns.open_txns <> [] then ode_error "cannot save with open transactions";
+  let w = Codec.writer () in
+  Codec.write_string w magic;
+  Codec.write_int w db.store.next_oid;
+  Codec.write_int w db.txns.next_txn_id;
+  Codec.write_int w (Int64.to_int db.wheel.clock_ms);
+  let live =
+    Store.Heap.fold
+      (fun o acc -> if o.o_deleted then acc else o :: acc)
+      db.store.objects []
+    |> List.sort (fun a b -> compare a.o_id b.o_id)
+  in
+  Codec.write_list w
+    (fun w obj ->
+      Codec.write_int w obj.o_id;
+      Codec.write_string w obj.o_class.k_name;
+      Codec.write_list w
+        (fun w (name, v) ->
+          Codec.write_string w name;
+          Codec.write_value w v)
+        (Hashtbl.fold (fun name v acc -> (name, v) :: acc) obj.o_fields []
+        |> List.sort compare);
+      Codec.write_list w
+        (fun w (name, (at : active_trigger)) ->
+          Codec.write_string w name;
+          Codec.write_list w Codec.write_value at.at_params;
+          Codec.write_array w Codec.write_int at.at_state;
+          Codec.write_list w
+            (fun w (name, v) ->
+              Codec.write_string w name;
+              Codec.write_value w v)
+            at.at_collected;
+          Codec.write_bool w at.at_active;
+          Codec.write_int w at.at_epoch)
+        (Hashtbl.fold (fun name at acc -> (name, at) :: acc) obj.o_triggers []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)))
+    live;
+  Codec.write_list w
+    (fun w (tm : timer) ->
+      Codec.write_int w (Int64.to_int tm.tm_due);
+      Codec.write_int w tm.tm_oid;
+      Codec.write_string w tm.tm_trigger;
+      Codec.write_int w tm.tm_epoch;
+      write_time_spec w tm.tm_spec;
+      Codec.write_int w (Int64.to_int tm.tm_anchor))
+    db.wheel.timers;
+  Codec.to_file path (Codec.contents w)
+
+let load db path =
+  if db.txns.open_txns <> [] then ode_error "cannot load with open transactions";
+  let r = Codec.reader (Codec.of_file path) in
+  if Codec.read_string r <> magic then raise (Codec.Corrupt "not an Ode image");
+  let next_oid = Codec.read_int r in
+  let next_txn_id = Codec.read_int r in
+  let clock_ms = Int64.of_int (Codec.read_int r) in
+  Store.Heap.reset db.store.objects;
+  db.wheel.timers <- [];
+  db.engine.firings <- [];
+  db.store.next_oid <- next_oid;
+  db.txns.next_txn_id <- next_txn_id;
+  db.wheel.clock_ms <- clock_ms;
+  let objs =
+    Codec.read_list r (fun r ->
+        let oid = Codec.read_int r in
+        let cname = Codec.read_string r in
+        let fields =
+          Codec.read_list r (fun r ->
+              let name = Codec.read_string r in
+              let v = Codec.read_value r in
+              (name, v))
+        in
+        let triggers =
+          Codec.read_list r (fun r ->
+              let name = Codec.read_string r in
+              let params = Codec.read_list r Codec.read_value in
+              let state = Codec.read_array r Codec.read_int in
+              let collected =
+                Codec.read_list r (fun r ->
+                    let name = Codec.read_string r in
+                    let v = Codec.read_value r in
+                    (name, v))
+              in
+              let active = Codec.read_bool r in
+              let epoch = Codec.read_int r in
+              (name, params, state, collected, active, epoch))
+        in
+        (oid, cname, fields, triggers))
+  in
+  List.iter
+    (fun (oid, cname, fields, triggers) ->
+      let k =
+        match Schema.find_class db cname with
+        | Some k -> k
+        | None -> raise (Codec.Corrupt ("image references unregistered class " ^ cname))
+      in
+      let obj = Store.new_obj k oid in
+      (* saved field values override the class defaults installed by
+         [Store.new_obj] *)
+      List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) fields;
+      List.iter
+        (fun (name, params, state, collected, active, epoch) ->
+          match Hashtbl.find_opt k.k_triggers name with
+          | None -> raise (Codec.Corrupt ("image references unknown trigger " ^ name))
+          | Some def ->
+            if Array.length state <> Detector.n_state_words def.t_detector then
+              raise (Codec.Corrupt "trigger state size mismatch (schema changed?)");
+            Hashtbl.add obj.o_triggers name
+              {
+                at_def = def;
+                at_params = params;
+                at_state = state;
+                at_collected = collected;
+                (* provenance instances are volatile: rebuilt empty after a
+                   load (documented in save) *)
+                at_provenance =
+                  (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
+                   else None);
+                at_last_witnesses = [];
+                at_active = active;
+                at_epoch = epoch;
+              })
+        triggers;
+      Store.add_obj db obj)
+    objs;
+  let timers =
+    Codec.read_list r (fun r ->
+        let due = Int64.of_int (Codec.read_int r) in
+        let oid = Codec.read_int r in
+        let tname = Codec.read_string r in
+        let epoch = Codec.read_int r in
+        let spec = read_time_spec r in
+        let anchor = Int64.of_int (Codec.read_int r) in
+        { tm_due = due; tm_oid = oid; tm_trigger = tname; tm_epoch = epoch;
+          tm_spec = spec; tm_anchor = anchor })
+  in
+  List.iter (Timewheel.insert_timer db) timers

@@ -1,0 +1,28 @@
+(** Persist layer: the ODE1 save/load codec.
+
+    Depends on {!Schema} (classes are re-resolved by name at load),
+    {!Store} (heap reconstruction) and {!Timewheel} (timer re-insertion)
+    — never on {!Engine}: persistence moves state, it posts no
+    events. *)
+
+open Types
+
+val magic : string
+(** The image header, ["ODE1"]. *)
+
+val save : db -> string -> unit
+(** Persist all live objects (fields, trigger activations and their
+    automaton states), pending timers, the oid/txn counters and the
+    clock. Raises {!Types.Ode_error} if a transaction is open. Not
+    saved: the schema itself (closures are code), database-scope trigger
+    activations, the history log, provenance partial matches, and the
+    history-recording setting. *)
+
+val load : db -> string -> unit
+(** Restore a {!save}d image into a database whose classes have been
+    registered again. Existing objects, timers and pending firings are
+    discarded. Raises [Codec.Corrupt] on a bad image or a schema
+    mismatch. *)
+
+val write_time_spec : Ode_base.Codec.writer -> Ode_event.Symbol.time_spec -> unit
+val read_time_spec : Ode_base.Codec.reader -> Ode_event.Symbol.time_spec

@@ -1,0 +1,185 @@
+module Value = Ode_base.Value
+module Mask = Ode_event.Mask
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Backend signature                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module type STORE = sig
+  type t
+
+  val add : t -> obj -> unit
+  val find : t -> oid -> obj option
+  val remove : t -> oid -> unit
+  val reset : t -> unit
+  val iter : (obj -> unit) -> t -> unit
+  val fold : (obj -> 'a -> 'a) -> t -> 'a -> 'a
+end
+
+module Heap : STORE with type t = (oid, obj) Hashtbl.t = struct
+  type t = (oid, obj) Hashtbl.t
+
+  let add t o = Hashtbl.add t o.o_id o
+  let find t oid = Hashtbl.find_opt t oid
+  let remove t oid = Hashtbl.remove t oid
+  let reset t = Hashtbl.reset t
+  let iter f t = Hashtbl.iter (fun _ o -> f o) t
+  let fold f t init = Hashtbl.fold (fun _ o acc -> f o acc) t init
+end
+
+(* ------------------------------------------------------------------ *)
+(* Heap operations on the database                                     *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_oid db =
+  let oid = db.store.next_oid in
+  db.store.next_oid <- oid + 1;
+  oid
+
+let new_obj k oid =
+  let obj =
+    {
+      o_id = oid;
+      o_class = k;
+      o_fields = Hashtbl.create 8;
+      o_triggers = Hashtbl.create 4;
+      o_deleted = false;
+      o_lock = Lock.Free;
+      o_history = [];
+      o_history_len = 0;
+    }
+  in
+  List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) k.k_fields;
+  obj
+
+let add_obj db obj = Heap.add db.store.objects obj
+let find_obj db oid = Heap.find db.store.objects oid
+
+let live_obj db oid =
+  match find_obj db oid with
+  | Some o when not o.o_deleted -> o
+  | Some _ -> ode_error "object @%d has been deleted" oid
+  | None -> ode_error "no such object @%d" oid
+
+let live_obj_opt db oid =
+  match find_obj db oid with
+  | Some o when not o.o_deleted -> Some o
+  | Some _ | None -> None
+
+let exists db oid =
+  match find_obj db oid with Some o -> not o.o_deleted | None -> false
+
+let class_of db oid = (live_obj db oid).o_class.k_name
+
+let objects db =
+  Heap.fold
+    (fun o acc -> if o.o_deleted then acc else o.o_id :: acc)
+    db.store.objects []
+  |> List.sort compare
+
+let objects_of_class db cname =
+  Heap.fold
+    (fun o acc ->
+      if (not o.o_deleted) && o.o_class.k_name = cname then o.o_id :: acc
+      else acc)
+    db.store.objects []
+  |> List.sort compare
+
+let get_field db oid name =
+  let obj = live_obj db oid in
+  match Hashtbl.find_opt obj.o_fields name with
+  | Some v -> v
+  | None -> ode_error "class %s has no field %s" obj.o_class.k_name name
+
+(* ------------------------------------------------------------------ *)
+(* Mask-evaluation environments                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mask_env db obj : Mask.env =
+  {
+    var = (fun name -> Hashtbl.find_opt obj.o_fields name);
+    deref =
+      (fun oid fieldname ->
+        match live_obj_opt db oid with
+        | Some o -> Hashtbl.find_opt o.o_fields fieldname
+        | None -> None);
+    call =
+      (fun name args ->
+        match Hashtbl.find_opt db.schema.functions name with
+        | Some f -> f db args
+        | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
+  }
+
+let db_mask_env db : Mask.env =
+  {
+    var = (fun _ -> None);
+    deref =
+      (fun oid fieldname ->
+        match live_obj_opt db oid with
+        | Some o -> Hashtbl.find_opt o.o_fields fieldname
+        | None -> None);
+    call =
+      (fun name args ->
+        match Hashtbl.find_opt db.schema.functions name with
+        | Some f -> f db args
+        | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Event histories (§9)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let enable_history db ~limit =
+  if limit < 0 then ode_error "history limit must be >= 0";
+  db.store.history_limit <- limit
+
+let record_history db tx obj occurrence =
+  if db.store.history_limit > 0 then begin
+    obj.o_history <-
+      { History.h_occurrence = occurrence; h_txn = tx.tx_id } :: obj.o_history;
+    obj.o_history_len <- obj.o_history_len + 1;
+    if obj.o_history_len > 2 * db.store.history_limit then begin
+      obj.o_history <- History.truncate db.store.history_limit obj.o_history;
+      obj.o_history_len <- db.store.history_limit
+    end
+  end
+
+let object_history db oid =
+  let obj = live_obj db oid in
+  List.rev (History.truncate db.store.history_limit obj.o_history)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  n_objects : int;
+  n_classes : int;
+  n_active_triggers : int;
+  n_timers : int;
+  state_bytes : int;
+}
+
+let stats db =
+  let n_objects = ref 0 in
+  let n_active = ref 0 in
+  let state_bytes = ref 0 in
+  Heap.iter
+    (fun obj ->
+      if not obj.o_deleted then begin
+        incr n_objects;
+        Hashtbl.iter
+          (fun _ at ->
+            if at.at_active then incr n_active;
+            state_bytes := !state_bytes + (8 * Array.length at.at_state))
+          obj.o_triggers
+      end)
+    db.store.objects;
+  {
+    n_objects = !n_objects;
+    n_classes = Hashtbl.length db.schema.classes;
+    n_active_triggers = !n_active;
+    n_timers = List.length db.wheel.timers;
+    state_bytes = !state_bytes;
+  }

@@ -1,0 +1,76 @@
+(** Store layer: the object heap — oid allocation, live-object lookup,
+    field access, per-object activations and event histories.
+
+    All heap traffic goes through the {!STORE} backend signature so a
+    sharded or on-disk backend can be slotted in later without touching
+    the layers above; {!Heap} is the in-memory hashtable backend the
+    engine runs on today. Depends on {!Types} (and reads the schema
+    tables for mask environments); knows nothing about transactions or
+    event posting. *)
+
+module Value = Ode_base.Value
+open Types
+
+(** {1 Backend signature} *)
+
+module type STORE = sig
+  type t
+
+  val add : t -> obj -> unit
+  val find : t -> oid -> obj option
+  val remove : t -> oid -> unit
+  val reset : t -> unit
+  val iter : (obj -> unit) -> t -> unit
+  val fold : (obj -> 'a -> 'a) -> t -> 'a -> 'a
+end
+
+module Heap : STORE with type t = (oid, obj) Hashtbl.t
+(** The in-memory backend; [store_state.objects] is its concrete
+    representation. *)
+
+(** {1 Heap operations} *)
+
+val alloc_oid : db -> oid
+val new_obj : klass -> oid -> obj
+(** Fresh object record with the class's field defaults installed. Does
+    not add it to the heap. *)
+
+val add_obj : db -> obj -> unit
+val find_obj : db -> oid -> obj option
+
+val live_obj : db -> oid -> obj
+(** Raises {!Types.Ode_error} on a missing or deleted object. *)
+
+val live_obj_opt : db -> oid -> obj option
+val exists : db -> oid -> bool
+val class_of : db -> oid -> string
+val objects : db -> oid list
+val objects_of_class : db -> string -> oid list
+val get_field : db -> oid -> string -> Value.t
+
+(** {1 Mask-evaluation environments} *)
+
+val mask_env : db -> obj -> Ode_event.Mask.env
+(** Field reads resolve against [obj]; dereferences and database
+    functions against the heap and schema. *)
+
+val db_mask_env : db -> Ode_event.Mask.env
+(** No object in scope: only dereferences and database functions. *)
+
+(** {1 Event histories (§9)} *)
+
+val enable_history : db -> limit:int -> unit
+val record_history : db -> txn -> obj -> Ode_event.Symbol.occurrence -> unit
+val object_history : db -> oid -> History.t
+
+(** {1 Statistics} *)
+
+type stats = {
+  n_objects : int;
+  n_classes : int;
+  n_active_triggers : int;
+  n_timers : int;
+  state_bytes : int;
+}
+
+val stats : db -> stats

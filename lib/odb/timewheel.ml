@@ -1,0 +1,114 @@
+module Symbol = Ode_event.Symbol
+module Expr = Ode_event.Expr
+open Types
+
+let now db = db.wheel.clock_ms
+
+(* ------------------------------------------------------------------ *)
+(* Engine hook                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Firing a due timer delivers a time-event occurrence to an object,
+   inside a system transaction — an upward call into the posting
+   pipeline. [Engine] fills this at load time. *)
+let deliver_hook : (db -> oid -> Symbol.time_spec -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+let set_deliver_hook f = deliver_hook := f
+
+(* ------------------------------------------------------------------ *)
+(* Timer queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let insert_timer db tm =
+  let rec ins = function
+    | [] -> [ tm ]
+    | t :: rest when t.tm_due <= tm.tm_due -> t :: ins rest
+    | rest -> tm :: rest
+  in
+  db.wheel.timers <- ins db.wheel.timers
+
+let first_due (spec : Symbol.time_spec) ~after =
+  match spec with
+  | Every p | After_period p -> if p <= 0L then None else Some (Int64.add after p)
+  | At pattern -> Clock.next_match pattern ~after
+
+let reschedule (tm : timer) ~fired_at =
+  match tm.tm_spec with
+  | Symbol.Every p -> Some { tm with tm_due = Int64.add fired_at p }
+  | Symbol.After_period _ -> None
+  | Symbol.At pattern ->
+    Option.map
+      (fun due -> { tm with tm_due = due })
+      (Clock.next_match pattern ~after:fired_at)
+
+let schedule_trigger_timers db obj (at : active_trigger) =
+  let specs =
+    List.filter_map
+      (fun (l : Expr.leaf) ->
+        match l.basic with Symbol.Time spec -> Some spec | _ -> None)
+      (Expr.logical_events at.at_def.t_event)
+  in
+  List.iter
+    (fun spec ->
+      match first_due spec ~after:db.wheel.clock_ms with
+      | None -> ()
+      | Some due ->
+        insert_timer db
+          {
+            tm_due = due;
+            tm_oid = obj.o_id;
+            tm_trigger = at.at_def.t_name;
+            tm_epoch = at.at_epoch;
+            tm_spec = spec;
+            tm_anchor = db.wheel.clock_ms;
+          })
+    specs
+
+let timer_alive db (tm : timer) =
+  match Store.live_obj_opt db tm.tm_oid with
+  | Some obj -> (
+    match Hashtbl.find_opt obj.o_triggers tm.tm_trigger with
+    | Some at -> at.at_active && at.at_epoch = tm.tm_epoch
+    | None -> false)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Advancing the clock                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let advance_to db target =
+  if target < db.wheel.clock_ms then ode_error "clock cannot go backwards";
+  let rec loop () =
+    match db.wheel.timers with
+    | tm :: rest when tm.tm_due <= target ->
+      (* Several triggers may watch the same time event on the same
+         object; pull every timer for this (object, spec, instant) and
+         deliver a single occurrence — logical events are points, and a
+         doubled delivery would wrongly feed expressions like
+         [!prior(dayBegin, ...)] twice. *)
+      let same t =
+        t.tm_due = tm.tm_due && t.tm_oid = tm.tm_oid && t.tm_spec = tm.tm_spec
+      in
+      let dups, rest = List.partition same rest in
+      db.wheel.timers <- rest;
+      let group = tm :: dups in
+      db.wheel.clock_ms <- max db.wheel.clock_ms tm.tm_due;
+      if List.exists (timer_alive db) group then
+        !deliver_hook db tm.tm_oid tm.tm_spec;
+      List.iter
+        (fun t ->
+          if timer_alive db t then
+            match reschedule t ~fired_at:t.tm_due with
+            | Some t' -> insert_timer db t'
+            | None -> ())
+        group;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  db.wheel.clock_ms <- target
+
+let advance_clock db span =
+  if span < 0L then ode_error "clock cannot go backwards";
+  advance_to db (Int64.add db.wheel.clock_ms span)

@@ -1,0 +1,45 @@
+(** Timewheel layer: the sorted timer queue for time events — insertion,
+    due-date computation, periodic rescheduling, and clock advancement.
+
+    Depends on {!Store} (liveness checks for timer garbage-collection)
+    and {!Clock} (calendar-pattern matching). Delivering a due timer
+    means posting a time-event occurrence, which lives a layer up in
+    {!Engine}; that single upward call is inverted through
+    {!set_deliver_hook}, filled by [Engine] at load time. *)
+
+open Types
+
+val now : db -> int64
+
+val set_deliver_hook : (db -> oid -> Ode_event.Symbol.time_spec -> unit) -> unit
+(** Install the time-event delivery function (set once, by [Engine] at
+    load time): post one [Time spec] occurrence to one object inside a
+    fresh system transaction. *)
+
+val insert_timer : db -> timer -> unit
+(** Keeps the queue sorted by due time; equal due times keep insertion
+    order. *)
+
+val first_due : Ode_event.Symbol.time_spec -> after:int64 -> int64 option
+(** The first instant strictly after [after] at which the spec is due;
+    [None] if it never fires (e.g. a non-positive period). *)
+
+val reschedule : timer -> fired_at:int64 -> timer option
+(** The timer's next incarnation after firing: periodic [Every] and
+    calendar [At] specs re-arm, one-shot [After_period] does not. *)
+
+val schedule_trigger_timers : db -> obj -> active_trigger -> unit
+(** Insert one timer per time-event leaf of the trigger's event
+    specification, anchored at the current clock (activation instant). *)
+
+val timer_alive : db -> timer -> bool
+(** The timer's object is live and the watched trigger is still active
+    in the same activation epoch. *)
+
+val advance_to : db -> int64 -> unit
+(** Advance simulated time to an absolute instant, firing due timers in
+    order; duplicate timers for one (object, spec, instant) deliver a
+    single occurrence. Raises {!Types.Ode_error} on going backwards. *)
+
+val advance_clock : db -> int64 -> unit
+(** {!advance_to} by a relative span (ms). *)

@@ -1,6 +1,21 @@
-(* Internal mutually-recursive state of the Ode database. The public API
-   lives in [Database]; examples and tests should not use this module
-   directly. *)
+(* The cross-layer knot of the Ode database.
+
+   The database state is mutually recursive by nature — an object knows
+   its class, a class knows its trigger definitions, a trigger action
+   closes over the database — so the type definitions live together in
+   this one small module. Everything else is layered: the {e state} of
+   each subsystem is grouped into its own sub-record of [db]
+   ([schema_state], [store_state], [txn_state], [engine_state],
+   [wheel_state]) and the {e code} owning each sub-record lives in its
+   own compilation unit ([Schema], [Store], [Txn], [Engine],
+   [Timewheel], [Persist]), with the public API re-exported by the
+   [Database] facade. Allowed dependency direction:
+   Schema -> Store -> Txn -> Engine; [Engine] may depend on everything
+   below it, never the reverse (the two upward calls — event posting
+   from [Txn]'s commit/abort and timer delivery from [Timewheel] — are
+   inverted through hook refs that [Engine] fills at load time).
+
+   Examples and tests should not use this module directly. *)
 
 module Value = Ode_base.Value
 module Symbol = Ode_event.Symbol
@@ -11,23 +26,55 @@ type method_kind = Read_only | Updating
 type txn_status = Active | Committed | Aborted
 
 type db = {
-  objects : (oid, obj) Hashtbl.t;
+  schema : schema_state;
+  store : store_state;
+  txns : txn_state;
+  engine : engine_state;
+  wheel : wheel_state;
+}
+
+(* [Schema]: compiled class and trigger definitions. Written at class
+   registration, read-only on the posting hot path. *)
+and schema_state = {
   classes : (string, klass) Hashtbl.t;
   functions : (string, db -> Value.t list -> Value.t) Hashtbl.t;
-  mutable next_oid : int;
-  mutable next_txn_id : int;
-  mutable clock_ms : int64;
-  mutable timers : timer list;  (* sorted by due time *)
-  mutable current : txn option;
-  mutable open_txns : txn list;
-  mutable firings : firing list;  (* newest first; drained by take_firings *)
-  mutable in_abort : bool;  (* guards against tabort-during-abort loops *)
-  mutable history_limit : int;  (* 0 = recording off *)
   db_trigger_defs : (string, trigger_def) Hashtbl.t;  (* database scope (§3) *)
-  db_triggers : (string, active_trigger) Hashtbl.t;
   db_dispatch : (Symbol.basic_key, trigger_def list) Hashtbl.t;
       (* dispatch index for database-scope triggers: posted basic ->
          definitions whose alphabet can react, in declaration order *)
+}
+
+(* [Store]: the object heap. *)
+and store_state = {
+  objects : (oid, obj) Hashtbl.t;
+  mutable next_oid : int;
+  mutable history_limit : int;  (* 0 = recording off *)
+}
+
+(* [Txn]: transaction bookkeeping. *)
+and txn_state = {
+  mutable next_txn_id : int;
+  mutable current : txn option;
+  mutable open_txns : txn list;
+  mutable in_abort : bool;  (* guards against tabort-during-abort loops *)
+  mutable max_tcomplete_rounds : int;
+      (* livelock bound on the §6 [before tcomplete] fixpoint *)
+}
+
+(* [Engine]: the posting pipeline's own state. *)
+and engine_state = {
+  db_triggers : (string, active_trigger) Hashtbl.t;
+      (* activations of database-scope triggers *)
+  mutable firings : firing list;  (* newest first; drained by take_firings *)
+  mutable use_dispatch_index : bool;
+      (* per-database switch between the indexed posting path and the
+         brute-force reference path (default true) *)
+}
+
+(* [Timewheel]: simulated time. *)
+and wheel_state = {
+  mutable clock_ms : int64;
+  mutable timers : timer list;  (* sorted by due time *)
 }
 
 and klass = {
@@ -133,3 +180,34 @@ exception Lock_conflict of oid
 exception Ode_error of string
 
 let ode_error fmt = Format.kasprintf (fun s -> raise (Ode_error s)) fmt
+
+(* The composition root: every layer's state record, initialized empty.
+   Lives here because only the knot module sees all the sub-records. *)
+let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000) () =
+  if max_tcomplete_rounds < 1 then
+    ode_error "max_tcomplete_rounds must be >= 1";
+  {
+    schema =
+      {
+        classes = Hashtbl.create 8;
+        functions = Hashtbl.create 8;
+        db_trigger_defs = Hashtbl.create 4;
+        db_dispatch = Hashtbl.create 8;
+      };
+    store = { objects = Hashtbl.create 64; next_oid = 1; history_limit = 0 };
+    txns =
+      {
+        next_txn_id = 1;
+        current = None;
+        open_txns = [];
+        in_abort = false;
+        max_tcomplete_rounds;
+      };
+    engine =
+      {
+        db_triggers = Hashtbl.create 4;
+        firings = [];
+        use_dispatch_index = true;
+      };
+    wheel = { clock_ms = start_time; timers = [] };
+  }
