@@ -608,46 +608,49 @@ let e12 () =
 (* A method call on an object carrying N active triggers whose alphabets
    never contain the posted events. Pre-index, every one of the 6 basic
    events around the call snapshotted and classified all N activations;
-   with the index (Database.dispatch_index, the default) none of them is
-   touched. Emits BENCH_dispatch.json for EXPERIMENTS.md. *)
+   with the index (Database.set_dispatch_index, the default) none of them
+   is touched. Emits BENCH_dispatch.json for EXPERIMENTS.md. *)
+(* an object of class [hot] carrying [n] armed triggers that can never
+   react to the posted events — shared by E9-dispatch and E10-obs *)
+let inert_trigger_db n =
+  let module D = Ode_odb.Database in
+  let db = D.create_db () in
+  let b = D.define_class "hot" in
+  let b = D.field b "n" (Value.Int 0) in
+  let b =
+    D.method_ b ~kind:D.Updating "work" (fun db oid _ ->
+        D.set_field db oid "n" (Value.add (D.get_field db oid "n") (Value.Int 1));
+        Value.Unit)
+  in
+  let rec add b i =
+    if i >= n then b
+    else
+      add
+        (D.trigger_str b ~perpetual:true
+           (Printf.sprintf "t%d" i)
+           ~event:(Printf.sprintf "after m%d" i)
+           ~action:(fun _ _ -> ()))
+        (i + 1)
+  in
+  let b = add b 0 in
+  D.register_class db b;
+  match
+    D.with_txn db (fun _ ->
+        let oid = D.create db "hot" [] in
+        for i = 0 to n - 1 do
+          D.activate db oid (Printf.sprintf "t%d" i) []
+        done;
+        oid)
+  with
+  | Ok oid -> (db, oid)
+  | Error `Aborted -> failwith "abort"
+
 let e9_dispatch () =
   section "E9-dispatch: post throughput vs inert active triggers (index on/off)";
   let module D = Ode_odb.Database in
-  let build n =
-    let db = D.create_db () in
-    let b = D.define_class "hot" in
-    let b = D.field b "n" (Value.Int 0) in
-    let b =
-      D.method_ b ~kind:D.Updating "work" (fun db oid _ ->
-          D.set_field db oid "n" (Value.add (D.get_field db oid "n") (Value.Int 1));
-          Value.Unit)
-    in
-    let rec add b i =
-      if i >= n then b
-      else
-        add
-          (D.trigger_str b ~perpetual:true
-             (Printf.sprintf "t%d" i)
-             ~event:(Printf.sprintf "after m%d" i)
-             ~action:(fun _ _ -> ()))
-          (i + 1)
-    in
-    let b = add b 0 in
-    D.register_class db b;
-    match
-      D.with_txn db (fun _ ->
-          let oid = D.create db "hot" [] in
-          for i = 0 to n - 1 do
-            D.activate db oid (Printf.sprintf "t%d" i) []
-          done;
-          oid)
-    with
-    | Ok oid -> (db, oid)
-    | Error `Aborted -> failwith "abort"
-  in
   let measure ~indexed n =
-    D.dispatch_index := indexed;
-    let db, oid = build n in
+    let db, oid = inert_trigger_db n in
+    D.set_dispatch_index db indexed;
     let tx = D.begin_txn db in
     let ns = measure_ns (fun () -> ignore (D.call db oid "work" [])) in
     (match D.commit db tx with Ok () | Error `Aborted -> ());
@@ -661,7 +664,6 @@ let e9_dispatch () =
         (n, scan, indexed))
       [ 1; 10; 100; 1000 ]
   in
-  D.dispatch_index := true;
   pf "%-10s %16s %18s %10s@." "triggers" "scan ns/call" "indexed ns/call" "speedup";
   List.iter
     (fun (n, scan, indexed) ->
@@ -690,6 +692,84 @@ let e9_dispatch () =
   p "}\n";
   close_out oc;
   pf "wrote BENCH_dispatch.json@."
+
+(* ------------------------------------------------------------------ *)
+(* E10-obs: observability overhead on the posting hot path             *)
+(* ------------------------------------------------------------------ *)
+
+(* The E9-dispatch workload on the (default) indexed path, with the
+   Ode_obs registry disabled — one boolean load per probe site — vs.
+   enabled (counters, per-kind table, latency histograms, trace ring).
+   Emits BENCH_obs.json for EXPERIMENTS.md. *)
+let e10_obs () =
+  section "E10-obs: method-call cost with observability off vs on";
+  let module D = Ode_odb.Database in
+  let measure ~obs n =
+    let db, oid = inert_trigger_db n in
+    D.set_observability db obs;
+    let tx = D.begin_txn db in
+    let ns = measure_ns (fun () -> ignore (D.call db oid "work" [])) in
+    (match D.commit db tx with Ok () | Error `Aborted -> ());
+    ns
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let off = measure ~obs:false n in
+        let on = measure ~obs:true n in
+        (n, off, on))
+      [ 1; 10; 100; 1000 ]
+  in
+  pf "%-10s %16s %16s %10s@." "triggers" "obs-off ns/call" "obs-on ns/call"
+    "overhead";
+  List.iter
+    (fun (n, off, on) ->
+      pf "%-10d %16.0f %16.0f %9.2fx@." n off on (on /. off))
+    rows;
+  pf "shape: disabled probes cost one boolean load; enabled ones also pay\n\
+      two clock reads per call plus counter/histogram/ring updates per post.@.";
+  let oc = open_out "BENCH_obs.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E10-obs\",\n";
+  p "  \"unit\": \"ns per method call (6 basic events posted per call)\",\n";
+  p "  \"description\": \"indexed dispatch, N inert active triggers: Ode_obs \
+     registry disabled vs enabled\",\n";
+  p "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (n, off, on) ->
+      p
+        "    {\"inert_triggers\": %d, \"obs_off_ns_per_call\": %.0f, \
+         \"obs_on_ns_per_call\": %.0f, \"overhead\": %.2f}%s\n"
+        n off on (on /. off)
+        (if i = last then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  pf "wrote BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
+(* smoke: a one-iteration CI pass over the instrumented pipeline       *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs a single transaction with observability enabled and dumps the
+   registry — a fast end-to-end check that the probes are wired, meant
+   for the CI bench-smoke step, not for timing. *)
+let smoke () =
+  section "smoke: one instrumented transaction";
+  let module D = Ode_odb.Database in
+  let module Obs = Ode_obs.Registry in
+  let db, oid = inert_trigger_db 10 in
+  D.set_observability db true;
+  (match D.with_txn db (fun _ -> ignore (D.call db oid "work" [])) with
+  | Ok () -> ()
+  | Error `Aborted -> failwith "smoke transaction aborted");
+  let r = D.observe db in
+  pf "%a@." Obs.pp r;
+  if Obs.get r Obs.Posts = 0 then failwith "smoke: no posts counted";
+  pf "smoke ok.@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
@@ -819,7 +899,8 @@ let () =
   let all =
     [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("e7", e7); ("e8", e8); ("e9", e9); ("e9d", e9_dispatch); ("e10", e10);
-      ("e11", e11); ("e12", e12); ("micro", bechamel_suite) ]
+      ("e10o", e10_obs); ("e11", e11); ("e12", e12); ("micro", bechamel_suite);
+      ("smoke", smoke) ]
   in
   let selected =
     match List.tl (Array.to_list Sys.argv) with

@@ -229,11 +229,30 @@ let cmd_normalize expr =
 (* schema: load an ODL file, optionally drive it with a script          *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_schema schema_file script_file =
-  let db = Ode_odb.Database.create_db () in
+let cmd_schema schema_file script_file obs =
+  let module D = Ode_odb.Database in
+  let module Obs = Ode_obs.Registry in
+  let module Trace = Ode_obs.Trace in
+  let db = D.create_db () in
+  if obs then begin
+    D.set_observability db true;
+    (* narrate firings as they happen; everything else is summarised at
+       the end from the registry *)
+    ignore
+      (Trace.add_sink
+         (Obs.trace (D.observe db))
+         (function
+           | Trace.Fired { scope; trigger; txn; _ } ->
+             Fmt.epr "[obs] fired %a.%s (txn %d)@." Trace.pp_scope scope trigger
+               txn
+           | _ -> ()))
+  end;
   (* a few built-in database functions scripts tend to want *)
-  Ode_odb.Database.register_fun db "now" (fun db _ ->
-      Value.Int (Int64.to_int (Ode_odb.Database.now db)));
+  D.register_fun db "now" (fun db _ ->
+      Value.Int (Int64.to_int (D.now db)));
+  let summarise () =
+    if obs then Fmt.pr "-- observability --@.%a@." Obs.pp (D.observe db)
+  in
   match
     let classes = Ode_odl.Odl.load_schema_file db schema_file in
     Fmt.pr "loaded %d class(es): %s@." (List.length classes)
@@ -246,7 +265,8 @@ let cmd_schema schema_file script_file =
     let st = Ode_odb.Database.stats db in
     Fmt.pr "-- %d object(s), %d active trigger(s), %d bytes of detection state --@."
       st.Ode_odb.Database.n_objects st.Ode_odb.Database.n_active_triggers
-      st.Ode_odb.Database.state_bytes
+      st.Ode_odb.Database.state_bytes;
+    summarise ()
   with
   | () -> Ok ()
   | exception Ode_odl.Odl.Odl_error (msg, pos) ->
@@ -310,10 +330,19 @@ let script_arg =
     & opt (some file) None
     & info [ "script" ] ~docv:"FILE" ~doc:"A transaction script to run against the schema.")
 
+let obs_arg =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Enable the Ode_obs observability layer: trace trigger firings to \
+           stderr as they happen and print pipeline counters and latency \
+           histograms after the script.")
+
 let schema_cmd =
   Cmd.v
     (Cmd.info "schema" ~doc:"Load an ODL schema and optionally run a transaction script")
-    Term.(term_result (const cmd_schema $ schema_file_arg $ script_arg))
+    Term.(term_result (const cmd_schema $ schema_file_arg $ script_arg $ obs_arg))
 
 let normalize_cmd =
   Cmd.v

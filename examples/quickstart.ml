@@ -8,6 +8,11 @@ module Value = Ode_base.Value
 let () =
   let db = D.create_db () in
 
+  (* Subscribe to trigger firings: the callback runs synchronously,
+     inside the transaction that posted the completing event. *)
+  let firing_log = ref [] in
+  let _sub = D.subscribe_firings db (fun f -> firing_log := f :: !firing_log) in
+
   (* A class is fields + member functions + triggers. Trigger events are
      written in the paper's O++ event sub-language. *)
   let account =
@@ -72,5 +77,6 @@ let () =
 
   Fmt.pr "@.firing log:@.";
   List.iter
-    (fun f -> Fmt.pr "  %s.%s fired on @%d (txn %d)@." f.D.f_class f.D.f_trigger f.D.f_oid f.D.f_txn)
-    (D.take_firings db)
+    (fun (f : D.firing) ->
+      Fmt.pr "  %s.%s fired on @%d (txn %d)@." f.D.f_class f.D.f_trigger f.D.f_oid f.D.f_txn)
+    (List.rev !firing_log)

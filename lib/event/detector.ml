@@ -82,6 +82,8 @@ let post t state ~env occurrence =
 
 let copy_state = Array.copy
 
+let[@inline] top_state (state : state) = state.(Array.length state - 1)
+
 let collect_classified t c (occurrence : Symbol.occurrence) =
   if (not t.has_formals) || not (is_relevant c) then []
   else begin

@@ -59,6 +59,13 @@ val post : t -> state -> env:Mask.env -> Symbol.occurrence -> bool
 
 val copy_state : state -> state
 
+val top_state : state -> int
+(** The top-level automaton word — the last entry of the state vector
+    (levels below it belong to masked subexpressions). This is the
+    paper's "one integer of state per activation" for mask-free
+    triggers; the database's observability layer reports it in
+    [Advanced] trace spans. *)
+
 (** {2 Dispatch relevance and split classification}
 
     The database's hot path posts each occurrence to many triggers. These

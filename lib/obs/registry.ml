@@ -1,0 +1,143 @@
+(* The per-database observability registry: named counters, per-probe
+   latency histograms, a posts-by-kind table and the trace ring.
+
+   Disabled by default. Every instrumentation point in the database
+   layers guards on [enabled], so a disabled registry costs one
+   inlinable boolean load per probe — verified against the E9-dispatch
+   bench (EXPERIMENTS.md, E10-obs-overhead). *)
+
+type counter =
+  | Posts
+  | Db_posts
+  | Classified
+  | Index_skipped
+  | Transitions
+  | Firings
+  | Tcomplete_rounds
+  | Undo_entries
+  | Timer_deliveries
+  | Lock_conflicts
+  | Classes_registered
+  | Triggers_indexed
+
+let counter_index = function
+  | Posts -> 0
+  | Db_posts -> 1
+  | Classified -> 2
+  | Index_skipped -> 3
+  | Transitions -> 4
+  | Firings -> 5
+  | Tcomplete_rounds -> 6
+  | Undo_entries -> 7
+  | Timer_deliveries -> 8
+  | Lock_conflicts -> 9
+  | Classes_registered -> 10
+  | Triggers_indexed -> 11
+
+let n_counters = 12
+
+let all_counters =
+  [
+    Posts; Db_posts; Classified; Index_skipped; Transitions; Firings;
+    Tcomplete_rounds; Undo_entries; Timer_deliveries; Lock_conflicts;
+    Classes_registered; Triggers_indexed;
+  ]
+
+let counter_name = function
+  | Posts -> "posts"
+  | Db_posts -> "db_posts"
+  | Classified -> "classified"
+  | Index_skipped -> "index_skipped"
+  | Transitions -> "transitions"
+  | Firings -> "firings"
+  | Tcomplete_rounds -> "tcomplete_rounds"
+  | Undo_entries -> "undo_entries"
+  | Timer_deliveries -> "timer_deliveries"
+  | Lock_conflicts -> "lock_conflicts"
+  | Classes_registered -> "classes_registered"
+  | Triggers_indexed -> "triggers_indexed"
+
+type probe = Post | Call | Commit | Action
+
+let probe_index = function Post -> 0 | Call -> 1 | Commit -> 2 | Action -> 3
+let n_probes = 4
+let all_probes = [ Post; Call; Commit; Action ]
+
+let probe_name = function
+  | Post -> "post"
+  | Call -> "call"
+  | Commit -> "commit"
+  | Action -> "action"
+
+type t = {
+  mutable on : bool;
+  counters : int array;
+  by_kind : (string, int) Hashtbl.t;
+  hists : Hist.t array;
+  trace : Trace.t;
+}
+
+let create ?(trace_capacity = 1024) () =
+  {
+    on = false;
+    counters = Array.make n_counters 0;
+    by_kind = Hashtbl.create 16;
+    hists = Array.init n_probes (fun _ -> Hist.create ());
+    trace = Trace.create ~capacity:trace_capacity;
+  }
+
+let[@inline] enabled t = t.on
+let set_enabled t flag = t.on <- flag
+
+let[@inline] incr t c = t.counters.(counter_index c) <- t.counters.(counter_index c) + 1
+
+let[@inline] add t c n =
+  t.counters.(counter_index c) <- t.counters.(counter_index c) + n
+
+let get t c = t.counters.(counter_index c)
+
+let incr_kind t kind =
+  Hashtbl.replace t.by_kind kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_kind kind))
+
+let posts_by_kind t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist t p = t.hists.(probe_index p)
+let[@inline] record_ns t p ns = Hist.record t.hists.(probe_index p) ns
+
+let trace t = t.trace
+let[@inline] span t s = Trace.emit t.trace s
+
+let reset t =
+  Array.fill t.counters 0 n_counters 0;
+  Hashtbl.reset t.by_kind;
+  Array.iter Hist.reset t.hists;
+  Trace.clear t.trace
+
+(* Monotonic enough for latency deltas within one process; µs-resolution
+   wall clock scaled to ns. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>observability %s@," (if t.on then "on" else "off");
+  List.iter
+    (fun c ->
+      let n = get t c in
+      if n > 0 then Format.fprintf ppf "  %-20s %d@," (counter_name c) n)
+    all_counters;
+  let kinds = posts_by_kind t in
+  if kinds <> [] then begin
+    Format.fprintf ppf "  posts by kind:@,";
+    List.iter (fun (k, n) -> Format.fprintf ppf "    %-24s %d@," k n) kinds
+  end;
+  List.iter
+    (fun p ->
+      let h = hist t p in
+      if Hist.count h > 0 then
+        Format.fprintf ppf "  %-8s %a@," (probe_name p) Hist.pp h)
+    all_probes;
+  Format.fprintf ppf "  trace: %d span(s) retained, %d dropped@]"
+    (List.length (Trace.spans t.trace))
+    (Trace.dropped t.trace)

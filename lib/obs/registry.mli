@@ -1,0 +1,90 @@
+(** The observability registry of one database instance: counters over
+    the post → classify → advance → fire → commit pipeline, nanosecond
+    latency histograms for its entry points, and the structured
+    {!Trace} ring.
+
+    A registry is created {e disabled}. Every instrumentation point in
+    the database layers is guarded by an inlinable [enabled] check, so a
+    disabled registry costs one boolean load per probe and nothing else
+    (measured: EXPERIMENTS.md, E10-obs-overhead). Enable with
+    {!set_enabled} on the registry returned by [Database.observe]. *)
+
+(** What is counted where (emitting layer in brackets):
+
+    - [Posts] — occurrences entering the object-scope pipeline [Engine]
+    - [Db_posts] — occurrences posted to the database scope [Engine]
+    - [Classified] — candidate triggers the dispatch stage handed to the
+      classifier [Engine]
+    - [Index_skipped] — active triggers the dispatch index pruned
+      without touching (0 on the brute-force path) [Engine]
+    - [Transitions] — automaton advances on relevant occurrences
+      [Engine], around {!Ode_event.Detector.post_classified}
+    - [Firings] — trigger firings, both scopes [Engine]
+    - [Tcomplete_rounds] — §6 [before tcomplete] fixpoint rounds [Txn]
+    - [Undo_entries] — undo-log entries accumulated by finished (either
+      way) user and system transactions [Txn]
+    - [Timer_deliveries] — due timers delivered as time events
+      [Timewheel]
+    - [Lock_conflicts] — incompatible lock requests [Txn]
+    - [Classes_registered], [Triggers_indexed] — schema registrations
+      and trigger definitions added to a dispatch index [Schema] *)
+type counter =
+  | Posts
+  | Db_posts
+  | Classified
+  | Index_skipped
+  | Transitions
+  | Firings
+  | Tcomplete_rounds
+  | Undo_entries
+  | Timer_deliveries
+  | Lock_conflicts
+  | Classes_registered
+  | Triggers_indexed
+
+val all_counters : counter list
+val counter_name : counter -> string
+
+(** Latency probes: [Post] one occurrence through the pipeline, [Call] a
+    public member-function call, [Commit] a commit including its
+    tcomplete rounds, [Action] one fired trigger action. *)
+type probe = Post | Call | Commit | Action
+
+val all_probes : probe list
+val probe_name : probe -> string
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+(** Disabled, all zeros; the trace ring holds [trace_capacity] spans
+    (default 1024). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+val get : t -> counter -> int
+
+val incr_kind : t -> string -> unit
+(** Bump the per-basic-kind post table (the printed
+    {!Ode_event.Symbol.basic_key}). *)
+
+val posts_by_kind : t -> (string * int) list
+(** Sorted by kind name. *)
+
+val hist : t -> probe -> Hist.t
+val record_ns : t -> probe -> int -> unit
+
+val trace : t -> Trace.t
+val span : t -> Trace.span -> unit
+
+val reset : t -> unit
+(** Zero the counters, histograms, kind table and trace ring; the
+    enabled flag and attached sinks are untouched. *)
+
+val now_ns : unit -> int
+(** Wall clock in nanoseconds (µs resolution), for latency deltas. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary of every non-zero counter and histogram. *)

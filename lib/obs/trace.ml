@@ -1,0 +1,95 @@
+(* Structured pipeline spans in a bounded ring buffer, with pluggable
+   sinks. The database layers emit spans only when the registry is
+   enabled, so this module never sits on the hot path of a production
+   run with observability off. *)
+
+type scope = Obj of int | Db
+
+type span =
+  | Txn_begin of { txn : int; system : bool }
+  | Txn_commit of { txn : int; rounds : int }
+  | Txn_abort of { txn : int }
+  | Posted of { scope : scope; basic : string; txn : int; at_ms : int64 }
+  | Advanced of { scope : scope; trigger : string; old_state : int; new_state : int }
+  | Fired of { scope : scope; trigger : string; txn : int; at_ms : int64 }
+  | Action_ran of { scope : scope; trigger : string; ns : int }
+  | Timer_delivered of { oid : int; at_ms : int64 }
+
+module type SINK = sig
+  val emit : span -> unit
+end
+
+type sink = { sk_id : int; sk_fn : span -> unit }
+
+type t = {
+  buf : span option array;  (* ring; [head] is the next write slot *)
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+  mutable sinks : sink list;  (* attachment order *)
+  mutable next_sink : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { buf = Array.make capacity None; head = 0; len = 0; dropped = 0;
+    sinks = []; next_sink = 0 }
+
+let capacity t = Array.length t.buf
+
+let emit t span =
+  let cap = Array.length t.buf in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.buf.(t.head) <- Some span;
+  t.head <- (t.head + 1) mod cap;
+  List.iter (fun sk -> sk.sk_fn span) t.sinks
+
+let spans t =
+  let cap = Array.length t.buf in
+  let first = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false (* slots below [len] are always filled *))
+
+let dropped t = t.dropped
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let add_sink t fn =
+  let sk = { sk_id = t.next_sink; sk_fn = fn } in
+  t.next_sink <- t.next_sink + 1;
+  t.sinks <- t.sinks @ [ sk ];
+  sk
+
+let attach t (module S : SINK) = add_sink t S.emit
+
+let remove_sink t sk =
+  t.sinks <- List.filter (fun s -> s.sk_id <> sk.sk_id) t.sinks
+
+let pp_scope ppf = function
+  | Obj oid -> Format.fprintf ppf "@%d" oid
+  | Db -> Format.fprintf ppf "<database>"
+
+let pp_span ppf = function
+  | Txn_begin { txn; system } ->
+    Format.fprintf ppf "txn %d begin%s" txn (if system then " (system)" else "")
+  | Txn_commit { txn; rounds } ->
+    Format.fprintf ppf "txn %d commit (%d tcomplete round%s)" txn rounds
+      (if rounds = 1 then "" else "s")
+  | Txn_abort { txn } -> Format.fprintf ppf "txn %d abort" txn
+  | Posted { scope; basic; txn; at_ms } ->
+    Format.fprintf ppf "post %s -> %a (txn %d, t=%Ld)" basic pp_scope scope txn at_ms
+  | Advanced { scope; trigger; old_state; new_state } ->
+    Format.fprintf ppf "advance %s%a: %d -> %d" trigger pp_scope scope old_state
+      new_state
+  | Fired { scope; trigger; txn; at_ms } ->
+    Format.fprintf ppf "fire %s%a (txn %d, t=%Ld)" trigger pp_scope scope txn at_ms
+  | Action_ran { scope; trigger; ns } ->
+    Format.fprintf ppf "action %s%a ran in %dns" trigger pp_scope scope ns
+  | Timer_delivered { oid; at_ms } ->
+    Format.fprintf ppf "timer -> @%d at t=%Ld" oid at_ms

@@ -1,0 +1,65 @@
+(** Structured trace of the posting pipeline: a bounded ring buffer of
+    spans plus pluggable sinks.
+
+    One span is emitted per pipeline step the database layers consider
+    observable — transaction begin/commit/abort, an occurrence entering
+    the pipeline, a trigger automaton advancing, a trigger firing, its
+    action running, a timer delivering. The ring keeps the most recent
+    [capacity] spans (older ones are counted in {!dropped}); sinks see
+    {e every} span as it is emitted, so a test, the bench harness or a
+    CLI can attach live consumers without unbounded memory in the
+    database itself. *)
+
+type scope =
+  | Obj of int  (** an object, by oid *)
+  | Db  (** the database scope (§3) *)
+
+type span =
+  | Txn_begin of { txn : int; system : bool }
+  | Txn_commit of { txn : int; rounds : int }
+      (** [rounds]: §6 [before tcomplete] rounds the commit ran *)
+  | Txn_abort of { txn : int }
+  | Posted of { scope : scope; basic : string; txn : int; at_ms : int64 }
+      (** an occurrence entered the pipeline; [basic] is the printed
+          basic-event kind *)
+  | Advanced of { scope : scope; trigger : string; old_state : int; new_state : int }
+      (** a relevant occurrence stepped a trigger automaton; states are
+          the top-level automaton word ({!Ode_event.Detector.top_state}) *)
+  | Fired of { scope : scope; trigger : string; txn : int; at_ms : int64 }
+  | Action_ran of { scope : scope; trigger : string; ns : int }
+  | Timer_delivered of { oid : int; at_ms : int64 }
+
+(** A consumer of every emitted span. *)
+module type SINK = sig
+  val emit : span -> unit
+end
+
+type sink
+(** Handle for detaching. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val emit : t -> span -> unit
+(** Append to the ring (overwriting the oldest span when full) and fan
+    out to every attached sink, in attachment order. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first; at most [capacity t] of them. *)
+
+val dropped : t -> int
+(** Spans overwritten since creation (or the last {!clear}). *)
+
+val clear : t -> unit
+(** Empty the ring and reset {!dropped}. Sinks stay attached. *)
+
+val add_sink : t -> (span -> unit) -> sink
+val attach : t -> (module SINK) -> sink
+val remove_sink : t -> sink -> unit
+
+val pp_scope : Format.formatter -> scope -> unit
+val pp_span : Format.formatter -> span -> unit

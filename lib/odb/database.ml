@@ -59,6 +59,13 @@ let dispatch_index = Engine.dispatch_index
 let set_dispatch_index = Engine.set_dispatch_index
 let dispatch_index_enabled = Engine.dispatch_index_enabled
 
+(* Observability *)
+
+let observe (db : t) = db.Types.obs
+
+let set_observability (db : t) flag =
+  Ode_obs.Registry.set_enabled db.Types.obs flag
+
 (* Lifecycle *)
 
 let create_db = Types.create_db
@@ -99,6 +106,13 @@ let deactivate = Engine.deactivate
 let is_active = Engine.is_active
 let trigger_state_words = Engine.trigger_state_words
 let trigger_state = Engine.trigger_state
+
+(* Firing notification *)
+
+type subscription = Types.subscription
+
+let subscribe_firings = Engine.subscribe_firings
+let unsubscribe = Engine.unsubscribe
 let take_firings = Engine.take_firings
 
 (* Database-scope triggers (§3) *)

@@ -147,6 +147,7 @@ val set_dispatch_index : t -> bool -> unit
 val dispatch_index_enabled : t -> bool
 
 val dispatch_index : bool ref
+[@@deprecated "use set_dispatch_index — the global ref is a test-isolation hazard"]
 (** Deprecated process-global override of {!set_dispatch_index}, kept
     for the ablation bench and the equivalence property test: posting
     takes the indexed path only when both this ref and the database's
@@ -159,11 +160,35 @@ val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 
 (** {1 Database lifecycle} *)
 
-val create_db : ?start_time:int64 -> ?max_tcomplete_rounds:int -> unit -> t
+val create_db :
+  ?start_time:int64 -> ?max_tcomplete_rounds:int -> ?trace_capacity:int ->
+  unit -> t
 (** [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
     [before tcomplete] fixpoint at commit; when a commit's rounds
     exceed it, {!commit} raises {!Ode_error} naming the round count
-    instead of livelocking. *)
+    instead of livelocking. [trace_capacity] (default 1024, must be
+    >= 1) sizes the observability trace ring — see {!observe}. *)
+
+(** {1 Observability}
+
+    Every database carries an {!Ode_obs.Registry.t}: pipeline counters
+    (events posted per basic kind, dispatch-index work skipped,
+    automaton transitions, firings, tcomplete rounds, undo entries,
+    timer deliveries, lock conflicts), nanosecond latency histograms for
+    [post]/[call]/[commit]/trigger actions, and a bounded ring of
+    structured trace spans with pluggable sinks
+    ({!Ode_obs.Trace.add_sink}). The registry is created {e disabled}
+    and every probe is guarded, so the posting hot path pays one boolean
+    load per probe site when off (the E10-obs-overhead experiment keeps
+    this within noise of the E9-dispatch baseline). *)
+
+val observe : t -> Ode_obs.Registry.t
+(** The database's registry — inspect counters and histograms, read or
+    clear the trace ring, attach sinks. *)
+
+val set_observability : t -> bool -> unit
+(** Turn the probes on or off (off at {!create_db}). Equivalent to
+    [Ode_obs.Registry.set_enabled (observe db)]. *)
 
 val now : t -> int64
 
@@ -263,17 +288,42 @@ val trigger_state : t -> oid -> string -> int array
 (** A copy of the activation's automaton state, for diagnostics and
     tests. *)
 
+(** {1 Firing notification}
+
+    The notification surface is subscription-based: register a callback
+    with {!subscribe_firings} and every subsequent firing — object or
+    database scope — is delivered to it synchronously from inside the
+    posting pipeline, in subscription order, immediately before the
+    fired trigger's action runs. *)
+
 type firing = {
   f_trigger : string;
-  f_class : string;
+  f_class : string;  (** ["<database>"] for database-scope triggers *)
   f_oid : oid;
   f_at : int64;
   f_txn : int;
 }
 
+type subscription
+
+val subscribe_firings : t -> (firing -> unit) -> subscription
+(** Register a firing callback. Callbacks run synchronously inside the
+    posting operation (and therefore inside its transaction); they
+    should not raise — an exception propagates out of the posting call.
+    Subscriptions are not persisted by {!save} but do survive
+    {!load}. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Remove a subscription; idempotent. Unsubscribing from inside a
+    callback takes effect immediately (no further deliveries, including
+    later subscribers' deliveries of the same firing batch). *)
+
 val take_firings : t -> firing list
-(** Drain the log of trigger firings (oldest first) — for tests, examples
-    and benchmarks. *)
+[@@deprecated "subscribe with subscribe_firings instead of draining"]
+(** Drain the buffered firing log, oldest first. Deprecated: this is a
+    shim over {!subscribe_firings} (an internal subscription feeds the
+    buffer), kept for existing tests and scripts. Mixing both surfaces
+    double-observes every firing. *)
 
 (** {1 Database-scope triggers (§3 "events have a scope")}
 
@@ -293,14 +343,19 @@ val take_firings : t -> firing list
 val db_trigger :
   t ->
   ?perpetual:bool ->
+  ?witnesses:bool ->
   string ->
   event:Ode_event.Expr.t ->
   action:(t -> fire_context -> unit) ->
   unit
+(** [witnesses] (default false) tracks full per-match provenance exactly
+    as for object-scope triggers: the action's [fc_witnesses] becomes
+    [Some matches]. Reset when the trigger is re-activated. *)
 
 val db_trigger_str :
   t ->
   ?perpetual:bool ->
+  ?witnesses:bool ->
   string ->
   event:string ->
   action:(t -> fire_context -> unit) ->
@@ -327,7 +382,12 @@ type stats = {
   n_active_triggers : int;
   n_timers : int;
   state_bytes : int;
-      (** total bytes of automaton state across all activations *)
+      (** Detection-state footprint: 8 bytes per automaton state word of
+          every activation (object- and database-scope), plus
+          [24 + length name] bytes per collected §9 binding, plus the
+          committed-mode shadow copies pinned by open transactions' undo
+          logs (state-word and binding charges alike). See
+          {!Store.stats} for the precise accounting. *)
 }
 
 val stats : t -> stats

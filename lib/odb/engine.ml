@@ -2,7 +2,31 @@ module Value = Ode_base.Value
 module Symbol = Ode_event.Symbol
 module Mask = Ode_event.Mask
 module Detector = Ode_event.Detector
+module Registry = Ode_obs.Registry
+module Trace = Ode_obs.Trace
 open Types
+
+(* ------------------------------------------------------------------ *)
+(* Observability probes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every probe below is guarded by the caller on
+   [Registry.enabled db.obs]; with observability off the pipeline pays
+   one boolean load per probe site (E10-obs-overhead in EXPERIMENTS.md
+   keeps this honest against the E9-dispatch baseline). *)
+
+let kind_name basic =
+  Format.asprintf "%a" Symbol.pp_basic_key (Symbol.basic_key basic)
+
+let count_active triggers =
+  Hashtbl.fold (fun _ at n -> if at.at_active then n + 1 else n) triggers 0
+
+(* Counters for one dispatch decision: how many candidates reach the
+   classifier, and how many active triggers the index pruned away. *)
+let record_dispatch obs ~indexed ~n_active ~n_candidates =
+  Registry.add obs Registry.Classified n_candidates;
+  if indexed then
+    Registry.add obs Registry.Index_skipped (max 0 (n_active - n_candidates))
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch-index configuration                                        *)
@@ -83,11 +107,45 @@ let db_candidate_triggers db (basic : Symbol.basic) =
       db.engine.db_triggers []
 
 (* ------------------------------------------------------------------ *)
+(* Firing notification: subscriptions                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The primary notification surface. Every firing — object or database
+   scope — flows through here to the subscribers in subscription order;
+   the deprecated [take_firings] drain is subscriber 0, installed at
+   [create_db]. *)
+let notify_firing db (f : firing) =
+  let obs = db.obs in
+  if Registry.enabled obs then begin
+    Registry.incr obs Registry.Firings;
+    Registry.span obs
+      (Trace.Fired
+         {
+           scope = (if f.f_class = "<database>" then Trace.Db else Trace.Obj f.f_oid);
+           trigger = f.f_trigger;
+           txn = f.f_txn;
+           at_ms = f.f_at;
+         })
+  end;
+  List.iter (fun s -> if s.s_active then s.s_fn f) db.engine.subscribers
+
+let subscribe_firings db fn =
+  let s = { s_id = db.engine.next_sub_id; s_fn = fn; s_active = true } in
+  db.engine.next_sub_id <- s.s_id + 1;
+  db.engine.subscribers <- db.engine.subscribers @ [ s ];
+  s
+
+let unsubscribe db s =
+  s.s_active <- false;
+  db.engine.subscribers <-
+    List.filter (fun x -> not (x == s)) db.engine.subscribers
+
+(* ------------------------------------------------------------------ *)
 (* The firing pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let log_firing db tx (at : active_trigger) obj =
-  db.engine.firings <-
+  notify_firing db
     {
       f_trigger = at.at_def.t_name;
       f_class = at.at_def.t_class;
@@ -95,7 +153,19 @@ let log_firing db tx (at : active_trigger) obj =
       f_at = db.wheel.clock_ms;
       f_txn = tx.tx_id;
     }
-    :: db.engine.firings
+
+(* Run one fired action, timing it when observability is on. *)
+let run_action db (at : active_trigger) ~scope ctx =
+  let obs = db.obs in
+  if not (Registry.enabled obs) then at.at_def.t_action db ctx
+  else begin
+    let t0 = Registry.now_ns () in
+    at.at_def.t_action db ctx;
+    let ns = Registry.now_ns () - t0 in
+    Registry.record_ns obs Registry.Action ns;
+    Registry.span obs
+      (Trace.Action_ran { scope; trigger = at.at_def.t_name; ns })
+  end
 
 (* Phase 2 of the pipeline: deactivate one-shot triggers, log and run the
    actions of the set that fired. *)
@@ -108,7 +178,7 @@ let post_fired db tx obj occurrence fired =
         at.at_active <- false
       end;
       log_firing db tx at obj;
-      at.at_def.t_action db
+      run_action db at ~scope:(Trace.Obj obj.o_id)
         {
           fc_oid = obj.o_id;
           fc_params = at.at_params;
@@ -126,49 +196,97 @@ let post_fired db tx obj occurrence fired =
    the paper; we use declaration order). Returns whether anything
    fired. *)
 let post db tx obj (basic : Symbol.basic) args =
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let t0 = if on then Registry.now_ns () else 0 in
   let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
   Store.record_history db tx obj occurrence;
-  match candidate_triggers db obj basic with
-  | [] -> false
-  | candidates ->
-    let env = Store.mask_env db obj in
-    let cache = ref [] in
-    let fired = ref [] in
-    List.iter
-      (fun at ->
-        let detector = at.at_def.t_detector in
-        let occurred =
-          try
-            let c = classify_cached cache detector ~env occurrence in
-            let relevant = Detector.is_relevant c in
-            if relevant && detector.Detector.mode = Detector.Committed then begin
-              (* an irrelevant occurrence provably changes neither the
-                 automaton state nor the collected bindings, so the undo
-                 copies are only taken here *)
-              tx.tx_undo <-
-                U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
-              tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
-            end;
-            if relevant then
-              List.iter
-                (fun (name, v) ->
-                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                (Detector.collect_classified detector c occurrence);
-            (match at.at_provenance with
-            | Some prov ->
-              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
-            | None -> ());
-            Detector.post_classified detector at.at_state ~env c
-          with Mask.Eval_error msg ->
-            ode_error "trigger %s.%s: mask evaluation failed: %s"
-              at.at_def.t_class at.at_def.t_name msg
-        in
-        if occurred then fired := at :: !fired)
-      candidates;
-    post_fired db tx obj occurrence (List.rev !fired)
+  if on then begin
+    Registry.incr obs Registry.Posts;
+    Registry.incr_kind obs (kind_name basic);
+    Registry.span obs
+      (Trace.Posted
+         { scope = Trace.Obj obj.o_id; basic = kind_name basic; txn = tx.tx_id;
+           at_ms = occurrence.Symbol.at })
+  end;
+  let candidates = candidate_triggers db obj basic in
+  if on then
+    record_dispatch obs ~indexed:(use_index db)
+      ~n_active:(count_active obj.o_triggers)
+      ~n_candidates:(List.length candidates);
+  let result =
+    match candidates with
+    | [] -> false
+    | candidates ->
+      let env = Store.mask_env db obj in
+      let cache = ref [] in
+      let fired = ref [] in
+      List.iter
+        (fun at ->
+          let detector = at.at_def.t_detector in
+          let occurred =
+            try
+              let c = classify_cached cache detector ~env occurrence in
+              let relevant = Detector.is_relevant c in
+              if relevant && detector.Detector.mode = Detector.Committed then begin
+                (* an irrelevant occurrence provably changes neither the
+                   automaton state nor the collected bindings, so the undo
+                   copies are only taken here *)
+                tx.tx_undo <-
+                  U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
+                tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
+              end;
+              if relevant then
+                List.iter
+                  (fun (name, v) ->
+                    at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
+                  (Detector.collect_classified detector c occurrence);
+              (match at.at_provenance with
+              | Some prov ->
+                at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+              | None -> ());
+              let old_top =
+                if on then Detector.top_state at.at_state else 0
+              in
+              let r = Detector.post_classified detector at.at_state ~env c in
+              if on && relevant then begin
+                Registry.incr obs Registry.Transitions;
+                Registry.span obs
+                  (Trace.Advanced
+                     { scope = Trace.Obj obj.o_id; trigger = at.at_def.t_name;
+                       old_state = old_top;
+                       new_state = Detector.top_state at.at_state })
+              end;
+              r
+            with Mask.Eval_error msg ->
+              ode_error "trigger %s.%s: mask evaluation failed: %s"
+                at.at_def.t_class at.at_def.t_name msg
+          in
+          if occurred then fired := at :: !fired)
+        candidates;
+      post_fired db tx obj occurrence (List.rev !fired)
+  in
+  if on then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
+  result
 
 let post_db db (basic : Symbol.basic) args =
-  match db_candidate_triggers db basic with
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let txn_id = match db.txns.current with Some tx -> tx.tx_id | None -> 0 in
+  if on then begin
+    Registry.incr obs Registry.Db_posts;
+    Registry.incr_kind obs (kind_name basic);
+    Registry.span obs
+      (Trace.Posted
+         { scope = Trace.Db; basic = kind_name basic; txn = txn_id;
+           at_ms = db.wheel.clock_ms })
+  end;
+  let candidates = db_candidate_triggers db basic in
+  if on then
+    record_dispatch obs ~indexed:(use_index db)
+      ~n_active:(count_active db.engine.db_triggers)
+      ~n_candidates:(List.length candidates);
+  match candidates with
   | [] -> ()
   | candidates ->
     let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
@@ -181,12 +299,27 @@ let post_db db (basic : Symbol.basic) args =
         let occurred =
           try
             let c = classify_cached cache detector ~env occurrence in
-            if Detector.is_relevant c then
+            let relevant = Detector.is_relevant c in
+            if relevant then
               List.iter
                 (fun (name, v) ->
                   at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
                 (Detector.collect_classified detector c occurrence);
-            Detector.post_classified detector at.at_state ~env c
+            (match at.at_provenance with
+            | Some prov ->
+              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+            | None -> ());
+            let old_top = if on then Detector.top_state at.at_state else 0 in
+            let r = Detector.post_classified detector at.at_state ~env c in
+            if on && relevant then begin
+              Registry.incr obs Registry.Transitions;
+              Registry.span obs
+                (Trace.Advanced
+                   { scope = Trace.Db; trigger = at.at_def.t_name;
+                     old_state = old_top;
+                     new_state = Detector.top_state at.at_state })
+            end;
+            r
           with Mask.Eval_error msg ->
             ode_error "database trigger %s: mask evaluation failed: %s"
               at.at_def.t_name msg
@@ -194,26 +327,25 @@ let post_db db (basic : Symbol.basic) args =
         if occurred then fired := at :: !fired)
       candidates;
     let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
-    let txn_id = match db.txns.current with Some tx -> tx.tx_id | None -> 0 in
     List.iter
       (fun at ->
         if not at.at_def.t_perpetual then at.at_active <- false;
-        db.engine.firings <-
+        notify_firing db
           {
             f_trigger = at.at_def.t_name;
             f_class = "<database>";
             f_oid = affected;
             f_at = db.wheel.clock_ms;
             f_txn = txn_id;
-          }
-          :: db.engine.firings;
-        at.at_def.t_action db
+          };
+        run_action db at ~scope:Trace.Db
           {
             fc_oid = affected;
             fc_params = at.at_params;
             fc_occurrence = occurrence;
             fc_collected = at.at_collected;
-            fc_witnesses = None;
+            fc_witnesses =
+              (if at.at_def.t_witnesses then Some at.at_last_witnesses else None);
           })
       (List.rev !fired)
 
@@ -234,6 +366,10 @@ let activate_db_trigger db name params =
     | Some at ->
       at.at_state <- Detector.initial def.t_detector;
       at.at_collected <- [];
+      at.at_provenance <-
+        (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
+         else None);
+      at.at_last_witnesses <- [];
       at.at_active <- true;
       at.at_epoch <- at.at_epoch + 1;
       at.at_params <- params
@@ -377,6 +513,9 @@ let set_field db oid name v =
     Hashtbl.replace obj.o_fields name v
 
 let call db oid mname args =
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let t0 = if on then Registry.now_ns () else 0 in
   let tx = Txn.require_txn db in
   let obj = Store.live_obj db oid in
   let meth =
@@ -403,6 +542,7 @@ let call db oid mname args =
   ignore (post db tx obj (Symbol.Method (After, mname)) args);
   ignore (post db tx obj (rw_event Symbol.After) []);
   ignore (post db tx obj (Symbol.Access After) []);
+  if on then Registry.record_ns obs Registry.Call (Registry.now_ns () - t0);
   result
 
 let has_method db oid mname =

@@ -46,8 +46,35 @@ val system_post : db -> oid list -> Ode_event.Symbol.basic -> unit
     transaction (§5: commit/abort events belong to no user
     transaction). *)
 
+(** {1 Firing notification}
+
+    The primary notification surface is subscription-based: register a
+    callback with {!subscribe_firings} and every subsequent firing —
+    object or database scope — is delivered to it synchronously, in
+    subscription order, from inside the posting pipeline. The legacy
+    drain {!take_firings} is a shim implemented as the internal
+    subscriber installed at [create_db]. *)
+
+val subscribe_firings : db -> (firing -> unit) -> subscription
+(** Register a callback invoked synchronously for every firing, in
+    subscription order, after one-shot deactivation but interleaved with
+    the fired actions of the same occurrence (each firing is notified
+    immediately before its action runs). Callbacks must not raise;
+    an exception propagates out of the posting operation. *)
+
+val unsubscribe : db -> subscription -> unit
+(** Remove a subscription. Safe to call twice; a subscription captured
+    inside a callback list being walked is silenced immediately
+    ([s_active] is cleared before removal). *)
+
+val notify_firing : db -> firing -> unit
+(** Deliver one firing to all subscribers (and the observability
+    registry). Exposed for the façade and tests; the pipeline calls it
+    internally. *)
+
 val take_firings : db -> firing list
-(** Drain the firing log, oldest first. *)
+(** Drain the firing buffer, oldest first. Deprecated shim over
+    {!subscribe_firings}: the buffer is fed by internal subscriber 0. *)
 
 val touch : db -> txn -> obj -> unit
 (** Record first access and lazily post [after tbegin] (§3.1(4)). *)

@@ -1,6 +1,7 @@
 module Value = Ode_base.Value
 module Symbol = Ode_event.Symbol
 module Detector = Ode_event.Detector
+module Registry = Ode_obs.Registry
 open Types
 
 type class_builder = {
@@ -93,7 +94,11 @@ let register_class db b =
      dispatch (and therefore action execution on a shared occurrence) is
      deterministic *)
   List.iter (index_trigger_def k.k_dispatch) (List.rev b.b_triggers);
-  Hashtbl.add db.schema.classes b.b_name k
+  Hashtbl.add db.schema.classes b.b_name k;
+  if Registry.enabled db.obs then begin
+    Registry.incr db.obs Registry.Classes_registered;
+    Registry.add db.obs Registry.Triggers_indexed (List.length b.b_triggers)
+  end
 
 let builder_name b = b.b_name
 
@@ -104,7 +109,7 @@ let n_classes db = Hashtbl.length db.schema.classes
 
 let find_fun db name = Hashtbl.find_opt db.schema.functions name
 
-let db_trigger db ?(perpetual = false) name ~event ~action =
+let db_trigger db ?(perpetual = false) ?(witnesses = false) name ~event ~action =
   if Hashtbl.mem db.schema.db_trigger_defs name then
     ode_error "database trigger %s already defined" name;
   let detector =
@@ -118,16 +123,18 @@ let db_trigger db ?(perpetual = false) name ~event ~action =
       t_event = event;
       t_detector = detector;
       t_perpetual = perpetual;
-      t_witnesses = false;
+      t_witnesses = witnesses;
       t_action = action;
     }
   in
   Hashtbl.add db.schema.db_trigger_defs name def;
-  index_trigger_def db.schema.db_dispatch def
+  index_trigger_def db.schema.db_dispatch def;
+  if Registry.enabled db.obs then
+    Registry.incr db.obs Registry.Triggers_indexed
 
-let db_trigger_str db ?perpetual name ~event ~action =
+let db_trigger_str db ?perpetual ?witnesses name ~event ~action =
   match Ode_lang.Parser.event_of_string event with
   | Error msg -> ode_error "database trigger %s: %s" name msg
-  | Ok expr -> db_trigger db ?perpetual name ~event:expr ~action
+  | Ok expr -> db_trigger db ?perpetual ?witnesses name ~event:expr ~action
 
 let find_db_trigger db name = Hashtbl.find_opt db.schema.db_trigger_defs name

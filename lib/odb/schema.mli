@@ -66,16 +66,21 @@ val find_fun : db -> string -> (db -> Value.t list -> Value.t) option
 val db_trigger :
   db ->
   ?perpetual:bool ->
+  ?witnesses:bool ->
   string ->
   event:Ode_event.Expr.t ->
   action:(db -> fire_context -> unit) ->
   unit
 (** Define a database-scope trigger (§3) and index it in the
-    database-scope dispatch table. Activation is {!Engine}'s job. *)
+    database-scope dispatch table. Activation is {!Engine}'s job.
+    [witnesses] (default false) tracks full per-match provenance, as for
+    object-scope triggers: the action's [fc_witnesses] is then
+    [Some matches] instead of [None]. *)
 
 val db_trigger_str :
   db ->
   ?perpetual:bool ->
+  ?witnesses:bool ->
   string ->
   event:string ->
   action:(db -> fire_context -> unit) ->

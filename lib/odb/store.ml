@@ -161,6 +161,31 @@ type stats = {
   state_bytes : int;
 }
 
+(* Approximate heap cost of one collected §9 binding: a list cell plus a
+   pair (3 words) and the formal's name; the bound value itself is shared
+   with the posting arguments and not charged here. *)
+let binding_bytes bindings =
+  List.fold_left (fun acc (name, _) -> acc + 24 + String.length name) 0 bindings
+
+let activation_bytes at =
+  (8 * Array.length at.at_state) + binding_bytes at.at_collected
+
+(* Shadow copies a committed-mode trigger keeps alive through an open
+   transaction's undo log (the §6 "state is part of the object"
+   option doubles the state while a transaction is in flight). *)
+let undo_state_bytes db =
+  List.fold_left
+    (fun acc tx ->
+      List.fold_left
+        (fun acc entry ->
+          match entry with
+          | U_trigger_state (_, copy) -> acc + (8 * Array.length copy)
+          | U_trigger_collected (_, bindings) -> acc + binding_bytes bindings
+          | U_field _ | U_create _ | U_delete _ | U_trigger_active _
+          | U_trigger_added _ -> acc)
+        acc tx.tx_undo)
+    0 db.txns.open_txns
+
 let stats db =
   let n_objects = ref 0 in
   let n_active = ref 0 in
@@ -172,14 +197,17 @@ let stats db =
         Hashtbl.iter
           (fun _ at ->
             if at.at_active then incr n_active;
-            state_bytes := !state_bytes + (8 * Array.length at.at_state))
+            state_bytes := !state_bytes + activation_bytes at)
           obj.o_triggers
       end)
     db.store.objects;
+  Hashtbl.iter
+    (fun _ at -> state_bytes := !state_bytes + activation_bytes at)
+    db.engine.db_triggers;
   {
     n_objects = !n_objects;
     n_classes = Hashtbl.length db.schema.classes;
     n_active_triggers = !n_active;
     n_timers = List.length db.wheel.timers;
-    state_bytes = !state_bytes;
+    state_bytes = !state_bytes + undo_state_bytes db;
   }

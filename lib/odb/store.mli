@@ -71,6 +71,15 @@ type stats = {
   n_active_triggers : int;
   n_timers : int;
   state_bytes : int;
+      (** Detection-state footprint, counted exactly as:
+          8 bytes per automaton state word of every activation on a live
+          object {e and} of every database-scope activation (active or
+          not); plus [24 + length name] bytes per collected §9 binding
+          held by an activation; plus the shadow copies pinned by open
+          transactions' undo logs — 8 bytes per word of each
+          [U_trigger_state] snapshot and the same per-binding charge for
+          each [U_trigger_collected] snapshot. Bound values themselves
+          are shared with the posting arguments and are not charged. *)
 }
 
 val stats : db -> stats

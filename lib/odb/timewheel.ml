@@ -94,8 +94,15 @@ let advance_to db target =
       db.wheel.timers <- rest;
       let group = tm :: dups in
       db.wheel.clock_ms <- max db.wheel.clock_ms tm.tm_due;
-      if List.exists (timer_alive db) group then
-        !deliver_hook db tm.tm_oid tm.tm_spec;
+      if List.exists (timer_alive db) group then begin
+        let obs = db.obs in
+        if Ode_obs.Registry.enabled obs then begin
+          Ode_obs.Registry.incr obs Ode_obs.Registry.Timer_deliveries;
+          Ode_obs.Registry.span obs
+            (Ode_obs.Trace.Timer_delivered { oid = tm.tm_oid; at_ms = tm.tm_due })
+        end;
+        !deliver_hook db tm.tm_oid tm.tm_spec
+      end;
       List.iter
         (fun t ->
           if timer_alive db t then

@@ -1,5 +1,7 @@
 module Value = Ode_base.Value
 module Symbol = Ode_event.Symbol
+module Registry = Ode_obs.Registry
+module Trace = Ode_obs.Trace
 open Types
 
 (* ------------------------------------------------------------------ *)
@@ -41,6 +43,8 @@ let fresh_txn db ~system =
   in
   db.txns.next_txn_id <- db.txns.next_txn_id + 1;
   db.txns.open_txns <- tx :: db.txns.open_txns;
+  if Registry.enabled db.obs then
+    Registry.span db.obs (Trace.Txn_begin { txn = tx.tx_id; system });
   tx
 
 let begin_txn db =
@@ -63,10 +67,12 @@ let txn_id tx = tx.tx_id
 (* ------------------------------------------------------------------ *)
 
 let acquire db tx obj request =
-  ignore db;
   match Lock.acquire obj.o_lock ~holder:tx.tx_id request with
   | Some l -> obj.o_lock <- l
-  | None -> raise (Lock_conflict obj.o_id)
+  | None ->
+    if Registry.enabled db.obs then
+      Registry.incr db.obs Registry.Lock_conflicts;
+    raise (Lock_conflict obj.o_id)
 
 let release_locks db tx =
   List.iter
@@ -116,6 +122,12 @@ let abort db tx =
      with Tabort -> () (* already aborting *));
     db.txns.in_abort <- false
   end;
+  if Registry.enabled db.obs then begin
+    (* count undo work as it is retired, so committed and aborted
+       transactions report comparable volumes *)
+    Registry.add db.obs Registry.Undo_entries (List.length tx.tx_undo);
+    Registry.span db.obs (Trace.Txn_abort { txn = tx.tx_id })
+  end;
   List.iter (apply_undo db) tx.tx_undo;
   tx.tx_undo <- [];
   tx.tx_status <- Aborted;
@@ -126,6 +138,9 @@ let abort db tx =
 
 let commit db tx =
   if tx.tx_status <> Active then ode_error "transaction already finished";
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let t0 = if on then Registry.now_ns () else 0 in
   let saved_current = db.txns.current in
   db.txns.current <- Some tx;
   let restore () =
@@ -134,6 +149,7 @@ let commit db tx =
       db.txns.current <- Some cur
     | _ -> ()
   in
+  let n_rounds = ref 0 in
   match
     if not tx.tx_system then begin
       (* §6: keep posting [before tcomplete] until a round fires nothing. *)
@@ -143,6 +159,8 @@ let commit db tx =
             "commit livelock: before tcomplete still firing triggers after %d \
              rounds"
             db.txns.max_tcomplete_rounds;
+        n_rounds := n;
+        if on then Registry.incr obs Registry.Tcomplete_rounds;
         let fired = ref false in
         List.iter
           (fun oid ->
@@ -157,6 +175,10 @@ let commit db tx =
     end
   with
   | () ->
+    if on then begin
+      Registry.add obs Registry.Undo_entries (List.length tx.tx_undo);
+      Registry.span obs (Trace.Txn_commit { txn = tx.tx_id; rounds = !n_rounds })
+    end;
     tx.tx_status <- Committed;
     tx.tx_undo <- [];
     release_locks db tx;
@@ -164,6 +186,7 @@ let commit db tx =
     restore ();
     if not tx.tx_system then
       !system_post_hook db (List.rev tx.tx_accessed) Symbol.Tcommit;
+    if on then Registry.record_ns obs Registry.Commit (Registry.now_ns () - t0);
     Ok ()
   | exception Tabort ->
     abort db tx;

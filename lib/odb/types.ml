@@ -31,6 +31,10 @@ type db = {
   txns : txn_state;
   engine : engine_state;
   wheel : wheel_state;
+  obs : Ode_obs.Registry.t;
+      (* observability registry (counters, latency histograms, trace
+         ring). Created disabled; every probe in the layers guards on
+         [Ode_obs.Registry.enabled] so the hot path stays untouched. *)
 }
 
 (* [Schema]: compiled class and trigger definitions. Written at class
@@ -65,7 +69,13 @@ and txn_state = {
 and engine_state = {
   db_triggers : (string, active_trigger) Hashtbl.t;
       (* activations of database-scope triggers *)
-  mutable firings : firing list;  (* newest first; drained by take_firings *)
+  mutable firings : firing list;
+      (* newest first; the buffer behind the deprecated [take_firings]
+         shim, fed by the internal subscription installed at create_db *)
+  mutable subscribers : subscription list;
+      (* firing subscribers in subscription order; head is the internal
+         take_firings shim *)
+  mutable next_sub_id : int;
   mutable use_dispatch_index : bool;
       (* per-database switch between the indexed posting path and the
          brute-force reference path (default true) *)
@@ -175,6 +185,12 @@ and firing = {
   f_txn : int;
 }
 
+and subscription = {
+  s_id : int;
+  s_fn : firing -> unit;
+  mutable s_active : bool;
+}
+
 exception Tabort
 exception Lock_conflict of oid
 exception Ode_error of string
@@ -183,31 +199,46 @@ let ode_error fmt = Format.kasprintf (fun s -> raise (Ode_error s)) fmt
 
 (* The composition root: every layer's state record, initialized empty.
    Lives here because only the knot module sees all the sub-records. *)
-let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000) () =
+let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
+    ?(trace_capacity = 1024) () =
   if max_tcomplete_rounds < 1 then
     ode_error "max_tcomplete_rounds must be >= 1";
-  {
-    schema =
-      {
-        classes = Hashtbl.create 8;
-        functions = Hashtbl.create 8;
-        db_trigger_defs = Hashtbl.create 4;
-        db_dispatch = Hashtbl.create 8;
-      };
-    store = { objects = Hashtbl.create 64; next_oid = 1; history_limit = 0 };
-    txns =
-      {
-        next_txn_id = 1;
-        current = None;
-        open_txns = [];
-        in_abort = false;
-        max_tcomplete_rounds;
-      };
-    engine =
-      {
-        db_triggers = Hashtbl.create 4;
-        firings = [];
-        use_dispatch_index = true;
-      };
-    wheel = { clock_ms = start_time; timers = [] };
-  }
+  let db =
+    {
+      schema =
+        {
+          classes = Hashtbl.create 8;
+          functions = Hashtbl.create 8;
+          db_trigger_defs = Hashtbl.create 4;
+          db_dispatch = Hashtbl.create 8;
+        };
+      store = { objects = Hashtbl.create 64; next_oid = 1; history_limit = 0 };
+      txns =
+        {
+          next_txn_id = 1;
+          current = None;
+          open_txns = [];
+          in_abort = false;
+          max_tcomplete_rounds;
+        };
+      engine =
+        {
+          db_triggers = Hashtbl.create 4;
+          firings = [];
+          subscribers = [];
+          next_sub_id = 1;
+          use_dispatch_index = true;
+        };
+      wheel = { clock_ms = start_time; timers = [] };
+      obs = Ode_obs.Registry.create ~trace_capacity ();
+    }
+  in
+  (* The deprecated [take_firings] drain is itself a subscription: the
+     internal subscriber below appends every notified firing to the
+     buffer that [take_firings] empties, so the old API is a shim over
+     the new one rather than a parallel code path. *)
+  db.engine.subscribers <-
+    [ { s_id = 0;
+        s_fn = (fun f -> db.engine.firings <- f :: db.engine.firings);
+        s_active = true } ];
+  db

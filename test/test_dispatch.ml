@@ -1,10 +1,10 @@
 (* Equivalence of the dispatch-indexed posting path against the
    brute-force reference path.
 
-   [Database.dispatch_index] (default true) makes [post]/[post_db]
+   [Database.set_dispatch_index] (default true) makes [post]/[post_db]
    consult the per-class / per-database dispatch index and touch only
    the triggers whose alphabet can contain the posted basic event;
-   setting it to false restores the pre-index path that snapshots and
+   switching it off restores the pre-index path that snapshots and
    classifies {e every} activation. The two must be observably
    identical: same firings, same collected §9 bindings, same witnesses,
    same automaton states, same activation flags — on random schemas
@@ -41,11 +41,11 @@ let trigger_names case = List.mapi (fun i _ -> Printf.sprintf "t%d" i) case.trig
    {e order} of same-occurrence firings is unspecified (the indexed path
    fixed it to declaration order). *)
 let run ~use_index case =
-  let saved = !D.dispatch_index in
-  D.dispatch_index := use_index;
-  Fun.protect ~finally:(fun () -> D.dispatch_index := saved) @@ fun () ->
   let log = ref [] in
   let db = D.create_db () in
+  D.set_dispatch_index db use_index;
+  let firings_log = ref [] in
+  let _sub = D.subscribe_firings db (fun f -> firings_log := f :: !firings_log) in
   (* one database-scope trigger so [post_db]'s index is exercised too *)
   D.db_trigger_str db ~perpetual:true "census" ~event:"choose 2 (after create)"
     ~action:(fun _ ctx -> log := ("census", [ ("oid", Value.Int ctx.D.fc_oid) ], None) :: !log);
@@ -96,7 +96,9 @@ let run ~use_index case =
       if s.commit then ignore (D.commit db tx) else D.abort db tx)
     case.scripts;
   let firings =
-    List.map (fun f -> (f.D.f_trigger, f.D.f_oid, f.D.f_txn)) (D.take_firings db)
+    List.map
+      (fun (f : D.firing) -> (f.D.f_trigger, f.D.f_oid, f.D.f_txn))
+      (List.rev !firings_log)
   in
   let states =
     List.map (fun n -> (n, D.trigger_state db oid n, D.is_active db oid n)) names
@@ -185,6 +187,8 @@ let index_equals_scan =
    check actual firing, §9 collection and one-shot deactivation. *)
 let test_indexed_firing () =
   let db = D.create_db () in
+  let fired = ref [] in
+  let _sub = D.subscribe_firings db (fun f -> fired := f :: !fired) in
   let collected = ref [] in
   let event =
     Expr.sequence
@@ -220,7 +224,7 @@ let test_indexed_firing () =
     Alcotest.(check (list string))
       "fired exactly once"
       [ "t" ]
-      (List.map (fun f -> f.D.f_trigger) (D.take_firings db));
+      (List.map (fun (f : D.firing) -> f.D.f_trigger) (List.rev !fired));
     Alcotest.(check bool) "one-shot deactivated" false (D.is_active db oid "t")
   | Error `Aborted -> Alcotest.fail "transaction aborted");
   match !collected with

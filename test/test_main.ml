@@ -16,6 +16,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("clock", Test_clock.suite);
       ("odb", Test_odb.suite);
+      ("obs", Test_obs.suite);
       ("facade", Test_facade.suite);
       ("dispatch", Test_dispatch.suite);
       ("time-events", Test_time.suite);

@@ -68,6 +68,135 @@ let test_db_trigger_masks () =
          ignore (D.create db "a" [])));
   Alcotest.(check int) "only class b counted" 1 !hits
 
+(* --- database-scope witness tracking (§9 provenance at db scope) --- *)
+
+let test_db_witnesses () =
+  let db = D.create_db () in
+  let seen = ref [] in
+  D.db_trigger_str db ~witnesses:true "pairs"
+    ~event:"after create(o, cls); after create"
+    ~action:(fun _ ctx ->
+      match ctx.D.fc_witnesses with
+      | Some ws -> seen := ws :: !seen
+      | None -> Alcotest.fail "witnesses missing on db-scope trigger");
+  (* control: without ~witnesses the context must carry None *)
+  D.db_trigger_str db ~perpetual:true "no_wit" ~event:"after create"
+    ~action:(fun _ ctx ->
+      match ctx.D.fc_witnesses with
+      | None -> ()
+      | Some _ -> Alcotest.fail "witnesses present without ~witnesses");
+  D.activate_db_trigger db "pairs" [];
+  D.activate_db_trigger db "no_wit" [];
+  D.register_class db (widget_class "w");
+  let oids =
+    expect_ok (D.with_txn db (fun _ -> List.init 2 (fun _ -> D.create db "w" [])))
+  in
+  match (!seen, oids) with
+  | [ ws ], [ first; _ ] ->
+    Alcotest.(check bool) "at least one witness" true (ws <> []);
+    Alcotest.(check bool) "first create witnessed" true
+      (List.exists
+         (fun b ->
+           List.assoc_opt "o" b = Some (Value.Oid first)
+           && List.assoc_opt "cls" b = Some (Value.String "w"))
+         ws)
+  | seen, _ -> Alcotest.failf "expected one firing, got %d" (List.length seen)
+
+(* Parity: the [fc_witnesses] a db-scope trigger hands its action must
+   equal a reference [Provenance] engine fed the same occurrence stream
+   the engine posts ([Oid oid; String cls] arguments, §3 scope events).
+   The trigger fires on {e every} relevant occurrence (top-level [|]),
+   so each firing exposes the provenance state at that point. *)
+
+type scope_op = Create_a | Create_b | Delete_nth of int
+
+let gen_scope_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (frequency
+         [
+           (3, return Create_a);
+           (3, return Create_b);
+           (2, map (fun i -> Delete_nth i) (int_bound 11));
+         ]))
+
+let null_env : Ode_event.Mask.env =
+  {
+    var = (fun _ -> None);
+    deref = (fun _ _ -> None);
+    call = (fun _ _ -> raise (Ode_event.Mask.Eval_error "no functions"));
+  }
+
+let db_witness_parity =
+  QCheck.Test.make ~count:60 ~name:"db-scope witnesses = reference provenance"
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat "; "
+           (List.map
+              (function
+                | Create_a -> "create a"
+                | Create_b -> "create b"
+                | Delete_nth i -> Printf.sprintf "delete #%d" i)
+              ops))
+       gen_scope_ops)
+    (fun ops ->
+      let event = "after create(o, cls) | before delete(o2, cls2)" in
+      let db = D.create_db () in
+      let got = ref [] in
+      D.db_trigger_str db ~perpetual:true ~witnesses:true "watch" ~event
+        ~action:(fun _ ctx ->
+          match ctx.D.fc_witnesses with
+          | Some ws -> got := ws :: !got
+          | None -> Alcotest.fail "witnesses missing");
+      D.activate_db_trigger db "watch" [];
+      D.register_class db (widget_class "a");
+      D.register_class db (widget_class "b");
+      (* the engine's stream, replayed for the reference *)
+      let stream = ref [] in
+      let live = ref [] in  (* oids in creation order, still live *)
+      expect_ok
+        (D.with_txn db (fun _ ->
+             List.iter
+               (fun op ->
+                 match op with
+                 | Create_a | Create_b ->
+                   let cls = if op = Create_a then "a" else "b" in
+                   let oid = D.create db cls [] in
+                   live := !live @ [ (oid, cls) ];
+                   stream :=
+                     (Ode_event.Symbol.Create,
+                      [ Value.Oid oid; Value.String cls ])
+                     :: !stream
+                 | Delete_nth i -> (
+                   match List.nth_opt !live i with
+                   | None -> ()
+                   | Some (oid, cls) ->
+                     live := List.filter (fun (o, _) -> o <> oid) !live;
+                     D.delete db oid;
+                     stream :=
+                       (Ode_event.Symbol.Delete,
+                        [ Value.Oid oid; Value.String cls ])
+                       :: !stream))
+               ops));
+      let expr =
+        match Ode_lang.Parser.event_of_string event with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "parse: %s" msg
+      in
+      let prov = Ode_event.Provenance.make expr in
+      let expected =
+        List.filter_map
+          (fun (basic, args) ->
+            match
+              Ode_event.Provenance.post prov ~env:null_env
+                { Ode_event.Symbol.basic; args; at = 0L }
+            with
+            | [] -> None
+            | ws -> Some ws)
+          (List.rev !stream)
+      in
+      List.rev !got = expected)
+
 let test_history_recording () =
   let db = D.create_db ~start_time:1000L () in
   D.enable_history db ~limit:100;
@@ -168,6 +297,8 @@ let suite =
     Alcotest.test_case "schema events" `Quick test_schema_events;
     Alcotest.test_case "creation census" `Quick test_creation_census;
     Alcotest.test_case "db-scope masks" `Quick test_db_trigger_masks;
+    Alcotest.test_case "db-scope witnesses" `Quick test_db_witnesses;
+    QCheck_alcotest.to_alcotest db_witness_parity;
     Alcotest.test_case "history recording (§9)" `Quick test_history_recording;
     Alcotest.test_case "history limit" `Quick test_history_limit;
     Alcotest.test_case "history off by default" `Quick test_history_off_by_default;
