@@ -69,9 +69,16 @@ let probe_name = function
   | Commit -> "commit"
   | Action -> "action"
 
+(* Counters are [Atomic] and the kind table and trace ring are guarded
+   by [mu] because the engine's parallel step phase ([Engine.post_many])
+   emits [Transitions]/[Classified]/[Index_skipped] bumps and [Advanced]
+   spans from worker domains — counts must stay exact, not approximate,
+   under a multi-domain run. Histograms stay plain: every [record_ns]
+   site runs in a sequential pipeline phase. *)
 type t = {
   mutable on : bool;
-  counters : int array;
+  counters : int Atomic.t array;
+  mu : Mutex.t;
   by_kind : (string, int) Hashtbl.t;
   hists : Hist.t array;
   trace : Trace.t;
@@ -80,7 +87,8 @@ type t = {
 let create ?(trace_capacity = 1024) () =
   {
     on = false;
-    counters = Array.make n_counters 0;
+    counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    mu = Mutex.create ();
     by_kind = Hashtbl.create 16;
     hists = Array.init n_probes (fun _ -> Hist.create ());
     trace = Trace.create ~capacity:trace_capacity;
@@ -88,31 +96,37 @@ let create ?(trace_capacity = 1024) () =
 
 let[@inline] enabled t = t.on
 let set_enabled t flag = t.on <- flag
-
-let[@inline] incr t c = t.counters.(counter_index c) <- t.counters.(counter_index c) + 1
+let[@inline] incr t c = Atomic.incr t.counters.(counter_index c)
 
 let[@inline] add t c n =
-  t.counters.(counter_index c) <- t.counters.(counter_index c) + n
+  ignore (Atomic.fetch_and_add t.counters.(counter_index c) n)
 
-let get t c = t.counters.(counter_index c)
+let get t c = Atomic.get t.counters.(counter_index c)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let incr_kind t kind =
-  Hashtbl.replace t.by_kind kind
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_kind kind))
+  locked t (fun () ->
+      Hashtbl.replace t.by_kind kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_kind kind)))
 
 let posts_by_kind t =
-  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.by_kind []
+  locked t (fun () -> Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.by_kind [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let hist t p = t.hists.(probe_index p)
 let[@inline] record_ns t p ns = Hist.record t.hists.(probe_index p) ns
-
 let trace t = t.trace
-let[@inline] span t s = Trace.emit t.trace s
+
+(* Sinks attached to the trace run under [mu]: they must be quick and
+   must not call back into the registry. *)
+let span t s = locked t (fun () -> Trace.emit t.trace s)
 
 let reset t =
-  Array.fill t.counters 0 n_counters 0;
-  Hashtbl.reset t.by_kind;
+  Array.iter (fun c -> Atomic.set c 0) t.counters;
+  locked t (fun () -> Hashtbl.reset t.by_kind);
   Array.iter Hist.reset t.hists;
   Trace.clear t.trace
 

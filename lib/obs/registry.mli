@@ -7,7 +7,15 @@
     the database layers is guarded by an inlinable [enabled] check, so a
     disabled registry costs one boolean load per probe and nothing else
     (measured: EXPERIMENTS.md, E10-obs-overhead). Enable with
-    {!set_enabled} on the registry returned by [Database.observe]. *)
+    {!set_enabled} on the registry returned by [Database.observe].
+
+    {b Thread safety.} Counters are atomic and the kind table and trace
+    ring are mutex-guarded, because the engine's parallel step phase
+    ([Engine.post_many]) emits from worker domains — counts stay exact
+    under a multi-domain run. Trace sinks run while the registry mutex
+    is held: keep them quick and never re-enter the registry from one.
+    Histograms ({!record_ns}) are {e not} synchronised — every latency
+    probe sits in a sequential pipeline phase. *)
 
 (** What is counted where (emitting layer in brackets):
 

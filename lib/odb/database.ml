@@ -68,7 +68,19 @@ let set_observability (db : t) flag =
 
 (* Lifecycle *)
 
-let create_db = Types.create_db
+type backend_spec = Store.spec
+
+let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend () =
+  (* composition root: instantiate the store backend here — [Types] holds
+     it abstractly and cannot depend on [Store] *)
+  let spec =
+    match backend with Some s -> s | None -> Store.default_spec ()
+  in
+  Types.make_db
+    ~backend:(Store.backend_of spec)
+    ?start_time ?max_tcomplete_rounds ?trace_capacity ()
+
+let backend_name = Store.backend_name
 let now = Timewheel.now
 let advance_clock = Timewheel.advance_clock
 let advance_to = Timewheel.advance_to
@@ -96,6 +108,10 @@ let objects_of_class = Store.objects_of_class
 let call = Engine.call
 let has_method = Engine.has_method
 let apply_fun = Engine.apply_fun
+let post_many = Engine.post_many
+let set_post_domains = Engine.set_post_domains
+let post_domains = Engine.post_domains
+let shutdown_pool = Engine.shutdown_pool
 let get_field = Store.get_field
 let set_field = Engine.set_field
 

@@ -160,14 +160,27 @@ val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 
 (** {1 Database lifecycle} *)
 
+type backend_spec = Store.spec
+(** Which heap backend to instantiate: [`Heap] (one hashtable) or
+    [`Sharded n] (n hashtables partitioned by oid, over which
+    {!post_many} can parallelise its classify/step phase). Both are
+    observably identical — same firings, same order, same {!save}
+    bytes — per the {!Store} ordering contract. *)
+
 val create_db :
   ?start_time:int64 -> ?max_tcomplete_rounds:int -> ?trace_capacity:int ->
-  unit -> t
+  ?backend:backend_spec -> unit -> t
 (** [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
     [before tcomplete] fixpoint at commit; when a commit's rounds
     exceed it, {!commit} raises {!Ode_error} naming the round count
     instead of livelocking. [trace_capacity] (default 1024, must be
-    >= 1) sizes the observability trace ring — see {!observe}. *)
+    >= 1) sizes the observability trace ring — see {!observe}.
+    [backend] defaults to {!Store.default_spec} — [`Heap], unless the
+    [ODE_STORE_BACKEND] environment variable overrides it (how CI runs
+    the whole suite against the sharded backend). *)
+
+val backend_name : t -> string
+(** ["heap"] or ["sharded:<n>"]. *)
 
 (** {1 Observability}
 
@@ -262,6 +275,37 @@ val has_method : t -> oid -> string -> bool
 val apply_fun : t -> string -> Value.t list -> Value.t
 (** Call a function registered with {!register_fun}; raises {!Ode_error}
     if unknown. *)
+
+(** {1 Batch event posting}
+
+    {!post_many} drives the §5 pipeline over a whole batch of basic
+    events in three phases: touch/lock/history sequentially in batch
+    order, then classify + automaton step with one task per heap shard
+    (parallel across up to {!post_domains} domains on a [`Sharded]
+    backend — safe because detection state is per-object and the batch
+    is partitioned by shard), then all firing strictly sequentially.
+    The outcome, firing order included, is bit-identical whatever the
+    domain count or backend. *)
+
+val post_many :
+  t -> (oid * Ode_event.Symbol.basic * Value.t list) list -> int
+(** Post a batch of basic events inside the current transaction. Every
+    event steps against the detection state as of the start of the
+    batch (same-object events step in batch order); fired actions all
+    run after the whole batch has stepped, in batch order then
+    declaration order. Dead or missing oids are skipped. Returns the
+    number of firings. Requires an active transaction. *)
+
+val set_post_domains : t -> int -> unit
+(** Domain count for {!post_many}'s step phase (default 1, i.e. fully
+    sequential; clamped to the backend's shard count at use). Raises
+    {!Ode_error} if < 1. *)
+
+val post_domains : t -> int
+
+val shutdown_pool : t -> unit
+(** Join and discard the cached domain pool, if any; idempotent. Call
+    before discarding a database that ran multi-domain batches. *)
 
 val get_field : t -> oid -> string -> Value.t
 (** Raw field read for method bodies and examples; posts no events. *)

@@ -141,6 +141,87 @@ let unsubscribe db s =
     List.filter (fun x -> not (x == s)) db.engine.subscribers
 
 (* ------------------------------------------------------------------ *)
+(* The three pipeline phases                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* §5 observes that detection state is one integer per active trigger
+   per object, so the pipeline factors into:
+
+     1. {e classify} — map the occurrence to a symbol of each candidate's
+        alphabet, once per distinct shared detector. Read-only (guard
+        masks may be evaluated; detection state is never touched).
+     2. {e step} — advance each candidate activation's automaton and
+        collect §9 bindings. Independent per activation; this is the
+        phase [post_many] fans out across domains, one shard per task.
+     3. {e fire} — deactivate one-shots and run fired actions, strictly
+        sequential, in batch then declaration order.
+
+   [post] runs all three inline on one occurrence; [post_many] runs
+   phase 1+2 per shard (possibly in parallel) and phase 3 once. *)
+
+let mask_error at msg =
+  if at.at_def.t_class = "<database>" then
+    ode_error "database trigger %s: mask evaluation failed: %s"
+      at.at_def.t_name msg
+  else
+    ode_error "trigger %s.%s: mask evaluation failed: %s" at.at_def.t_class
+      at.at_def.t_name msg
+
+(* Phase 1. Returns candidates paired with their classification, in
+   candidate (declaration) order. Classification happens strictly before
+   any stepping: masks are required to be side-effect-free (§7), so the
+   hoisting is unobservable. *)
+let classify_phase ~env occurrence candidates =
+  let cache = ref [] in
+  List.map
+    (fun (at : active_trigger) ->
+      let c =
+        try classify_cached cache at.at_def.t_detector ~env occurrence
+        with Mask.Eval_error msg -> mask_error at msg
+      in
+      (at, c))
+    candidates
+
+(* Phase 2, for one activation. Committed-mode snapshots go to [undo] —
+   the caller's segment, merged into the transaction log afterwards (a
+   per-shard segment under [post_many]). Mutates only this activation's
+   state, so distinct activations step safely in parallel; the
+   observability emissions are atomic (counters) or mutexed (spans). *)
+let step_activation db ~undo ~scope (at : active_trigger) ~env c occurrence =
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let detector = at.at_def.t_detector in
+  try
+    let relevant = Detector.is_relevant c in
+    if relevant && detector.Detector.mode = Detector.Committed then begin
+      (* an irrelevant occurrence provably changes neither the automaton
+         state nor the collected bindings, so the undo copies are only
+         taken here *)
+      undo := U_trigger_state (at, Detector.copy_state at.at_state) :: !undo;
+      undo := U_trigger_collected (at, at.at_collected) :: !undo
+    end;
+    if relevant then
+      List.iter
+        (fun (name, v) ->
+          at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
+        (Detector.collect_classified detector c occurrence);
+    (match at.at_provenance with
+    | Some prov ->
+      at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+    | None -> ());
+    let old_top = if on then Detector.top_state at.at_state else 0 in
+    let r = Detector.post_classified detector at.at_state ~env c in
+    if on && relevant then begin
+      Registry.incr obs Registry.Transitions;
+      Registry.span obs
+        (Trace.Advanced
+           { scope; trigger = at.at_def.t_name; old_state = old_top;
+             new_state = Detector.top_state at.at_state })
+    end;
+    r
+  with Mask.Eval_error msg -> mask_error at msg
+
+(* ------------------------------------------------------------------ *)
 (* The firing pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -219,52 +300,33 @@ let post db tx obj (basic : Symbol.basic) args =
     | [] -> false
     | candidates ->
       let env = Store.mask_env db obj in
-      let cache = ref [] in
-      let fired = ref [] in
-      List.iter
-        (fun at ->
-          let detector = at.at_def.t_detector in
-          let occurred =
-            try
-              let c = classify_cached cache detector ~env occurrence in
-              let relevant = Detector.is_relevant c in
-              if relevant && detector.Detector.mode = Detector.Committed then begin
-                (* an irrelevant occurrence provably changes neither the
-                   automaton state nor the collected bindings, so the undo
-                   copies are only taken here *)
-                tx.tx_undo <-
-                  U_trigger_state (at, Detector.copy_state at.at_state) :: tx.tx_undo;
-                tx.tx_undo <- U_trigger_collected (at, at.at_collected) :: tx.tx_undo
-              end;
-              if relevant then
-                List.iter
-                  (fun (name, v) ->
-                    at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                  (Detector.collect_classified detector c occurrence);
-              (match at.at_provenance with
-              | Some prov ->
-                at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
-              | None -> ());
-              let old_top =
-                if on then Detector.top_state at.at_state else 0
-              in
-              let r = Detector.post_classified detector at.at_state ~env c in
-              if on && relevant then begin
-                Registry.incr obs Registry.Transitions;
-                Registry.span obs
-                  (Trace.Advanced
-                     { scope = Trace.Obj obj.o_id; trigger = at.at_def.t_name;
-                       old_state = old_top;
-                       new_state = Detector.top_state at.at_state })
-              end;
-              r
-            with Mask.Eval_error msg ->
-              ode_error "trigger %s.%s: mask evaluation failed: %s"
-                at.at_def.t_class at.at_def.t_name msg
-          in
-          if occurred then fired := at :: !fired)
-        candidates;
-      post_fired db tx obj occurrence (List.rev !fired)
+      let classified = classify_phase ~env occurrence candidates in
+      let undo = ref [] in
+      let merge () =
+        if !undo <> [] then begin
+          tx.tx_undo <- !undo @ tx.tx_undo;
+          undo := []
+        end
+      in
+      (* step phase; the undo segment is merged even when a mask blows
+         up mid-walk, so an abort still restores the already-stepped
+         committed-mode candidates *)
+      let fired =
+        match
+          List.filter
+            (fun (at, c) ->
+              step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at ~env c
+                occurrence)
+            classified
+        with
+        | stepped ->
+          merge ();
+          List.map fst stepped
+        | exception e ->
+          merge ();
+          raise e
+      in
+      post_fired db tx obj occurrence fired
   in
   if on then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
   result
@@ -291,41 +353,18 @@ let post_db db (basic : Symbol.basic) args =
   | candidates ->
     let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
     let env = Store.db_mask_env db in
-    let cache = ref [] in
-    let fired = ref [] in
-    List.iter
-      (fun at ->
-        let detector = at.at_def.t_detector in
-        let occurred =
-          try
-            let c = classify_cached cache detector ~env occurrence in
-            let relevant = Detector.is_relevant c in
-            if relevant then
-              List.iter
-                (fun (name, v) ->
-                  at.at_collected <- (name, v) :: List.remove_assoc name at.at_collected)
-                (Detector.collect_classified detector c occurrence);
-            (match at.at_provenance with
-            | Some prov ->
-              at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
-            | None -> ());
-            let old_top = if on then Detector.top_state at.at_state else 0 in
-            let r = Detector.post_classified detector at.at_state ~env c in
-            if on && relevant then begin
-              Registry.incr obs Registry.Transitions;
-              Registry.span obs
-                (Trace.Advanced
-                   { scope = Trace.Db; trigger = at.at_def.t_name;
-                     old_state = old_top;
-                     new_state = Detector.top_state at.at_state })
-            end;
-            r
-          with Mask.Eval_error msg ->
-            ode_error "database trigger %s: mask evaluation failed: %s"
-              at.at_def.t_name msg
-        in
-        if occurred then fired := at :: !fired)
-      candidates;
+    let classified = classify_phase ~env occurrence candidates in
+    (* database triggers are always Full_history mode, so the step phase
+       takes no undo snapshots; the throwaway segment keeps one code path *)
+    let fired =
+      List.filter_map
+        (fun (at, c) ->
+          if step_activation db ~undo:(ref []) ~scope:Trace.Db at ~env c
+               occurrence
+          then Some at
+          else None)
+        classified
+    in
     let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
     List.iter
       (fun at ->
@@ -347,7 +386,7 @@ let post_db db (basic : Symbol.basic) args =
             fc_witnesses =
               (if at.at_def.t_witnesses then Some at.at_last_witnesses else None);
           })
-      (List.rev !fired)
+      fired
 
 let take_firings db =
   let fs = List.rev db.engine.firings in
@@ -473,6 +512,146 @@ let touch db tx obj =
     if not tx.tx_system then ignore (post db tx obj Symbol.Tbegin [])
   end
 
+(* ------------------------------------------------------------------ *)
+(* Batch posting: post_many and the domain pool                         *)
+(* ------------------------------------------------------------------ *)
+
+let set_post_domains db n =
+  if n < 1 then ode_error "post_domains must be >= 1 (got %d)" n;
+  db.engine.post_domains <- n
+
+let post_domains db = db.engine.post_domains
+
+let shutdown_pool db =
+  match db.engine.pool with
+  | Some p ->
+    db.engine.pool <- None;
+    Pool.shutdown p
+  | None -> ()
+
+(* The pool is lazily built and cached on the database; resized (torn
+   down and respawned) only when [set_post_domains] changed the target
+   size since the last batch. *)
+let ensure_pool db ~size =
+  match db.engine.pool with
+  | Some p when Pool.size p = size -> p
+  | Some _ | None ->
+    shutdown_pool db;
+    let p = Pool.create ~size in
+    db.engine.pool <- Some p;
+    p
+
+(* Post a batch of basic events in one sweep of the three-phase
+   pipeline. Phase 0 (here) and phase 3 (firing) are strictly
+   sequential in {e batch order}; phases 1+2 (classify + step) run one
+   task per shard — in parallel across up to [post_domains db] domains
+   on a sharded backend — which is safe because a shard task only
+   mutates detection state of objects it owns (§5: one automaton per
+   trigger per object) and never touches the heap structurally.
+
+   Batch semantics: every event in the batch is classified and stepped
+   against the detection state {e as of the start of the batch's step
+   phase}; fired actions all run after the whole batch has stepped.
+   Events addressed to the same object step in batch order. The result
+   is bit-identical — firing order included — whatever the domain count
+   or backend, and equals the 1-domain sequential sweep by
+   construction. Dead or missing oids are skipped, like [system_post].
+   Returns the number of firings. *)
+let post_many db items =
+  let tx = Txn.require_txn db in
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let t0 = if on then Registry.now_ns () else 0 in
+  (* Phase 0 — sequential, batch order: resolve targets, first-touch
+     [after tbegin], write locks, §9 history, Posted probes. *)
+  let resolved =
+    List.filter_map
+      (fun (oid, basic, args) ->
+        match Store.live_obj_opt db oid with
+        | None -> None
+        | Some obj ->
+          touch db tx obj;
+          Txn.acquire db tx obj Lock.Write;
+          let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
+          Store.record_history db tx obj occurrence;
+          if on then begin
+            Registry.incr obs Registry.Posts;
+            Registry.incr_kind obs (kind_name basic);
+            Registry.span obs
+              (Trace.Posted
+                 { scope = Trace.Obj obj.o_id; basic = kind_name basic;
+                   txn = tx.tx_id; at_ms = occurrence.Symbol.at })
+          end;
+          Some (obj, occurrence))
+      items
+  in
+  let resolved = Array.of_list resolved in
+  let n = Array.length resolved in
+  let nsh = Store.shards db in
+  (* Phases 1+2 — one task per shard. Each task walks the batch in
+     order, handling only its own shard's items; fired sets land in a
+     per-item slot (disjoint writes), committed-mode undo snapshots in a
+     per-shard segment. [Fun.protect] flushes the segment even when a
+     mask blows up mid-shard, so the merge below always sees every
+     snapshot that was taken. *)
+  let fired = Array.make n [] in
+  let segments = Array.make nsh [] in
+  let step_shard s =
+    let undo = ref [] in
+    Fun.protect
+      ~finally:(fun () -> segments.(s) <- !undo)
+      (fun () ->
+        for i = 0 to n - 1 do
+          let obj, occurrence = resolved.(i) in
+          if Store.shard_of db obj.o_id = s then begin
+            let basic = occurrence.Symbol.basic in
+            let candidates = candidate_triggers db obj basic in
+            if on then
+              record_dispatch obs ~indexed:(use_index db)
+                ~n_active:(count_active obj.o_triggers)
+                ~n_candidates:(List.length candidates);
+            match candidates with
+            | [] -> ()
+            | candidates ->
+              let env = Store.mask_env db obj in
+              let classified = classify_phase ~env occurrence candidates in
+              fired.(i) <-
+                List.map fst
+                  (List.filter
+                     (fun (at, c) ->
+                       step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at
+                         ~env c occurrence)
+                     classified)
+          end
+        done)
+  in
+  let domains = min db.engine.post_domains nsh in
+  let merge () = Txn.merge_undo_segments tx (Array.to_list segments) in
+  (match
+     if domains <= 1 || n = 0 then
+       for s = 0 to nsh - 1 do
+         step_shard s
+       done
+     else Pool.run (ensure_pool db ~size:domains) ~tasks:nsh step_shard
+   with
+  | () -> merge ()
+  | exception e ->
+    merge ();
+    raise e);
+  (* Phase 3 — sequential firing: batch order, declaration order within
+     one event (preserved by construction above). *)
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    match fired.(i) with
+    | [] -> ()
+    | ats ->
+      let obj, occurrence = resolved.(i) in
+      count := !count + List.length ats;
+      ignore (post_fired db tx obj occurrence ats)
+  done;
+  if on then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
+  !count
+
 let create db cname args =
   let tx = Txn.require_txn db in
   let k =
@@ -498,7 +677,7 @@ let delete db oid =
   Txn.acquire db tx obj Lock.Write;
   ignore (post db tx obj Symbol.Delete []);
   post_db db Symbol.Delete [ Value.Oid oid; Value.String obj.o_class.k_name ];
-  obj.o_deleted <- true;
+  Store.mark_deleted db obj;
   tx.tx_undo <- U_delete obj :: tx.tx_undo
 
 let set_field db oid name v =

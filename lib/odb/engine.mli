@@ -46,6 +46,40 @@ val system_post : db -> oid list -> Ode_event.Symbol.basic -> unit
     transaction (§5: commit/abort events belong to no user
     transaction). *)
 
+(** {1 Batch posting}
+
+    [post_many] drives the same three-phase pipeline over a whole batch:
+    phase 0 (touch/lock/history/probes) and phase 3 (firing) run
+    sequentially in batch order; the classify + step phases run one task
+    per heap shard, fanned out across up to {!post_domains} domains on a
+    sharded backend. Safe because a shard task only mutates detection
+    state of objects its shard owns (§5: one automaton per trigger per
+    object); committed-mode undo snapshots accumulate in per-shard
+    segments merged deterministically by {!Txn.merge_undo_segments}. *)
+
+val post_many : db -> (oid * Ode_event.Symbol.basic * Value.t list) list -> int
+(** Post a batch of basic events. Every event is classified and stepped
+    against the detection state as of the start of the batch's step
+    phase (events to the same object step in batch order); all fired
+    actions run after the whole batch has stepped, in batch order then
+    declaration order. The outcome — firing order included — is
+    bit-identical whatever the domain count or backend. Dead or missing
+    oids are skipped, like {!system_post}. Returns the number of
+    firings. *)
+
+val set_post_domains : db -> int -> unit
+(** Target domain count for [post_many]'s step phase (default 1 —
+    fully sequential). Clamped to the backend's shard count at use; the
+    cached pool is rebuilt on the next batch after a change. Raises
+    {!Types.Ode_error} if < 1. *)
+
+val post_domains : db -> int
+
+val shutdown_pool : db -> unit
+(** Join and discard the cached domain pool, if any. Idempotent; the
+    next parallel [post_many] respawns it. Call before discarding a
+    database that ran multi-domain batches. *)
+
 (** {1 Firing notification}
 
     The primary notification surface is subscription-based: register a

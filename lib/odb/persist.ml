@@ -47,12 +47,9 @@ let save db path =
   Codec.write_int w db.store.next_oid;
   Codec.write_int w db.txns.next_txn_id;
   Codec.write_int w (Int64.to_int db.wheel.clock_ms);
-  let live =
-    Store.Heap.fold
-      (fun o acc -> if o.o_deleted then acc else o :: acc)
-      db.store.objects []
-    |> List.sort (fun a b -> compare a.o_id b.o_id)
-  in
+  (* backend-neutral: [live_objects] sorts to ascending oid per the
+     Store ordering contract, so Heap and Sharded images are identical *)
+  let live = Store.live_objects db in
   Codec.write_list w
     (fun w obj ->
       Codec.write_int w obj.o_id;
@@ -96,7 +93,7 @@ let load db path =
   let next_oid = Codec.read_int r in
   let next_txn_id = Codec.read_int r in
   let clock_ms = Int64.of_int (Codec.read_int r) in
-  Store.Heap.reset db.store.objects;
+  Store.reset_heap db;
   db.wheel.timers <- [];
   db.engine.firings <- [];
   db.store.next_oid <- next_oid;

@@ -1,0 +1,128 @@
+(* A one-job-at-a-time domain pool. Workers park on [work_ready] between
+   jobs; a job is published by bumping [generation], and completion is
+   tracked with [active] + [work_done]. Task indices are claimed through
+   the [next] atomic, so the caller and the workers drain one shared
+   queue without further coordination. *)
+
+type t = {
+  size : int;  (* parallelism including the calling thread *)
+  mutable workers : unit Domain.t list;  (* size - 1 spawned domains *)
+  mu : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable n_tasks : int;
+  next : int Atomic.t;
+  mutable active : int;  (* workers still draining the current job *)
+  mutable generation : int;  (* bumped once per run *)
+  mutable stop : bool;
+  mutable failure : exn option;  (* first exception raised by a task *)
+}
+
+let size t = t.size
+
+let record_failure t e =
+  Mutex.lock t.mu;
+  if t.failure = None then t.failure <- Some e;
+  Mutex.unlock t.mu
+
+(* Claim and run tasks until the queue is empty. A raising task records
+   the first failure and the drain continues: sibling tasks' effects
+   (undo segments, counters) must still be produced so the caller can
+   merge them before re-raising. *)
+let drain t f =
+  let rec go () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < t.n_tasks then begin
+      (try f i with e -> record_failure t e);
+      go ()
+    end
+  in
+  go ()
+
+let worker t () =
+  let rec loop seen_gen =
+    Mutex.lock t.mu;
+    while (not t.stop) && t.generation = seen_gen do
+      Condition.wait t.work_ready t.mu
+    done;
+    if t.stop then Mutex.unlock t.mu
+    else begin
+      let gen = t.generation in
+      let job = t.job in
+      Mutex.unlock t.mu;
+      (match job with Some f -> drain t f | None -> ());
+      Mutex.lock t.mu;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mu;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~size =
+  let size = max 1 size in
+  if size > 128 then invalid_arg "Pool.create: size beyond the domain ceiling";
+  let t =
+    {
+      size;
+      workers = [];
+      mu = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      n_tasks = 0;
+      next = Atomic.make 0;
+      active = 0;
+      generation = 0;
+      stop = false;
+      failure = None;
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let run t ~tasks f =
+  if tasks > 0 then
+    if t.size = 1 || tasks = 1 then begin
+      (* inline fast path: same failure contract, no synchronisation *)
+      t.failure <- None;
+      t.n_tasks <- tasks;
+      Atomic.set t.next 0;
+      drain t f;
+      match t.failure with None -> () | Some e -> raise e
+    end
+    else begin
+      Mutex.lock t.mu;
+      if t.stop then begin
+        Mutex.unlock t.mu;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.job <- Some f;
+      t.n_tasks <- tasks;
+      Atomic.set t.next 0;
+      t.failure <- None;
+      t.active <- t.size - 1;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mu;
+      drain t f;
+      Mutex.lock t.mu;
+      while t.active > 0 do
+        Condition.wait t.work_done t.mu
+      done;
+      t.job <- None;
+      let fail = t.failure in
+      Mutex.unlock t.mu;
+      match fail with None -> () | Some e -> raise e
+    end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let ws = t.workers in
+  t.workers <- [];
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mu;
+  List.iter Domain.join ws

@@ -1,0 +1,38 @@
+(** A fixed-size pool of OCaml 5 domains for the parallel classify/step
+    phase of batch posting ({!Engine.post_many}).
+
+    The pool runs one job at a time: {!run} publishes a task function
+    over indices [0 .. tasks-1], the caller participates in draining the
+    task queue alongside the worker domains, and {!run} returns only
+    after every task has finished. Tasks are claimed with an atomic
+    counter, so a pool of [size] n executes at most n tasks
+    concurrently and every task exactly once.
+
+    The pool is {e not} reentrant: tasks must not call {!run} on the
+    pool executing them, and only one thread may orchestrate a pool at
+    a time. The engine satisfies both by construction — the posting
+    pipeline has a single sequential orchestrator and the parallel
+    phase never posts. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] spawns [size - 1] worker domains (the caller is the
+    [size]-th participant). [size] is clamped below at 1; a size-1 pool
+    spawns nothing and {!run} degenerates to an inline loop, which is
+    also the no-allocation path [post_many] takes on a 1-domain run.
+    Raises [Invalid_argument] beyond 128 (the runtime's domain ceiling
+    must be shared with the rest of the process). *)
+
+val size : t -> int
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run t ~tasks f] executes [f 0 .. f (tasks-1)], each exactly once,
+    distributed over the pool, and blocks until all have completed. If
+    one or more tasks raise, every remaining task still runs (partial
+    effects must stay mergeable) and then the first-recorded exception
+    is re-raised in the caller. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; the pool must not be
+    {!run} afterwards. *)

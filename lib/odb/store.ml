@@ -11,27 +11,147 @@ module type STORE = sig
 
   val add : t -> obj -> unit
   val find : t -> oid -> obj option
+  val mem : t -> oid -> bool
   val remove : t -> oid -> unit
   val reset : t -> unit
+  val cardinal : t -> int
   val iter : (obj -> unit) -> t -> unit
   val fold : (obj -> 'a -> 'a) -> t -> 'a -> 'a
+  val shards : t -> int
+  val shard_of : t -> oid -> int
 end
 
-module Heap : STORE with type t = (oid, obj) Hashtbl.t = struct
+module Heap : sig
+  include STORE with type t = (oid, obj) Hashtbl.t
+
+  val create : unit -> t
+end = struct
   type t = (oid, obj) Hashtbl.t
 
+  let create () = Hashtbl.create 64
   let add t o = Hashtbl.add t o.o_id o
   let find t oid = Hashtbl.find_opt t oid
+  let mem t oid = Hashtbl.mem t oid
   let remove t oid = Hashtbl.remove t oid
   let reset t = Hashtbl.reset t
+  let cardinal t = Hashtbl.length t
   let iter f t = Hashtbl.iter (fun _ o -> f o) t
   let fold f t init = Hashtbl.fold (fun _ o acc -> f o acc) t init
+  let shards _ = 1
+  let shard_of _ _ = 0
 end
+
+(* N hashtables partitioned by oid hash. The partition is what the
+   engine's batch pipeline parallelises over: all activations of one
+   object live in exactly one shard, so one domain per shard steps
+   automata with no shared mutable state. The per-shard mutex guards the
+   {e table} against concurrent structural mutation; the engine only
+   mutates from sequential phases, so lookups (which parallel phases do
+   perform) need no lock — a hashtable that nobody resizes is safe to
+   read concurrently. *)
+module Sharded : sig
+  include STORE
+
+  val create : shards:int -> t
+end = struct
+  type t = { tables : (oid, obj) Hashtbl.t array; locks : Mutex.t array }
+
+  let create ~shards =
+    if shards < 1 then invalid_arg "Store.Sharded.create: shards must be >= 1";
+    {
+      tables = Array.init shards (fun _ -> Hashtbl.create 64);
+      locks = Array.init shards (fun _ -> Mutex.create ());
+    }
+
+  let shards t = Array.length t.tables
+  let shard_of t oid = oid mod Array.length t.tables
+
+  let locked t i f =
+    Mutex.lock t.locks.(i);
+    f t.tables.(i);
+    Mutex.unlock t.locks.(i)
+
+  let add t o = locked t (shard_of t o.o_id) (fun tbl -> Hashtbl.add tbl o.o_id o)
+  let find t oid = Hashtbl.find_opt t.tables.(shard_of t oid) oid
+  let mem t oid = Hashtbl.mem t.tables.(shard_of t oid) oid
+  let remove t oid = locked t (shard_of t oid) (fun tbl -> Hashtbl.remove tbl oid)
+  let reset t = Array.iteri (fun i _ -> locked t i Hashtbl.reset) t.tables
+
+  let cardinal t =
+    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+
+  (* shard-index order, hash order within a shard: as unordered as the
+     single hashtable — every enumeration the layers above expose sorts
+     (see the ordering contract in store.mli) *)
+  let iter f t = Array.iter (Hashtbl.iter (fun _ o -> f o)) t.tables
+
+  let fold f t init =
+    Array.fold_left
+      (fun acc tbl -> Hashtbl.fold (fun _ o acc -> f o acc) tbl acc)
+      init t.tables
+end
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type spec = [ `Heap | `Sharded of int ]
+
+let default_shards = 8
+
+(* CI forces the sharded backend across the whole suite with
+   ODE_STORE_BACKEND=sharded (optionally sharded:<n>), so both backends
+   stay green on every PR without duplicating the tests. *)
+let default_spec () : spec =
+  match Sys.getenv_opt "ODE_STORE_BACKEND" with
+  | None | Some "" | Some "heap" -> `Heap
+  | Some "sharded" -> `Sharded default_shards
+  | Some s -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "sharded" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n >= 1 -> `Sharded n
+      | Some _ | None ->
+        ode_error "ODE_STORE_BACKEND: bad shard count in %S" s)
+    | Some _ | None -> ode_error "ODE_STORE_BACKEND: unknown backend %S" s)
+
+let pack (type a) (module S : STORE with type t = a) (t : a) ~name =
+  {
+    sb_name = name;
+    sb_shards = S.shards t;
+    sb_shard_of = (fun oid -> S.shard_of t oid);
+    sb_add = (fun o -> S.add t o);
+    sb_find = (fun oid -> S.find t oid);
+    sb_mem = (fun oid -> S.mem t oid);
+    sb_remove = (fun oid -> S.remove t oid);
+    sb_reset = (fun () -> S.reset t);
+    sb_cardinal = (fun () -> S.cardinal t);
+    sb_iter = (fun f -> S.iter f t);
+    sb_fold = (fun f init -> S.fold f t init);
+  }
+
+let backend_of (spec : spec) =
+  match spec with
+  | `Heap -> pack (module Heap) (Heap.create ()) ~name:"heap"
+  | `Sharded n ->
+    if n < 1 then ode_error "sharded backend needs >= 1 shard";
+    pack (module Sharded) (Sharded.create ~shards:n)
+      ~name:(Printf.sprintf "sharded:%d" n)
+
+let backend_name db = db.store.backend.sb_name
+let shards db = db.store.backend.sb_shards
+let shard_of db oid = db.store.backend.sb_shard_of oid
 
 (* ------------------------------------------------------------------ *)
 (* Heap operations on the database                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Oid allocation is one counter: with [shard_of oid = oid mod n] a
+   monotonically increasing oid stream round-robins the shards, so the
+   partition stays balanced without per-shard counters. Allocation only
+   happens in the sequential phases of the pipeline (object creation is
+   never parallelised), so the counter needs no synchronisation. *)
 let alloc_oid db =
   let oid = db.store.next_oid in
   db.store.next_oid <- oid + 1;
@@ -53,8 +173,41 @@ let new_obj k oid =
   List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) k.k_fields;
   obj
 
-let add_obj db obj = Heap.add db.store.objects obj
-let find_obj db oid = Heap.find db.store.objects oid
+(* The live-object count is maintained at the four mutation points
+   (add, remove, delete-mark, undelete-mark) so [stats] and [cardinal
+   ~live:true] are O(1) instead of a heap scan. *)
+let add_obj db obj =
+  db.store.backend.sb_add obj;
+  if not obj.o_deleted then db.store.n_live <- db.store.n_live + 1
+
+let remove_obj db oid =
+  match db.store.backend.sb_find oid with
+  | None -> ()
+  | Some o ->
+    if not o.o_deleted then db.store.n_live <- db.store.n_live - 1;
+    db.store.backend.sb_remove oid
+
+let mark_deleted db obj =
+  if not obj.o_deleted then begin
+    obj.o_deleted <- true;
+    db.store.n_live <- db.store.n_live - 1
+  end
+
+let unmark_deleted db obj =
+  if obj.o_deleted then begin
+    obj.o_deleted <- false;
+    db.store.n_live <- db.store.n_live + 1
+  end
+
+let reset_heap db =
+  db.store.backend.sb_reset ();
+  db.store.n_live <- 0
+
+let find_obj db oid = db.store.backend.sb_find oid
+let mem db oid = db.store.backend.sb_mem oid
+
+let cardinal ?(live = false) db =
+  if live then db.store.n_live else db.store.backend.sb_cardinal ()
 
 let live_obj db oid =
   match find_obj db oid with
@@ -72,19 +225,28 @@ let exists db oid =
 
 let class_of db oid = (live_obj db oid).o_class.k_name
 
+let fold_objects f db init = db.store.backend.sb_fold f init
+let iter_objects f db = db.store.backend.sb_iter f
+
+(* Enumeration contract: ascending oid, whatever the backend's internal
+   order. Folding a hashtable (or a shard array of them) enumerates in
+   hash order, which must never leak — commit/abort fan-out and persist
+   snapshots would otherwise depend on the backend. *)
 let objects db =
-  Heap.fold
-    (fun o acc -> if o.o_deleted then acc else o.o_id :: acc)
-    db.store.objects []
+  fold_objects (fun o acc -> if o.o_deleted then acc else o.o_id :: acc) db []
   |> List.sort compare
 
 let objects_of_class db cname =
-  Heap.fold
+  fold_objects
     (fun o acc ->
       if (not o.o_deleted) && o.o_class.k_name = cname then o.o_id :: acc
       else acc)
-    db.store.objects []
+    db []
   |> List.sort compare
+
+let live_objects db =
+  fold_objects (fun o acc -> if o.o_deleted then acc else o :: acc) db []
+  |> List.sort (fun a b -> compare a.o_id b.o_id)
 
 let get_field db oid name =
   let obj = live_obj db oid in
@@ -187,25 +349,22 @@ let undo_state_bytes db =
     0 db.txns.open_txns
 
 let stats db =
-  let n_objects = ref 0 in
   let n_active = ref 0 in
   let state_bytes = ref 0 in
-  Heap.iter
+  iter_objects
     (fun obj ->
-      if not obj.o_deleted then begin
-        incr n_objects;
+      if not obj.o_deleted then
         Hashtbl.iter
           (fun _ at ->
             if at.at_active then incr n_active;
             state_bytes := !state_bytes + activation_bytes at)
-          obj.o_triggers
-      end)
-    db.store.objects;
+          obj.o_triggers)
+    db;
   Hashtbl.iter
     (fun _ at -> state_bytes := !state_bytes + activation_bytes at)
     db.engine.db_triggers;
   {
-    n_objects = !n_objects;
+    n_objects = cardinal ~live:true db;
     n_classes = Hashtbl.length db.schema.classes;
     n_active_triggers = !n_active;
     n_timers = List.length db.wheel.timers;

@@ -1,12 +1,23 @@
 (** Store layer: the object heap — oid allocation, live-object lookup,
     field access, per-object activations and event histories.
 
-    All heap traffic goes through the {!STORE} backend signature so a
-    sharded or on-disk backend can be slotted in later without touching
-    the layers above; {!Heap} is the in-memory hashtable backend the
-    engine runs on today. Depends on {!Types} (and reads the schema
+    All heap traffic goes through the {!STORE} backend signature:
+    {!Heap} is the single-hashtable backend, {!Sharded} partitions the
+    heap into N hashtables by oid hash so the engine's batch pipeline
+    can step automata one-domain-per-shard. Either is packed into the
+    abstract {!Types.store_backend} operations record at
+    [Database.create_db ?backend]; the layers above never see the
+    concrete representation. Depends on {!Types} (and reads the schema
     tables for mask environments); knows nothing about transactions or
-    event posting. *)
+    event posting.
+
+    {b Ordering contract.} Backends enumerate in {e unspecified} order
+    (hash order, shard-by-shard for {!Sharded}). Every enumeration this
+    layer exposes — {!objects}, {!objects_of_class}, {!live_objects} —
+    therefore sorts to {e ascending oid} before returning, so commit and
+    abort fan-out, persist snapshots and user-visible listings are
+    bit-identical across backends. Code that folds the raw backend
+    directly must either be order-insensitive or sort likewise. *)
 
 module Value = Ode_base.Value
 open Types
@@ -18,25 +29,101 @@ module type STORE = sig
 
   val add : t -> obj -> unit
   val find : t -> oid -> obj option
+
+  val mem : t -> oid -> bool
+  (** An object with this oid is stored (live or delete-marked). *)
+
   val remove : t -> oid -> unit
   val reset : t -> unit
+
+  val cardinal : t -> int
+  (** Number of stored objects, delete-marked included — O(1) (or
+      O(shards)), never a scan. *)
+
   val iter : (obj -> unit) -> t -> unit
   val fold : (obj -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val shards : t -> int
+  (** The partition width the engine may parallelise over (1 for
+      unpartitioned backends). *)
+
+  val shard_of : t -> oid -> int
+  (** Which shard holds this oid; constant for an object's lifetime. *)
 end
 
-module Heap : STORE with type t = (oid, obj) Hashtbl.t
-(** The in-memory backend; [store_state.objects] is its concrete
-    representation. *)
+module Heap : sig
+  include STORE with type t = (oid, obj) Hashtbl.t
+
+  val create : unit -> t
+end
+
+module Sharded : sig
+  include STORE
+
+  val create : shards:int -> t
+  (** [shards] hashtables partitioned by [oid mod shards], one mutex
+      per shard guarding structural mutation. Lookups are lock-free:
+      the engine only mutates the tables from sequential pipeline
+      phases. *)
+end
+
+(** {1 Backend selection} *)
+
+type spec = [ `Heap | `Sharded of int ]
+(** What [Database.create_db ?backend] accepts; [`Sharded n] is the
+    shard count. *)
+
+val default_shards : int
+
+val default_spec : unit -> spec
+(** [`Heap], unless the [ODE_STORE_BACKEND] environment variable forces
+    [sharded] / [sharded:<n>] / [heap] (how CI runs the whole suite on
+    the sharded backend). Raises {!Types.Ode_error} on an unparsable
+    value. *)
+
+val backend_of : spec -> store_backend
+(** Instantiate a backend and pack it into the abstract operations
+    record the knot holds. *)
+
+val backend_name : db -> string
+(** ["heap"] or ["sharded:<n>"]. *)
+
+val shards : db -> int
+val shard_of : db -> oid -> int
 
 (** {1 Heap operations} *)
 
 val alloc_oid : db -> oid
+(** One monotone counter: with [shard_of oid = oid mod n] the oid
+    stream round-robins the shards, keeping the partition balanced
+    without per-shard counters. Sequential-phase only. *)
+
 val new_obj : klass -> oid -> obj
 (** Fresh object record with the class's field defaults installed. Does
     not add it to the heap. *)
 
 val add_obj : db -> obj -> unit
+val remove_obj : db -> oid -> unit
+
+val mark_deleted : db -> obj -> unit
+(** Flip [o_deleted] on (keeping the record stored for undo) and
+    maintain the live-object count; idempotent. *)
+
+val unmark_deleted : db -> obj -> unit
+
+val reset_heap : db -> unit
+(** Drop every stored object (used by [Persist.load]). *)
+
 val find_obj : db -> oid -> obj option
+
+val mem : db -> oid -> bool
+(** A stored object has this oid, live or delete-marked — O(1), unlike
+    {!exists} which also checks the delete mark. *)
+
+val cardinal : ?live:bool -> db -> int
+(** Stored-object count without scanning: with [~live:true] (maintained
+    incrementally) only objects not delete-marked are counted; default
+    counts every stored record. *)
 
 val live_obj : db -> oid -> obj
 (** Raises {!Types.Ode_error} on a missing or deleted object. *)
@@ -44,8 +131,24 @@ val live_obj : db -> oid -> obj
 val live_obj_opt : db -> oid -> obj option
 val exists : db -> oid -> bool
 val class_of : db -> oid -> string
+
 val objects : db -> oid list
+(** Live oids, ascending — see the ordering contract above. *)
+
 val objects_of_class : db -> string -> oid list
+(** Live oids of one class, ascending. *)
+
+val live_objects : db -> obj list
+(** Live objects sorted by ascending oid — the backend-neutral
+    enumeration persist snapshots are built from. *)
+
+val fold_objects : (obj -> 'a -> 'a) -> db -> 'a -> 'a
+(** Raw backend fold, {e unspecified order}; for order-insensitive
+    accumulation only. *)
+
+val iter_objects : (obj -> unit) -> db -> unit
+(** Raw backend iteration, {e unspecified order}. *)
+
 val get_field : db -> oid -> string -> Value.t
 
 (** {1 Mask-evaluation environments} *)
@@ -83,3 +186,5 @@ type stats = {
 }
 
 val stats : db -> stats
+(** [n_objects] comes from the incrementally-maintained live count
+    (O(1)); the per-activation accounting still walks live objects. *)

@@ -93,14 +93,23 @@ let apply_undo db entry =
   match entry with
   | U_field (obj, name, prev) -> Hashtbl.replace obj.o_fields name prev
   | U_create obj ->
-    Store.Heap.remove db.store.objects obj.o_id;
+    Store.remove_obj db obj.o_id;
     db.wheel.timers <-
       List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.wheel.timers
-  | U_delete obj -> obj.o_deleted <- false
+  | U_delete obj -> Store.unmark_deleted db obj
   | U_trigger_state (at, prev) -> at.at_state <- prev
   | U_trigger_collected (at, prev) -> at.at_collected <- prev
   | U_trigger_active (at, prev) -> at.at_active <- prev
   | U_trigger_added (obj, name) -> Hashtbl.remove obj.o_triggers name
+
+(* Fold the per-shard undo segments a parallel classify/step phase
+   produced into the transaction's log. Entries within one segment are
+   newest-first already; segments touch disjoint objects (the pipeline
+   partitions by shard), so their relative order is semantically free —
+   we fix it to ascending shard index for determinism across domain
+   counts. Runs on the orchestrating thread, after the phase joins. *)
+let merge_undo_segments tx segments =
+  tx.tx_undo <- List.concat segments @ tx.tx_undo
 
 (* ------------------------------------------------------------------ *)
 (* Abort and commit                                                    *)

@@ -48,11 +48,39 @@ and schema_state = {
          definitions whose alphabet can react, in declaration order *)
 }
 
-(* [Store]: the object heap. *)
+(* [Store]: the object heap, held abstractly as a record of backend
+   operations so that the layers above never see the concrete
+   representation. [Store] provides the two implementations behind its
+   [STORE] signature — the single-hashtable [Heap] and the oid-hash
+   partitioned [Sharded] — and packs either into this record at
+   [create_db ?backend]. *)
 and store_state = {
-  objects : (oid, obj) Hashtbl.t;
+  backend : store_backend;
   mutable next_oid : int;
+  mutable n_live : int;  (* stored objects with [o_deleted = false] *)
   mutable history_limit : int;  (* 0 = recording off *)
+}
+
+(* First-class backend operations. [sb_shards]/[sb_shard_of] expose the
+   partitioning so the engine's batch pipeline can fan the classify/step
+   phase out one-domain-per-shard (no two domains ever touch one
+   object's detection state); the [Heap] backend reports one shard.
+   Mutating operations ([sb_add]/[sb_remove]/[sb_reset]) may only be
+   called from the sequential phases of the pipeline; lookups are safe
+   from parallel phases because those phases never mutate the table
+   itself. *)
+and store_backend = {
+  sb_name : string;  (* "heap" or "sharded:<n>" *)
+  sb_shards : int;
+  sb_shard_of : oid -> int;
+  sb_add : obj -> unit;
+  sb_find : oid -> obj option;
+  sb_mem : oid -> bool;
+  sb_remove : oid -> unit;
+  sb_reset : unit -> unit;
+  sb_cardinal : unit -> int;  (* stored objects, deleted included *)
+  sb_iter : (obj -> unit) -> unit;
+  sb_fold : 'a. (obj -> 'a -> 'a) -> 'a -> 'a;
 }
 
 (* [Txn]: transaction bookkeeping. *)
@@ -79,6 +107,12 @@ and engine_state = {
   mutable use_dispatch_index : bool;
       (* per-database switch between the indexed posting path and the
          brute-force reference path (default true) *)
+  mutable post_domains : int;
+      (* default parallelism of [post_many]'s classify/step phase *)
+  mutable pool : Pool.t option;
+      (* lazily created domain pool backing [post_many]; sized
+         [post_domains] (or the call's [?domains]) and rebuilt when that
+         changes. [Engine.shutdown_pool] releases the domains. *)
 }
 
 (* [Timewheel]: simulated time. *)
@@ -198,8 +232,11 @@ exception Ode_error of string
 let ode_error fmt = Format.kasprintf (fun s -> raise (Ode_error s)) fmt
 
 (* The composition root: every layer's state record, initialized empty.
-   Lives here because only the knot module sees all the sub-records. *)
-let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
+   Lives here because only the knot module sees all the sub-records. The
+   backend is passed in ready-made — [Store] owns the implementations and
+   [Database.create_db] resolves the [?backend] argument through it, so
+   the knot stays free of representation choices. *)
+let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
     ?(trace_capacity = 1024) () =
   if max_tcomplete_rounds < 1 then
     ode_error "max_tcomplete_rounds must be >= 1";
@@ -212,7 +249,7 @@ let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           db_trigger_defs = Hashtbl.create 4;
           db_dispatch = Hashtbl.create 8;
         };
-      store = { objects = Hashtbl.create 64; next_oid = 1; history_limit = 0 };
+      store = { backend; next_oid = 1; n_live = 0; history_limit = 0 };
       txns =
         {
           next_txn_id = 1;
@@ -228,6 +265,8 @@ let create_db ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           subscribers = [];
           next_sub_id = 1;
           use_dispatch_index = true;
+          post_domains = 1;
+          pool = None;
         };
       wheel = { clock_ms = start_time; timers = [] };
       obs = Ode_obs.Registry.create ~trace_capacity ();

@@ -19,6 +19,7 @@ let () =
       ("obs", Test_obs.suite);
       ("facade", Test_facade.suite);
       ("dispatch", Test_dispatch.suite);
+      ("shard", Test_shard.suite);
       ("time-events", Test_time.suite);
       ("persistence", Test_persistence.suite);
       ("coupling", Test_coupling.suite);

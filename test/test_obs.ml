@@ -308,9 +308,65 @@ let test_unsubscribe_during_delivery () =
   Alcotest.(check int) "self-unsubscribed after one delivery" 1 !first;
   Alcotest.(check int) "later subscriber saw both" 2 !second
 
+(* Counters must stay {e exact} — not approximate — when [post_many]'s
+   classify/step phase runs on 4 domains (the step-phase emissions are
+   atomic, the kind table mutexed). 16 objects × 25 pings on a sharded
+   backend: every counter is pinned to its computed truth and must also
+   equal a 1-domain run of the identical batch bit for bit. *)
+let test_exact_counters_under_domains () =
+  let run domains =
+    let db = D.create_db ~backend:(`Sharded 8) () in
+    D.set_post_domains db domains;
+    let b = D.define_class "c" in
+    let b = D.method_ b ~kind:D.Updating "ping" (fun _ _ _ -> Value.Unit) in
+    let b =
+      D.trigger_str b ~perpetual:true "hit" ~event:"after ping"
+        ~action:(fun _ _ -> ())
+    in
+    D.register_class db b;
+    let oids =
+      expect_ok
+        (D.with_txn db (fun _ ->
+             List.init 16 (fun _ ->
+                 let oid = D.create db "c" [] in
+                 D.activate db oid "hit" [];
+                 oid)))
+    in
+    D.set_observability db true;
+    let batch =
+      List.concat_map
+        (fun oid ->
+          List.init 25 (fun _ -> (oid, Symbol.Method (Symbol.After, "ping"), [])))
+        oids
+    in
+    let fired = ref 0 in
+    expect_ok (D.with_txn db (fun _ -> fired := D.post_many db batch));
+    D.shutdown_pool db;
+    let obs = D.observe db in
+    ( !fired,
+      List.map (fun c -> (Obs.counter_name c, Obs.get obs c)) Obs.all_counters,
+      Obs.posts_by_kind obs )
+  in
+  let f1, c1, k1 = run 1 in
+  let f4, c4, k4 = run 4 in
+  Alcotest.(check int) "1-domain firings" 400 f1;
+  Alcotest.(check int) "4-domain firings" 400 f4;
+  let get name l = List.assoc name l in
+  (* 400 pings + 16 each of tbegin / tcomplete / tcommit *)
+  Alcotest.(check int) "posts" 448 (get "posts" c4);
+  Alcotest.(check int) "classified" 400 (get "classified" c4);
+  Alcotest.(check int) "transitions" 400 (get "transitions" c4);
+  Alcotest.(check int) "firings counter" 400 (get "firings" c4);
+  Alcotest.(check int) "tcomplete rounds" 1 (get "tcomplete_rounds" c4);
+  Alcotest.(check (list (pair string int)))
+    "counters identical across domain counts" c1 c4;
+  Alcotest.(check (list (pair string int))) "kind table identical" k1 k4
+
 let suite =
   [
     Alcotest.test_case "pinned pipeline counters" `Quick test_pinned_counters;
+    Alcotest.test_case "exact counters under 4 domains" `Quick
+      test_exact_counters_under_domains;
     Alcotest.test_case "scan-path counters" `Quick test_scan_path_counters;
     Alcotest.test_case "disabled = all zeros" `Quick test_disabled_counts_nothing;
     Alcotest.test_case "abort + undo accounting" `Quick test_abort_and_undo;
