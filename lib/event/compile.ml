@@ -9,6 +9,7 @@ type t = {
   levels : level array;
   top_deps : int array;
   top_dfa : Dfa.t;
+  flat : int array option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -276,6 +277,28 @@ let to_flat ~m ~deps (e : Lowered.t) : flat =
   in
   go e
 
+(* Mask-free automata additionally get a row-major packed transition
+   table: cell [q * m + sym] holds [(q' lsl 1) lor accept q'], so the
+   hot-path step is one load, one shift and one bit test — the paper's
+   "one transition-table lookup per posted event". Capped so a
+   pathological automaton cannot pin megabytes per detector. *)
+let flat_cells_limit = 1 lsl 22
+
+let flatten_dfa (d : Dfa.t) =
+  let n = Array.length d.accept in
+  if n * d.m > flat_cells_limit then None
+  else begin
+    let f = Array.make (n * d.m) 0 in
+    for q = 0 to n - 1 do
+      let row = d.delta.(q) in
+      for s = 0 to d.m - 1 do
+        let q' = row.(s) in
+        f.((q * d.m) + s) <- (q' lsl 1) lor Bool.to_int d.accept.(q')
+      done
+    done;
+    Some f
+  end
+
 let compile ~m (e : Lowered.t) : t =
   if m < 1 then invalid_arg "Compile.compile: alphabet must be non-empty";
   let level_specs, top = flatten e in
@@ -294,7 +317,8 @@ let compile ~m (e : Lowered.t) : t =
       level_specs
   in
   let top_deps, top_dfa = build_level top in
-  { base_m = m; levels = Array.of_list levels; top_deps; top_dfa }
+  let flat = if level_specs = [] then flatten_dfa top_dfa else None in
+  { base_m = m; levels = Array.of_list levels; top_deps; top_dfa; flat }
 
 let compile_pure ~m (e : Lowered.t) : Dfa.t =
   let c = compile ~m e in
@@ -320,8 +344,21 @@ let ext_symbol base_sym deps fired =
   Array.iteri (fun j idx -> if fired.(idx) then bits := !bits lor (1 lsl j)) deps;
   (base_sym * (1 lsl Array.length deps)) + !bits
 
-let step t state base_sym ~mask =
-  if base_sym < 0 || base_sym >= t.base_m then invalid_arg "Compile.step: bad symbol";
+(* Derived-event bits carried as one int: levels are capped well below the
+   word size in practice ([max_deps] bounds the fan-in, and expressions
+   with > 62 Masked nodes fall back to the boxed path below). *)
+let rec ext_bits deps fired_bits j acc =
+  if j >= Array.length deps then acc
+  else
+    let acc =
+      if fired_bits land (1 lsl deps.(j)) <> 0 then acc lor (1 lsl j) else acc
+    in
+    ext_bits deps fired_bits (j + 1) acc
+
+let[@inline] ext_symbol_bits base_sym deps fired_bits =
+  (base_sym * (1 lsl Array.length deps)) + ext_bits deps fired_bits 0 0
+
+let step_boxed t state base_sym ~mask =
   let n_levels = Array.length t.levels in
   let fired = Array.make n_levels false in
   for i = 0 to n_levels - 1 do
@@ -335,6 +372,84 @@ let step t state base_sym ~mask =
   let q = Dfa.step t.top_dfa state.(n_levels) sym in
   state.(n_levels) <- q;
   Dfa.accepts_state t.top_dfa q
+
+let rec step_levels t state base_sym ~mask i fired_bits =
+  let n_levels = Array.length t.levels in
+  if i < n_levels then begin
+    let level = t.levels.(i) in
+    let sym = ext_symbol_bits base_sym level.l_deps fired_bits in
+    let q = Dfa.step level.l_dfa state.(i) sym in
+    state.(i) <- q;
+    let fired_bits =
+      if Dfa.accepts_state level.l_dfa q && mask level.l_mask then
+        fired_bits lor (1 lsl i)
+      else fired_bits
+    in
+    step_levels t state base_sym ~mask (i + 1) fired_bits
+  end
+  else begin
+    let sym = ext_symbol_bits base_sym t.top_deps fired_bits in
+    let q = Dfa.step t.top_dfa state.(n_levels) sym in
+    state.(n_levels) <- q;
+    Dfa.accepts_state t.top_dfa q
+  end
+
+let step t state base_sym ~mask =
+  if base_sym < 0 || base_sym >= t.base_m then invalid_arg "Compile.step: bad symbol";
+  match t.flat with
+  | Some f ->
+    let cell = f.((state.(0) * t.base_m) + base_sym) in
+    state.(0) <- cell lsr 1;
+    cell land 1 = 1
+  | None ->
+    if Array.length t.levels > 62 then step_boxed t state base_sym ~mask
+    else step_levels t state base_sym ~mask 0 0
+
+(* Same stepping, but mask filters are evaluated inline from the mask
+   table — no per-step closure, which is what keeps the database's
+   posting kernel allocation-free on the automaton side. *)
+let rec step_levels_masks t state base_sym ~masks ~env i fired_bits =
+  let n_levels = Array.length t.levels in
+  if i < n_levels then begin
+    let level = t.levels.(i) in
+    let sym = ext_symbol_bits base_sym level.l_deps fired_bits in
+    let q = Dfa.step level.l_dfa state.(i) sym in
+    state.(i) <- q;
+    let fired_bits =
+      if Dfa.accepts_state level.l_dfa q && Mask.eval_bool env masks.(level.l_mask)
+      then fired_bits lor (1 lsl i)
+      else fired_bits
+    in
+    step_levels_masks t state base_sym ~masks ~env (i + 1) fired_bits
+  end
+  else begin
+    let sym = ext_symbol_bits base_sym t.top_deps fired_bits in
+    let q = Dfa.step t.top_dfa state.(n_levels) sym in
+    state.(n_levels) <- q;
+    Dfa.accepts_state t.top_dfa q
+  end
+
+let step_masks t state base_sym ~masks ~env =
+  if base_sym < 0 || base_sym >= t.base_m then invalid_arg "Compile.step: bad symbol";
+  match t.flat with
+  | Some f ->
+    let cell = f.((state.(0) * t.base_m) + base_sym) in
+    state.(0) <- cell lsr 1;
+    cell land 1 = 1
+  | None ->
+    if Array.length t.levels > 62 then
+      step_boxed t state base_sym ~mask:(fun id -> Mask.eval_bool env masks.(id))
+    else step_levels_masks t state base_sym ~masks ~env 0 0
+
+let has_flat t = t.flat <> None
+
+let step_cell t cells i sym =
+  match t.flat with
+  | Some f ->
+    let cell = f.((cells.(i) * t.base_m) + sym) in
+    cells.(i) <- cell lsr 1;
+    cell land 1 = 1
+  | None -> invalid_arg "Compile.step_cell: automaton has no flat table"
 
 let run t ~mask history =
   let state = initial t in

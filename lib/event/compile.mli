@@ -23,6 +23,12 @@ type t = {
   levels : level array;  (** innermost first; one per [Masked] node *)
   top_deps : int array;
   top_dfa : Dfa.t;
+  flat : int array option;
+      (** For mask-free automata (no levels): the row-major packed
+          transition table. Cell [q * base_m + sym] holds
+          [(q' lsl 1) lor accept(q')], so a step is one array load.
+          [None] when the expression has composite masks or the table
+          would exceed the internal cell cap. *)
 }
 
 val minimization : bool ref
@@ -49,7 +55,27 @@ val step : t -> state -> int -> mask:(int -> bool) -> bool
 (** [step t state symbol ~mask] advances every level on the base [symbol]
     (extended with derived bits computed level by level), consulting
     [mask mask_id] whenever a level's DFA accepts, and returns whether the
-    top-level event occurs at this point. [state] is updated in place. *)
+    top-level event occurs at this point. [state] is updated in place.
+    Mask-free automata step through {!flat} — one table load, no
+    allocation. *)
+
+val step_masks : t -> state -> int -> masks:Mask.t array -> env:Mask.env -> bool
+(** {!step} with the mask filter evaluated inline from a mask table
+    instead of through a caller-built closure — the allocation-free form
+    the posting kernel uses ([masks] is the detector's composite-mask
+    table, evaluated in [env] "now"). *)
+
+val has_flat : t -> bool
+(** The automaton carries a {!flat} packed table (implies
+    [n_state_words t = 1]). *)
+
+val step_cell : t -> int array -> int -> int -> bool
+(** [step_cell t cells i sym] steps the one-word state held in
+    [cells.(i)] in place through the {!flat} table and returns
+    acceptance — the structure-of-arrays entry point: the database packs
+    the states of all activations sharing a detector into one int array
+    per shard and sweeps it linearly. Raises [Invalid_argument] if the
+    automaton has no flat table. *)
 
 val run : t -> mask:(int -> int -> bool) -> int array -> bool array
 (** Run over a whole history; [mask mask_id position]. Fresh state. *)

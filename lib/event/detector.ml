@@ -3,6 +3,7 @@ module Codec = Ode_base.Codec
 type mode = Full_history | Committed
 
 type t = {
+  uid : int;
   expr : Expr.t;
   alphabet : Rewrite.t;
   masks : Mask.t array;
@@ -13,6 +14,8 @@ type t = {
 
 type state = int array
 
+let next_uid = ref 0
+
 let build ~mode expr =
   let alphabet, lowered, masks = Rewrite.build expr in
   let compiled = Compile.compile ~m:(Rewrite.n_symbols alphabet) lowered in
@@ -21,7 +24,9 @@ let build ~mode expr =
       (Array.exists (fun (g : Rewrite.guard) -> g.g_formals <> []))
       alphabet.Rewrite.guards
   in
-  { expr; alphabet; masks; compiled; mode; has_formals }
+  let uid = !next_uid in
+  incr next_uid;
+  { uid; expr; alphabet; masks; compiled; mode; has_formals }
 
 (* Triggers with identical specifications can share one compiled detector
    (the paper compiles per class; sharing extends that across declarations).
@@ -73,38 +78,66 @@ let post_classified t state ~env c =
      trigger's logical events is not part of its history at all — it must
      not break adjacency (sequence) or feed negations. *)
   if c.c_sym = Rewrite.other t.alphabet then false
-  else
-    let mask id = Mask.eval_bool env t.masks.(id) in
-    Compile.step t.compiled state c.c_sym ~mask
+  else Compile.step_masks t.compiled state c.c_sym ~masks:t.masks ~env
 
 let post t state ~env occurrence =
   post_classified t state ~env (classify t ~env occurrence)
+
+let classify_code t ~env occurrence =
+  Rewrite.classify_code t.alphabet ~env occurrence
+
+let[@inline] code_relevant code = code >= 0 && Rewrite.code_bits code <> 0
+
+let post_code t state ~env code =
+  let sym = Rewrite.sym_of_code t.alphabet code in
+  if sym = Rewrite.other t.alphabet then false
+  else Compile.step_masks t.compiled state sym ~masks:t.masks ~env
+
+let has_flat t = Compile.has_flat t.compiled
+
+let initial_word t = t.compiled.Compile.top_dfa.Dfa.start
+
+let post_code_slot t cells i code =
+  let sym = Rewrite.sym_of_code t.alphabet code in
+  if sym = Rewrite.other t.alphabet then false
+  else Compile.step_cell t.compiled cells i sym
+
+let post_classified_slot t cells i c =
+  if c.c_sym = Rewrite.other t.alphabet then false
+  else Compile.step_cell t.compiled cells i c.c_sym
 
 let copy_state = Array.copy
 
 let[@inline] top_state (state : state) = state.(Array.length state - 1)
 
+let collect_key_bits t key bits (occurrence : Symbol.occurrence) =
+  let gs = t.alphabet.Rewrite.guards.(key) in
+  let bindings = ref [] in
+  Array.iteri
+    (fun i (g : Rewrite.guard) ->
+      if bits land (1 lsl i) <> 0 && g.g_formals <> [] then
+        (* formals and args in lockstep; a matched guard with formals
+           pins the arity, so the two lists have equal length *)
+        let rec bind formals args =
+          match formals, args with
+          | (f : Expr.formal) :: fs, v :: vs ->
+            bindings := (f.f_name, v) :: !bindings;
+            bind fs vs
+          | _, _ -> ()
+        in
+        bind g.g_formals occurrence.args)
+    gs;
+  List.rev !bindings
+
 let collect_classified t c (occurrence : Symbol.occurrence) =
   if (not t.has_formals) || not (is_relevant c) then []
-  else begin
-    let gs = t.alphabet.Rewrite.guards.(c.c_key) in
-    let bindings = ref [] in
-    Array.iteri
-      (fun i (g : Rewrite.guard) ->
-        if c.c_bits land (1 lsl i) <> 0 && g.g_formals <> [] then
-          (* formals and args in lockstep; a matched guard with formals
-             pins the arity, so the two lists have equal length *)
-          let rec bind formals args =
-            match formals, args with
-            | (f : Expr.formal) :: fs, v :: vs ->
-              bindings := (f.f_name, v) :: !bindings;
-              bind fs vs
-            | _, _ -> ()
-          in
-          bind g.g_formals occurrence.args)
-      gs;
-    List.rev !bindings
-  end
+  else collect_key_bits t c.c_key c.c_bits occurrence
+
+let collect_code t code (occurrence : Symbol.occurrence) =
+  if (not t.has_formals) || not (code_relevant code) then []
+  else
+    collect_key_bits t (Rewrite.code_key code) (Rewrite.code_bits code)
+      occurrence
 
 let collect t ~env occurrence =
   collect_classified t (classify t ~env occurrence) occurrence

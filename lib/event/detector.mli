@@ -16,6 +16,10 @@ type mode =
           "state is part of the object" option) *)
 
 type t = {
+  uid : int;
+      (** process-unique detector identity, assigned at compilation;
+          shared detectors share it — the database keys its
+          structure-of-arrays state blocks on this *)
   expr : Expr.t;
   alphabet : Rewrite.t;
   masks : Mask.t array;  (** composite-mask table *)
@@ -101,7 +105,39 @@ val is_relevant : classified -> bool
 val post_classified : t -> state -> env:Mask.env -> classified -> bool
 (** The automaton-stepping half of {!post}, given a prior
     {!classify} result (composite masks are still evaluated in [env]
-    "now"). *)
+    "now"). Allocation-free: masks are evaluated through
+    {!Compile.step_masks}, not a per-step closure. *)
+
+(** {2 Packed-code entry points (the posting kernel)}
+
+    Identical semantics to {!classify} / {!post_classified} /
+    {!collect_classified}, but the classification result is one int
+    ({!Rewrite.classify_code}) so the database's kernel can classify a
+    batch into a scratch int buffer with zero allocation. *)
+
+val classify_code : t -> env:Mask.env -> Symbol.occurrence -> int
+val code_relevant : int -> bool
+val post_code : t -> state -> env:Mask.env -> int -> bool
+
+val collect_code :
+  t -> int -> Symbol.occurrence -> (string * Ode_base.Value.t) list
+
+val has_flat : t -> bool
+(** The compiled automaton is mask-free with a packed {!Compile.flat}
+    table — its whole detection state is one integer, eligible for the
+    database's structure-of-arrays packing. *)
+
+val initial_word : t -> int
+(** The start state of the top automaton: the initial value of the one
+    state word of a {!has_flat} detector. *)
+
+val post_code_slot : t -> int array -> int -> int -> bool
+(** [post_code_slot t cells i code] steps the one-word state stored at
+    [cells.(i)] in place ({!has_flat} detectors only; raises
+    [Invalid_argument] otherwise). *)
+
+val post_classified_slot : t -> int array -> int -> classified -> bool
+(** As {!post_code_slot}, from a {!classify} record. *)
 
 val collect_classified :
   t -> classified -> Symbol.occurrence -> (string * Ode_base.Value.t) list

@@ -11,6 +11,7 @@ type t = {
   atoms : (int * int) array;
   atom_of : (int, int) Hashtbl.t;
   key_of : (Symbol.basic, int) Hashtbl.t;
+  sym_tables : int array array;
 }
 
 let max_atoms = ref 4096
@@ -99,9 +100,26 @@ let build expr =
         end
       done)
     guards;
+  let atoms = Array.of_list (List.rev !atoms) in
+  (* Dense (guard-truth-assignment -> symbol) tables, one per key with a
+     small guard count: the posting kernel's classification is then a
+     guard sweep plus one array load, no hashing. Keys with many guards
+     keep the [atom_of] hash fallback ([[||]] sentinel). *)
+  let other_sym = Array.length atoms in
+  let sym_tables =
+    Array.map
+      (fun gs ->
+        let kg = Array.length gs in
+        if kg > 12 then [||] else Array.make (1 lsl kg) other_sym)
+      guards
+  in
+  Array.iteri
+    (fun sym (k, bits) ->
+      let tbl = sym_tables.(k) in
+      if Array.length tbl > 0 then tbl.(bits) <- sym)
+    atoms;
   let alphabet =
-    { keys; guards; atoms = Array.of_list (List.rev !atoms); atom_of;
-      key_of = key_index }
+    { keys; guards; atoms; atom_of; key_of = key_index; sym_tables }
   in
   let m = n_symbols alphabet in
   (* Lower the expression. *)
@@ -203,6 +221,45 @@ let classify t ~env (o : Symbol.occurrence) =
     match Hashtbl.find_opt t.atom_of (encode key bits) with
     | Some sym -> sym
     | None -> other t (* statically impossible assignment: defensive *))
+
+(* Packed classification for the posting kernel: the result is one int,
+   [-1] when the occurrence's basic is not in the alphabet, otherwise
+   [(key lsl 20) lor bits]. [build] rejects >= 20 guards per key so the
+   bits always fit. Written with explicit recursion so the steady-state
+   path allocates nothing. *)
+let code_key_shift = 20
+let[@inline] code_key code = code lsr code_key_shift
+let[@inline] code_bits code = code land ((1 lsl code_key_shift) - 1)
+
+let rec guard_bits_from ~env o (gs : guard array) i acc =
+  if i >= Array.length gs then acc
+  else
+    let acc =
+      if guard_matches ~env o gs.(i) then acc lor (1 lsl i) else acc
+    in
+    guard_bits_from ~env o gs (i + 1) acc
+
+let classify_code t ~env (o : Symbol.occurrence) =
+  match Hashtbl.find t.key_of o.basic with
+  | exception Not_found -> -1
+  | key ->
+    (key lsl code_key_shift) lor guard_bits_from ~env o t.guards.(key) 0 0
+
+let sym_of_code t code =
+  if code < 0 then other t
+  else begin
+    let bits = code_bits code in
+    if bits = 0 then other t
+    else begin
+      let key = code_key code in
+      let tbl = t.sym_tables.(key) in
+      if Array.length tbl > 0 then tbl.(bits)
+      else
+        match Hashtbl.find_opt t.atom_of (encode key bits) with
+        | Some sym -> sym
+        | None -> other t (* statically impossible assignment: defensive *)
+    end
+  end
 
 let atom_lookup t ~key ~bits = Hashtbl.find_opt t.atom_of (encode key bits)
 

@@ -27,6 +27,10 @@ type t = {
   key_of : (Symbol.basic, int) Hashtbl.t;
       (** basic event -> key index; makes classification O(guards of the
           posted basic) rather than O(whole alphabet) *)
+  sym_tables : int array array;
+      (** per key: dense (guard-truth-assignment bits -> symbol) table
+          when the key has few guards, [[||]] otherwise (fall back to
+          [atom_of]); impossible assignments map to {!other} *)
 }
 
 val n_symbols : t -> int
@@ -77,6 +81,25 @@ val classify_guards :
 val guard_matches : env:Mask.env -> Symbol.occurrence -> guard -> bool
 (** Does the occurrence satisfy this guard (arity and mask, with the
     guard's formals bound to the occurrence's arguments)? *)
+
+(** {2 Packed classification}
+
+    The posting kernel's allocation-free form of {!classify_guards}: the
+    (key, bits) pair is packed into one int, so classification results
+    can live in a scratch int buffer instead of option/record cells. *)
+
+val classify_code : t -> env:Mask.env -> Symbol.occurrence -> int
+(** [-1] when the occurrence's basic is not in the alphabet, otherwise
+    [(key lsl 20) lor bits] (guard counts per key are < 20, enforced by
+    {!build}). Mask evaluation errors propagate as {!Mask.Eval_error}. *)
+
+val code_key : int -> int
+val code_bits : int -> int
+(** Unpack a non-negative {!classify_code} result. *)
+
+val sym_of_code : t -> int -> int
+(** The alphabet symbol of a packed code — {!other} for [-1], zero bits
+    or impossible assignments; a dense table load for small keys. *)
 
 val atom_lookup : t -> key:int -> bits:int -> int option
 (** The symbol for a (key, guard-truth-assignment) pair, if that

@@ -77,6 +77,7 @@ let probe_name = function
    site runs in a sequential pipeline phase. *)
 type t = {
   mutable on : bool;
+  mutable force_timing : bool;
   counters : int Atomic.t array;
   mu : Mutex.t;
   by_kind : (string, int) Hashtbl.t;
@@ -87,6 +88,7 @@ type t = {
 let create ?(trace_capacity = 1024) () =
   {
     on = false;
+    force_timing = false;
     counters = Array.init n_counters (fun _ -> Atomic.make 0);
     mu = Mutex.create ();
     by_kind = Hashtbl.create 16;
@@ -96,6 +98,14 @@ let create ?(trace_capacity = 1024) () =
 
 let[@inline] enabled t = t.on
 let set_enabled t flag = t.on <- flag
+
+(* Reading the clock twice per pipeline entry point dominates the cost
+   of an enabled registry on short operations, so latency histograms are
+   recorded only when someone is actually consuming timing data: a trace
+   sink is attached, or timing was forced on explicitly. Counters, the
+   kind table and the span ring are exact either way. *)
+let[@inline] timing t = t.on && (t.force_timing || Trace.has_sinks t.trace)
+let set_timing t flag = t.force_timing <- flag
 let[@inline] incr t c = Atomic.incr t.counters.(counter_index c)
 
 let[@inline] add t c n =
@@ -107,10 +117,15 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
+(* Hand-inlined lock/unlock: this runs once per enabled post, and the
+   [locked] wrapper's closure + [Fun.protect] allocation is measurable
+   there. [Hashtbl] operations on a well-formed table do not raise. *)
 let incr_kind t kind =
-  locked t (fun () ->
-      Hashtbl.replace t.by_kind kind
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_kind kind)))
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.by_kind kind with
+  | Some n -> Hashtbl.replace t.by_kind kind (n + 1)
+  | None -> Hashtbl.add t.by_kind kind 1);
+  Mutex.unlock t.mu
 
 let posts_by_kind t =
   locked t (fun () -> Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.by_kind [])
@@ -121,8 +136,16 @@ let[@inline] record_ns t p ns = Hist.record t.hists.(probe_index p) ns
 let trace t = t.trace
 
 (* Sinks attached to the trace run under [mu]: they must be quick and
-   must not call back into the registry. *)
-let span t s = locked t (fun () -> Trace.emit t.trace s)
+   must not call back into the registry. Lock/unlock is hand-inlined as
+   in [incr_kind] — one span per enabled post — but kept exception-safe
+   because sinks are user code. *)
+let span t s =
+  Mutex.lock t.mu;
+  match Trace.emit t.trace s with
+  | () -> Mutex.unlock t.mu
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
 let reset t =
   Array.iter (fun c -> Atomic.set c 0) t.counters;

@@ -70,6 +70,18 @@ val create : ?trace_capacity:int -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val timing : t -> bool
+(** Should the pipeline take latency timestamps? True when the registry
+    is enabled {e and} timing data has a consumer — a trace sink is
+    attached ({!Trace.has_sinks}) or {!set_timing} forced it on. Clock
+    reads dominate the enabled-registry overhead on short operations,
+    so histograms are only fed when this holds; counters, the kind
+    table and the span ring stay exact regardless. *)
+
+val set_timing : t -> bool -> unit
+(** Force latency histograms on (or back to sink-gated) independently of
+    sink attachment. *)
+
 val incr : t -> counter -> unit
 val add : t -> counter -> int -> unit
 val get : t -> counter -> int

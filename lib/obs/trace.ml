@@ -71,6 +71,8 @@ let attach t (module S : SINK) = add_sink t S.emit
 let remove_sink t sk =
   t.sinks <- List.filter (fun s -> s.sk_id <> sk.sk_id) t.sinks
 
+let[@inline] has_sinks t = t.sinks <> []
+
 let pp_scope ppf = function
   | Obj oid -> Format.fprintf ppf "@%d" oid
   | Db -> Format.fprintf ppf "<database>"

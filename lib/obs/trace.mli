@@ -61,5 +61,9 @@ val add_sink : t -> (span -> unit) -> sink
 val attach : t -> (module SINK) -> sink
 val remove_sink : t -> sink -> unit
 
+val has_sinks : t -> bool
+(** Any sink currently attached — the registry's timing gate: latency
+    timestamps are only taken when someone consumes them. *)
+
 val pp_scope : Format.formatter -> scope -> unit
 val pp_span : Format.formatter -> span -> unit

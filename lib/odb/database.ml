@@ -58,6 +58,8 @@ let register_fun = Schema.register_fun
 let dispatch_index = Engine.dispatch_index
 let set_dispatch_index = Engine.set_dispatch_index
 let dispatch_index_enabled = Engine.dispatch_index_enabled
+let set_posting_kernel = Engine.set_posting_kernel
+let posting_kernel_enabled = Engine.posting_kernel_enabled
 
 (* Observability *)
 

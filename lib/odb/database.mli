@@ -146,6 +146,19 @@ val set_dispatch_index : t -> bool -> unit
 
 val dispatch_index_enabled : t -> bool
 
+val set_posting_kernel : t -> bool -> unit
+(** Per-database switch (default true) for the compiled posting kernel:
+    per-class candidate rows resolved through each object's dense
+    activation slots, classification packed into one int code per
+    distinct shared detector, and flat-transition-table stepping over
+    the structure-of-arrays detection state. Only meaningful while the
+    dispatch index is enabled; disabling falls back to the legacy
+    indexed path, which is kept as the equivalence-test reference
+    (property-tested in [test/test_dispatch.ml] and
+    [test/test_shard.ml]). *)
+
+val posting_kernel_enabled : t -> bool
+
 val dispatch_index : bool ref
 [@@deprecated "use set_dispatch_index — the global ref is a test-isolation hazard"]
 (** Deprecated process-global override of {!set_dispatch_index}, kept

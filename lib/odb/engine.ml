@@ -15,9 +15,19 @@ open Types
    one boolean load per probe site (E10-obs-overhead in EXPERIMENTS.md
    keeps this honest against the E9-dispatch baseline). *)
 
-let kind_name basic =
-  Format.asprintf "%a" Symbol.pp_basic_key (Symbol.basic_key basic)
+(* Memoized per database: formatting the key with [Format.asprintf] on
+   every enabled post would dominate the probe cost. Only the sequential
+   posting phases call this, so the table needs no lock. *)
+let kind_name db basic =
+  match Hashtbl.find_opt db.engine.kind_names basic with
+  | Some s -> s
+  | None ->
+    let s = Format.asprintf "%a" Symbol.pp_basic_key (Symbol.basic_key basic) in
+    Hashtbl.add db.engine.kind_names basic s;
+    s
 
+(* Database-scope activations only — object scope reads the maintained
+   [o_n_active] counter instead of folding the activation table. *)
 let count_active triggers =
   Hashtbl.fold (fun _ at n -> if at.at_active then n + 1 else n) triggers 0
 
@@ -44,6 +54,44 @@ let set_dispatch_index db flag = db.engine.use_dispatch_index <- flag
 let dispatch_index_enabled db = db.engine.use_dispatch_index
 
 let use_index db = db.engine.use_dispatch_index && !dispatch_index
+
+(* ------------------------------------------------------------------ *)
+(* Posting-kernel configuration                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled kernel (candidate rows, packed classification codes,
+   flat-table stepping over the SoA state blocks) is the default path.
+   Turning it off falls back to the legacy indexed path — kept both as
+   the equivalence-test reference and as the only path when the
+   dispatch index itself is disabled. *)
+let set_posting_kernel db flag = db.engine.use_posting_kernel <- flag
+let posting_kernel_enabled db = db.engine.use_posting_kernel
+let use_kernel db = db.engine.use_posting_kernel && use_index db
+
+(* Per-shard scratch buffers, built on first kernel post. The shard
+   count is fixed at database creation, so the array never resizes. *)
+let ensure_scratch db =
+  if Array.length db.engine.scratch = 0 then
+    db.engine.scratch <-
+      Array.init (Store.shards db) (fun _ -> Store.make_scratch db);
+  db.engine.scratch
+
+(* Retire a scratch's accumulated counter bumps to the registry: one
+   atomic add per counter per post phase (per shard task under
+   [post_many]) instead of one per candidate. *)
+let flush_scratch_counters obs sc =
+  if sc.sc_classified <> 0 then begin
+    Registry.add obs Registry.Classified sc.sc_classified;
+    sc.sc_classified <- 0
+  end;
+  if sc.sc_skipped <> 0 then begin
+    Registry.add obs Registry.Index_skipped sc.sc_skipped;
+    sc.sc_skipped <- 0
+  end;
+  if sc.sc_transitions <> 0 then begin
+    Registry.add obs Registry.Transitions sc.sc_transitions;
+    sc.sc_transitions <- 0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Classification cache                                                *)
@@ -197,7 +245,7 @@ let step_activation db ~undo ~scope (at : active_trigger) ~env c occurrence =
       (* an irrelevant occurrence provably changes neither the automaton
          state nor the collected bindings, so the undo copies are only
          taken here *)
-      undo := U_trigger_state (at, Detector.copy_state at.at_state) :: !undo;
+      undo := U_trigger_state (at, at_state_copy at) :: !undo;
       undo := U_trigger_collected (at, at.at_collected) :: !undo
     end;
     if relevant then
@@ -209,17 +257,156 @@ let step_activation db ~undo ~scope (at : active_trigger) ~env c occurrence =
     | Some prov ->
       at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
     | None -> ());
-    let old_top = if on then Detector.top_state at.at_state else 0 in
-    let r = Detector.post_classified detector at.at_state ~env c in
+    let old_top = if on then at_top_state at else 0 in
+    let r =
+      match at.at_state with
+      | S_words w -> Detector.post_classified detector w ~env c
+      | S_slot (blk, slot) ->
+        Detector.post_classified_slot detector blk.blk_state slot c
+    in
     if on && relevant then begin
       Registry.incr obs Registry.Transitions;
       Registry.span obs
         (Trace.Advanced
            { scope; trigger = at.at_def.t_name; old_state = old_top;
-             new_state = Detector.top_state at.at_state })
+             new_state = at_top_state at })
     end;
     r
   with Mask.Eval_error msg -> mask_error at msg
+
+(* ------------------------------------------------------------------ *)
+(* The compiled posting kernel                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-event path with everything hoisted to registration or
+   activation time: candidate resolution is one hashtable probe into the
+   class's prebuilt [krow]; classification runs once per distinct shared
+   detector, producing a packed int code in the shard scratch's buffer;
+   stepping a mask-free detector is one flat-table load on its SoA
+   block. The helpers are top-level and tail-recursive (not closures)
+   and the counters accumulate in the scratch, so a steady-state post
+   that fires nothing allocates nothing beyond the occurrence and the
+   dispatch key.
+
+   Semantics are bit-identical to the legacy indexed path: candidates in
+   declaration order, classification errors raised before any automaton
+   steps (matching [classify_phase]'s hoisting), identical undo
+   snapshots, collection merges, provenance posts and span emissions. *)
+
+let unclassified = min_int
+
+let rec count_candidates (defs : trigger_def array)
+    (o_acts : active_trigger option array) i acc =
+  if i >= Array.length defs then acc
+  else
+    let acc =
+      match o_acts.(defs.(i).t_index) with
+      | Some at when at.at_active -> acc + 1
+      | Some _ | None -> acc
+    in
+    count_candidates defs o_acts (i + 1) acc
+
+(* Classification pass: walk candidates in declaration order, classify
+   each distinct detector on first use. Mask failures are attributed to
+   the first candidate using the detector, exactly as the legacy
+   [classify_phase]. *)
+let rec classify_pass sc (row : krow) (o_acts : active_trigger option array)
+    occurrence i =
+  if i < Array.length row.kr_defs then begin
+    (match o_acts.(row.kr_defs.(i).t_index) with
+    | Some at when at.at_active ->
+      let j = row.kr_det_of.(i) in
+      if sc.sc_codes.(j) = unclassified then
+        sc.sc_codes.(j) <-
+          (try Detector.classify_code row.kr_dets.(j) ~env:sc.sc_env occurrence
+           with Mask.Eval_error msg -> mask_error at msg)
+    | Some _ | None -> ());
+    classify_pass sc row o_acts occurrence (i + 1)
+  end
+
+(* Step pass: advance each active candidate, accumulating the fired
+   set in reverse (steady state: no cons). Mirrors [step_activation]. *)
+let rec step_pass db ~undo ~on sc (row : krow) obj occurrence i acc =
+  if i >= Array.length row.kr_defs then List.rev acc
+  else
+    match obj.o_acts.(row.kr_defs.(i).t_index) with
+    | Some at when at.at_active ->
+      let j = row.kr_det_of.(i) in
+      let det = row.kr_dets.(j) in
+      let code = sc.sc_codes.(j) in
+      let relevant = Detector.code_relevant code in
+      let old_top = if on then at_top_state at else 0 in
+      let fired_now =
+        try
+          if relevant && det.Detector.mode = Detector.Committed then begin
+            undo := U_trigger_state (at, at_state_copy at) :: !undo;
+            undo := U_trigger_collected (at, at.at_collected) :: !undo
+          end;
+          if relevant then
+            (match Detector.collect_code det code occurrence with
+            | [] -> ()
+            | bindings ->
+              List.iter
+                (fun (name, v) ->
+                  at.at_collected <-
+                    (name, v) :: List.remove_assoc name at.at_collected)
+                bindings);
+          (match at.at_provenance with
+          | Some prov ->
+            at.at_last_witnesses <-
+              Ode_event.Provenance.post prov ~env:sc.sc_env occurrence
+          | None -> ());
+          match at.at_state with
+          | S_slot (blk, slot) ->
+            Detector.post_code_slot det blk.blk_state slot code
+          | S_words w -> Detector.post_code det w ~env:sc.sc_env code
+        with Mask.Eval_error msg -> mask_error at msg
+      in
+      if on && relevant then begin
+        sc.sc_transitions <- sc.sc_transitions + 1;
+        Registry.span db.obs
+          (Trace.Advanced
+             { scope = Trace.Obj obj.o_id; trigger = at.at_def.t_name;
+               old_state = old_top; new_state = at_top_state at })
+      end;
+      step_pass db ~undo ~on sc row obj occurrence (i + 1)
+        (if fired_now then at :: acc else acc)
+    | Some _ | None ->
+      step_pass db ~undo ~on sc row obj occurrence (i + 1) acc
+
+(* One occurrence through the kernel. Returns the fired activations in
+   declaration order; committed-mode undo snapshots go to [undo];
+   counter bumps accumulate in [sc] for the caller to flush once per
+   phase. *)
+let kernel_post_one db ~undo ~on sc obj (occurrence : Symbol.occurrence) =
+  match
+    Hashtbl.find_opt obj.o_class.k_rows (Symbol.basic_key occurrence.basic)
+  with
+  | None ->
+    if on then sc.sc_skipped <- sc.sc_skipped + obj.o_n_active;
+    []
+  | Some row ->
+    (* dispatch accounting first — complete before a mask can blow up
+       mid-classification, matching the legacy [record_dispatch] site *)
+    let n_cand = count_candidates row.kr_defs obj.o_acts 0 0 in
+    if on then begin
+      sc.sc_classified <- sc.sc_classified + n_cand;
+      sc.sc_skipped <- sc.sc_skipped + (obj.o_n_active - n_cand)
+    end;
+    if n_cand = 0 then []
+    else begin
+      let n_dets = Array.length row.kr_dets in
+      if Array.length sc.sc_codes < n_dets then
+        sc.sc_codes <- Array.make (max 16 (2 * n_dets)) unclassified
+      else Array.fill sc.sc_codes 0 n_dets unclassified;
+      (* the ref retains the last posted object of the shard until the
+         next post — deliberate: re-wrapping per call is the only
+         allocation this assignment costs, and clearing it afterwards
+         would need a protect closure *)
+      sc.sc_obj := Some obj;
+      classify_pass sc row obj.o_acts occurrence 0;
+      step_pass db ~undo ~on sc row obj occurrence 0 []
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The firing pipeline                                                 *)
@@ -235,17 +422,25 @@ let log_firing db tx (at : active_trigger) obj =
       f_txn = tx.tx_id;
     }
 
-(* Run one fired action, timing it when observability is on. *)
+(* Run one fired action. The span is emitted whenever observability is
+   on; the clock is only read — and the histogram only fed — when
+   timing has a consumer ([Registry.timing]), so an enabled registry
+   without a sink costs no clock reads here. *)
 let run_action db (at : active_trigger) ~scope ctx =
   let obs = db.obs in
   if not (Registry.enabled obs) then at.at_def.t_action db ctx
-  else begin
+  else if Registry.timing obs then begin
     let t0 = Registry.now_ns () in
     at.at_def.t_action db ctx;
     let ns = Registry.now_ns () - t0 in
     Registry.record_ns obs Registry.Action ns;
     Registry.span obs
       (Trace.Action_ran { scope; trigger = at.at_def.t_name; ns })
+  end
+  else begin
+    at.at_def.t_action db ctx;
+    Registry.span obs
+      (Trace.Action_ran { scope; trigger = at.at_def.t_name; ns = 0 })
   end
 
 (* Phase 2 of the pipeline: deactivate one-shot triggers, log and run the
@@ -255,8 +450,8 @@ let post_fired db tx obj occurrence fired =
     (fun at ->
       if not at.at_def.t_perpetual then begin
         if at.at_def.t_detector.Detector.mode = Detector.Committed then
-          tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
-        at.at_active <- false
+          tx.tx_undo <- U_trigger_active (Some obj, at, at.at_active) :: tx.tx_undo;
+        set_trigger_active (Some obj) at false
       end;
       log_firing db tx at obj;
       run_action db at ~scope:(Trace.Obj obj.o_id)
@@ -279,28 +474,21 @@ let post_fired db tx obj occurrence fired =
 let post db tx obj (basic : Symbol.basic) args =
   let obs = db.obs in
   let on = Registry.enabled obs in
-  let t0 = if on then Registry.now_ns () else 0 in
+  let timed = Registry.timing obs in
+  let t0 = if timed then Registry.now_ns () else 0 in
   let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
   Store.record_history db tx obj occurrence;
   if on then begin
     Registry.incr obs Registry.Posts;
-    Registry.incr_kind obs (kind_name basic);
+    Registry.incr_kind obs (kind_name db basic);
     Registry.span obs
       (Trace.Posted
-         { scope = Trace.Obj obj.o_id; basic = kind_name basic; txn = tx.tx_id;
+         { scope = Trace.Obj obj.o_id; basic = kind_name db basic; txn = tx.tx_id;
            at_ms = occurrence.Symbol.at })
   end;
-  let candidates = candidate_triggers db obj basic in
-  if on then
-    record_dispatch obs ~indexed:(use_index db)
-      ~n_active:(count_active obj.o_triggers)
-      ~n_candidates:(List.length candidates);
   let result =
-    match candidates with
-    | [] -> false
-    | candidates ->
-      let env = Store.mask_env db obj in
-      let classified = classify_phase ~env occurrence candidates in
+    if use_kernel db then begin
+      let sc = (ensure_scratch db).(Store.shard_of db obj.o_id) in
       let undo = ref [] in
       let merge () =
         if !undo <> [] then begin
@@ -308,27 +496,58 @@ let post db tx obj (basic : Symbol.basic) args =
           undo := []
         end
       in
-      (* step phase; the undo segment is merged even when a mask blows
-         up mid-walk, so an abort still restores the already-stepped
-         committed-mode candidates *)
       let fired =
-        match
-          List.filter
-            (fun (at, c) ->
-              step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at ~env c
-                occurrence)
-            classified
-        with
-        | stepped ->
+        match kernel_post_one db ~undo ~on sc obj occurrence with
+        | fired ->
           merge ();
-          List.map fst stepped
+          if on then flush_scratch_counters obs sc;
+          fired
         | exception e ->
           merge ();
+          if on then flush_scratch_counters obs sc;
           raise e
       in
       post_fired db tx obj occurrence fired
+    end
+    else begin
+      let candidates = candidate_triggers db obj basic in
+      if on then
+        record_dispatch obs ~indexed:(use_index db) ~n_active:obj.o_n_active
+          ~n_candidates:(List.length candidates);
+      match candidates with
+      | [] -> false
+      | candidates ->
+        let env = Store.mask_env db obj in
+        let classified = classify_phase ~env occurrence candidates in
+        let undo = ref [] in
+        let merge () =
+          if !undo <> [] then begin
+            tx.tx_undo <- !undo @ tx.tx_undo;
+            undo := []
+          end
+        in
+        (* step phase; the undo segment is merged even when a mask blows
+           up mid-walk, so an abort still restores the already-stepped
+           committed-mode candidates *)
+        let fired =
+          match
+            List.filter
+              (fun (at, c) ->
+                step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at ~env c
+                  occurrence)
+              classified
+          with
+          | stepped ->
+            merge ();
+            List.map fst stepped
+          | exception e ->
+            merge ();
+            raise e
+        in
+        post_fired db tx obj occurrence fired
+    end
   in
-  if on then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
+  if timed then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
   result
 
 let post_db db (basic : Symbol.basic) args =
@@ -337,10 +556,10 @@ let post_db db (basic : Symbol.basic) args =
   let txn_id = match db.txns.current with Some tx -> tx.tx_id | None -> 0 in
   if on then begin
     Registry.incr obs Registry.Db_posts;
-    Registry.incr_kind obs (kind_name basic);
+    Registry.incr_kind obs (kind_name db basic);
     Registry.span obs
       (Trace.Posted
-         { scope = Trace.Db; basic = kind_name basic; txn = txn_id;
+         { scope = Trace.Db; basic = kind_name db basic; txn = txn_id;
            at_ms = db.wheel.clock_ms })
   end;
   let candidates = db_candidate_triggers db basic in
@@ -368,7 +587,7 @@ let post_db db (basic : Symbol.basic) args =
     let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
     List.iter
       (fun at ->
-        if not at.at_def.t_perpetual then at.at_active <- false;
+        if not at.at_def.t_perpetual then set_trigger_active None at false;
         notify_firing db
           {
             f_trigger = at.at_def.t_name;
@@ -403,7 +622,9 @@ let activate_db_trigger db name params =
   | Some def -> (
     match Hashtbl.find_opt db.engine.db_triggers name with
     | Some at ->
-      at.at_state <- Detector.initial def.t_detector;
+      (* database-scope activations always own their word vector — the
+         SoA blocks are per-shard, and the database scope has none *)
+      at.at_state <- S_words (Detector.initial def.t_detector);
       at.at_collected <- [];
       at.at_provenance <-
         (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
@@ -417,7 +638,7 @@ let activate_db_trigger db name params =
         {
           at_def = def;
           at_params = params;
-          at_state = Detector.initial def.t_detector;
+          at_state = S_words (Detector.initial def.t_detector);
           at_collected = [];
           at_provenance =
             (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
@@ -506,8 +727,15 @@ let () =
 
 (* Lazy [after tbegin]: posted to an object immediately before the
    transaction's first access to it (§3.1(4)). *)
+(* First-touch test via the [tx_seen] hash mirror: O(1) per access where
+   the old [List.mem tx.tx_accessed] walk made a transaction touching n
+   objects quadratic. [tx_accessed] itself is kept (and stays the only
+   ordered record) for the commit fixpoint, lock release and the
+   transaction-event fan-outs, which all need deterministic first-access
+   order. *)
 let touch db tx obj =
-  if not (List.mem obj.o_id tx.tx_accessed) then begin
+  if not (Hashtbl.mem tx.tx_seen obj.o_id) then begin
+    Hashtbl.add tx.tx_seen obj.o_id ();
     tx.tx_accessed <- obj.o_id :: tx.tx_accessed;
     if not tx.tx_system then ignore (post db tx obj Symbol.Tbegin [])
   end
@@ -561,7 +789,10 @@ let post_many db items =
   let tx = Txn.require_txn db in
   let obs = db.obs in
   let on = Registry.enabled obs in
-  let t0 = if on then Registry.now_ns () else 0 in
+  let timed = Registry.timing obs in
+  let t0 = if timed then Registry.now_ns () else 0 in
+  let kernel = use_kernel db in
+  let scratch = if kernel then ensure_scratch db else [||] in
   (* Phase 0 — sequential, batch order: resolve targets, first-touch
      [after tbegin], write locks, §9 history, Posted probes. *)
   let resolved =
@@ -571,15 +802,20 @@ let post_many db items =
         | None -> None
         | Some obj ->
           touch db tx obj;
-          Txn.acquire db tx obj Lock.Write;
+          (* a transaction re-posting to an object it already holds
+             exclusively skips the acquire round-trip *)
+          (match obj.o_lock with
+          | Lock.Exclusive holder when holder = tx.tx_id -> ()
+          | Lock.Free | Lock.Shared _ | Lock.Exclusive _ ->
+            Txn.acquire db tx obj Lock.Write);
           let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
           Store.record_history db tx obj occurrence;
           if on then begin
             Registry.incr obs Registry.Posts;
-            Registry.incr_kind obs (kind_name basic);
+            Registry.incr_kind obs (kind_name db basic);
             Registry.span obs
               (Trace.Posted
-                 { scope = Trace.Obj obj.o_id; basic = kind_name basic;
+                 { scope = Trace.Obj obj.o_id; basic = kind_name db basic;
                    txn = tx.tx_id; at_ms = occurrence.Symbol.at })
           end;
           Some (obj, occurrence))
@@ -598,32 +834,48 @@ let post_many db items =
   let segments = Array.make nsh [] in
   let step_shard s =
     let undo = ref [] in
-    Fun.protect
-      ~finally:(fun () -> segments.(s) <- !undo)
-      (fun () ->
-        for i = 0 to n - 1 do
-          let obj, occurrence = resolved.(i) in
-          if Store.shard_of db obj.o_id = s then begin
-            let basic = occurrence.Symbol.basic in
-            let candidates = candidate_triggers db obj basic in
-            if on then
-              record_dispatch obs ~indexed:(use_index db)
-                ~n_active:(count_active obj.o_triggers)
-                ~n_candidates:(List.length candidates);
-            match candidates with
-            | [] -> ()
-            | candidates ->
-              let env = Store.mask_env db obj in
-              let classified = classify_phase ~env occurrence candidates in
-              fired.(i) <-
-                List.map fst
-                  (List.filter
-                     (fun (at, c) ->
-                       step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at
-                         ~env c occurrence)
-                     classified)
-          end
-        done)
+    if kernel then
+      (* kernel sweep: the shard task owns its scratch; counters batch
+         there and flush once per task, so the inner loop's only shared
+         writes are the disjoint [fired] slots *)
+      let sc = scratch.(s) in
+      Fun.protect
+        ~finally:(fun () ->
+          segments.(s) <- !undo;
+          if on then flush_scratch_counters obs sc)
+        (fun () ->
+          for i = 0 to n - 1 do
+            let obj, occurrence = resolved.(i) in
+            if Store.shard_of db obj.o_id = s then
+              fired.(i) <- kernel_post_one db ~undo ~on sc obj occurrence
+          done)
+    else
+      Fun.protect
+        ~finally:(fun () -> segments.(s) <- !undo)
+        (fun () ->
+          for i = 0 to n - 1 do
+            let obj, occurrence = resolved.(i) in
+            if Store.shard_of db obj.o_id = s then begin
+              let basic = occurrence.Symbol.basic in
+              let candidates = candidate_triggers db obj basic in
+              if on then
+                record_dispatch obs ~indexed:(use_index db)
+                  ~n_active:obj.o_n_active
+                  ~n_candidates:(List.length candidates);
+              match candidates with
+              | [] -> ()
+              | candidates ->
+                let env = Store.mask_env db obj in
+                let classified = classify_phase ~env occurrence candidates in
+                fired.(i) <-
+                  List.map fst
+                    (List.filter
+                       (fun (at, c) ->
+                         step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at
+                           ~env c occurrence)
+                       classified)
+            end
+          done)
   in
   let domains = min db.engine.post_domains nsh in
   let merge () = Txn.merge_undo_segments tx (Array.to_list segments) in
@@ -649,7 +901,7 @@ let post_many db items =
       count := !count + List.length ats;
       ignore (post_fired db tx obj occurrence ats)
   done;
-  if on then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
+  if timed then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
   !count
 
 let create db cname args =
@@ -693,8 +945,8 @@ let set_field db oid name v =
 
 let call db oid mname args =
   let obs = db.obs in
-  let on = Registry.enabled obs in
-  let t0 = if on then Registry.now_ns () else 0 in
+  let timed = Registry.timing obs in
+  let t0 = if timed then Registry.now_ns () else 0 in
   let tx = Txn.require_txn db in
   let obj = Store.live_obj db oid in
   let meth =
@@ -721,7 +973,7 @@ let call db oid mname args =
   ignore (post db tx obj (Symbol.Method (After, mname)) args);
   ignore (post db tx obj (rw_event Symbol.After) []);
   ignore (post db tx obj (Symbol.Access After) []);
-  if on then Registry.record_ns obs Registry.Call (Registry.now_ns () - t0);
+  if timed then Registry.record_ns obs Registry.Call (Registry.now_ns () - t0);
   result
 
 let has_method db oid mname =
@@ -747,17 +999,18 @@ let activate db oid tname params =
   in
   (match Hashtbl.find_opt obj.o_triggers tname with
   | Some at ->
-    (* Re-activation re-arms the trigger: fresh automaton state. *)
+    (* Re-activation re-arms the trigger: fresh automaton state, in
+       place — an SoA slot keeps its slot, a word vector is replaced. *)
     tx.tx_undo <-
-      U_trigger_state (at, Detector.copy_state at.at_state)
-      :: U_trigger_active (at, at.at_active)
+      U_trigger_state (at, at_state_copy at)
+      :: U_trigger_active (Some obj, at, at.at_active)
       :: tx.tx_undo;
-    at.at_state <- Detector.initial def.t_detector;
+    at_state_reset at;
     at.at_collected <- [];
     at.at_provenance <-
       (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event) else None);
     at.at_last_witnesses <- [];
-    at.at_active <- true;
+    set_trigger_active (Some obj) at true;
     at.at_epoch <- at.at_epoch + 1;
     at.at_params <- params;
     Timewheel.schedule_trigger_timers db obj at
@@ -766,7 +1019,7 @@ let activate db oid tname params =
       {
         at_def = def;
         at_params = params;
-        at_state = Detector.initial def.t_detector;
+        at_state = Store.fresh_at_state db oid def.t_detector;
         at_collected = [];
         at_provenance =
           (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
@@ -776,7 +1029,9 @@ let activate db oid tname params =
         at_epoch = 0;
       }
     in
+    obj.o_n_active <- obj.o_n_active + 1;
     Hashtbl.add obj.o_triggers tname at;
+    if def.t_index >= 0 then obj.o_acts.(def.t_index) <- Some at;
     tx.tx_undo <- U_trigger_added (obj, tname) :: tx.tx_undo;
     Timewheel.schedule_trigger_timers db obj at);
   ()
@@ -787,8 +1042,8 @@ let deactivate db oid tname =
   match Hashtbl.find_opt obj.o_triggers tname with
   | None -> ()
   | Some at ->
-    tx.tx_undo <- U_trigger_active (at, at.at_active) :: tx.tx_undo;
-    at.at_active <- false
+    tx.tx_undo <- U_trigger_active (Some obj, at, at.at_active) :: tx.tx_undo;
+    set_trigger_active (Some obj) at false
 
 let is_active db oid tname =
   let obj = Store.live_obj db oid in
@@ -799,11 +1054,11 @@ let is_active db oid tname =
 let trigger_state_words db oid tname =
   let obj = Store.live_obj db oid in
   match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at -> Array.length at.at_state
+  | Some at -> at_state_len at
   | None -> ode_error "trigger %s not activated on @%d" tname oid
 
 let trigger_state db oid tname =
   let obj = Store.live_obj db oid in
   match Hashtbl.find_opt obj.o_triggers tname with
-  | Some at -> Array.copy at.at_state
+  | Some at -> at_state_copy at
   | None -> ode_error "trigger %s not activated on @%d" tname oid

@@ -28,6 +28,19 @@ val set_dispatch_index : db -> bool -> unit
 
 val dispatch_index_enabled : db -> bool
 
+(** {1 Posting-kernel configuration} *)
+
+val set_posting_kernel : db -> bool -> unit
+(** Per-database switch (default true) for the compiled posting kernel:
+    per-class candidate rows, packed classification codes and flat-table
+    stepping over the structure-of-arrays detection state. Only
+    meaningful while the dispatch index is enabled — with the index off,
+    posting always takes the brute-force reference path. Disabling falls
+    back to the legacy indexed path, kept as the equivalence-test
+    reference. *)
+
+val posting_kernel_enabled : db -> bool
+
 (** {1 The posting pipeline} *)
 
 val post : db -> txn -> obj -> Ode_event.Symbol.basic -> Value.t list -> bool

@@ -64,7 +64,10 @@ let save db path =
         (fun w (name, (at : active_trigger)) ->
           Codec.write_string w name;
           Codec.write_list w Codec.write_value at.at_params;
-          Codec.write_array w Codec.write_int at.at_state;
+          (* [at_state_copy] reads whichever representation the
+             activation uses, so SoA-packed and word-vector states
+             serialize to identical bytes *)
+          Codec.write_array w Codec.write_int (at_state_copy at);
           Codec.write_list w
             (fun w (name, v) ->
               Codec.write_string w name;
@@ -144,11 +147,13 @@ let load db path =
           | Some def ->
             if Array.length state <> Detector.n_state_words def.t_detector then
               raise (Codec.Corrupt "trigger state size mismatch (schema changed?)");
-            Hashtbl.add obj.o_triggers name
+            let at =
               {
                 at_def = def;
                 at_params = params;
-                at_state = state;
+                (* fresh representation (SoA slot or word vector), then
+                   overwrite with the saved words *)
+                at_state = Store.fresh_at_state db oid def.t_detector;
                 at_collected = collected;
                 (* provenance instances are volatile: rebuilt empty after a
                    load (documented in save) *)
@@ -158,7 +163,12 @@ let load db path =
                 at_last_witnesses = [];
                 at_active = active;
                 at_epoch = epoch;
-              })
+              }
+            in
+            at_state_restore at state;
+            if active then obj.o_n_active <- obj.o_n_active + 1;
+            Hashtbl.add obj.o_triggers name at;
+            if def.t_index >= 0 then obj.o_acts.(def.t_index) <- Some at)
         triggers;
       Store.add_obj db obj)
     objs;

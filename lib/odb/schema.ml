@@ -47,6 +47,7 @@ let trigger b ?(perpetual = false) ?(mode = Detector.Full_history)
       t_perpetual = perpetual;
       t_witnesses = witnesses;
       t_action = action;
+      t_index = -1;  (* assigned at register_class *)
     }
   in
   { b with b_triggers = def :: b.b_triggers }
@@ -65,6 +66,30 @@ let index_trigger_def dispatch (d : trigger_def) =
       Hashtbl.replace dispatch key (prev @ [ d ]))
     (Detector.relevant_basics d.t_detector)
 
+(* Compile one dispatch bucket into the posting kernel's candidate row:
+   defs stay in declaration order; the distinct detectors behind them
+   (triggers declaring the same event share one) are factored out so the
+   per-event path classifies each exactly once. *)
+let make_krow (defs : trigger_def list) =
+  let kr_defs = Array.of_list defs in
+  let dets = ref [] in
+  let n_dets = ref 0 in
+  let kr_det_of =
+    Array.map
+      (fun (d : trigger_def) ->
+        let det = d.t_detector in
+        let rec find i = function
+          | [] ->
+            dets := !dets @ [ det ];
+            incr n_dets;
+            !n_dets - 1
+          | det' :: rest -> if det' == det then i else find (i + 1) rest
+        in
+        find 0 !dets)
+      kr_defs
+  in
+  { kr_defs; kr_dets = Array.of_list !dets; kr_det_of }
+
 let register_class db b =
   if Hashtbl.mem db.schema.classes b.b_name then
     ode_error "class %s already defined" b.b_name;
@@ -74,7 +99,9 @@ let register_class db b =
       k_fields = List.rev b.b_fields;
       k_methods = Hashtbl.create 8;
       k_triggers = Hashtbl.create 8;
+      k_n_triggers = List.length b.b_triggers;
       k_dispatch = Hashtbl.create 16;
+      k_rows = Hashtbl.create 16;
       k_constructor = b.b_constructor;
     }
   in
@@ -93,7 +120,12 @@ let register_class db b =
   (* b_triggers is accumulated in reverse; index in declaration order so
      dispatch (and therefore action execution on a shared occurrence) is
      deterministic *)
-  List.iter (index_trigger_def k.k_dispatch) (List.rev b.b_triggers);
+  let in_order = List.rev b.b_triggers in
+  List.iteri (fun i (d : trigger_def) -> d.t_index <- i) in_order;
+  List.iter (index_trigger_def k.k_dispatch) in_order;
+  Hashtbl.iter
+    (fun key defs -> Hashtbl.replace k.k_rows key (make_krow defs))
+    k.k_dispatch;
   Hashtbl.add db.schema.classes b.b_name k;
   if Registry.enabled db.obs then begin
     Registry.incr db.obs Registry.Classes_registered;
@@ -125,6 +157,7 @@ let db_trigger db ?(perpetual = false) ?(witnesses = false) name ~event ~action 
       t_perpetual = perpetual;
       t_witnesses = witnesses;
       t_action = action;
+      t_index = -1;  (* database scope: no per-object slot *)
     }
   in
   Hashtbl.add db.schema.db_trigger_defs name def;

@@ -164,6 +164,8 @@ let new_obj k oid =
       o_class = k;
       o_fields = Hashtbl.create 8;
       o_triggers = Hashtbl.create 4;
+      o_acts = Array.make k.k_n_triggers None;
+      o_n_active = 0;
       o_deleted = false;
       o_lock = Lock.Free;
       o_history = [];
@@ -172,6 +174,60 @@ let new_obj k oid =
   in
   List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) k.k_fields;
   obj
+
+(* ------------------------------------------------------------------ *)
+(* Structure-of-arrays detection-state blocks                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Activations of mask-free (single-word, flat-table) detectors on heap
+   objects keep their automaton word in a per-shard block shared by all
+   activations of the same detector — the paper's "one integer per
+   active trigger per object", laid out so [post_many]'s step phase
+   sweeps a contiguous int array. Slot allocation and release only
+   happen in sequential pipeline phases (activation, undo, object
+   removal). *)
+
+let soa_slot db oid (det : Ode_event.Detector.t) =
+  let tbl = db.store.soa.(shard_of db oid) in
+  let blk =
+    match Hashtbl.find_opt tbl det.uid with
+    | Some b -> b
+    | None ->
+      let b = { blk_state = Array.make 16 0; blk_n = 0; blk_free = [] } in
+      Hashtbl.add tbl det.uid b;
+      b
+  in
+  let slot =
+    match blk.blk_free with
+    | s :: rest ->
+      blk.blk_free <- rest;
+      s
+    | [] ->
+      let s = blk.blk_n in
+      blk.blk_n <- s + 1;
+      if s >= Array.length blk.blk_state then begin
+        let grown = Array.make (2 * Array.length blk.blk_state) 0 in
+        Array.blit blk.blk_state 0 grown 0 (Array.length blk.blk_state);
+        blk.blk_state <- grown
+      end;
+      s
+  in
+  blk.blk_state.(slot) <- Ode_event.Detector.initial_word det;
+  S_slot (blk, slot)
+
+(* Fresh detection state for an activation of [det] on object [oid]:
+   packed into the shard's SoA block when the detector qualifies, a
+   private word vector otherwise. *)
+let fresh_at_state db oid (det : Ode_event.Detector.t) =
+  if Ode_event.Detector.has_flat det then soa_slot db oid det
+  else S_words (Ode_event.Detector.initial det)
+
+let free_at_state at =
+  match at.at_state with
+  | S_words _ -> ()
+  | S_slot (blk, slot) -> blk.blk_free <- slot :: blk.blk_free
+
+let free_obj_slots obj = Hashtbl.iter (fun _ at -> free_at_state at) obj.o_triggers
 
 (* The live-object count is maintained at the four mutation points
    (add, remove, delete-mark, undelete-mark) so [stats] and [cardinal
@@ -185,6 +241,7 @@ let remove_obj db oid =
   | None -> ()
   | Some o ->
     if not o.o_deleted then db.store.n_live <- db.store.n_live - 1;
+    free_obj_slots o;
     db.store.backend.sb_remove oid
 
 let mark_deleted db obj =
@@ -201,6 +258,7 @@ let unmark_deleted db obj =
 
 let reset_heap db =
   db.store.backend.sb_reset ();
+  Array.iter Hashtbl.reset db.store.soa;
   db.store.n_live <- 0
 
 let find_obj db oid = db.store.backend.sb_find oid
@@ -273,6 +331,34 @@ let mask_env db obj : Mask.env =
         | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
   }
 
+(* A reusable posting-kernel scratch: same bindings as {!mask_env}, but
+   the object is indirected through a ref cell so one environment (and
+   its three closures) serves every post handled by a shard instead of
+   being rebuilt — and reallocated — per event. *)
+let make_scratch db =
+  let sc_obj = ref None in
+  let sc_env : Mask.env =
+    {
+      var =
+        (fun name ->
+          match !sc_obj with
+          | Some o -> Hashtbl.find_opt o.o_fields name
+          | None -> None);
+      deref =
+        (fun oid fieldname ->
+          match live_obj_opt db oid with
+          | Some o -> Hashtbl.find_opt o.o_fields fieldname
+          | None -> None);
+      call =
+        (fun name args ->
+          match Hashtbl.find_opt db.schema.functions name with
+          | Some f -> f db args
+          | None -> raise (Mask.Eval_error ("unknown database function " ^ name)));
+    }
+  in
+  { sc_obj; sc_env; sc_codes = Array.make 16 (-1); sc_classified = 0;
+    sc_skipped = 0; sc_transitions = 0 }
+
 let db_mask_env db : Mask.env =
   {
     var = (fun _ -> None);
@@ -330,7 +416,7 @@ let binding_bytes bindings =
   List.fold_left (fun acc (name, _) -> acc + 24 + String.length name) 0 bindings
 
 let activation_bytes at =
-  (8 * Array.length at.at_state) + binding_bytes at.at_collected
+  (8 * at_state_len at) + binding_bytes at.at_collected
 
 (* Shadow copies a committed-mode trigger keeps alive through an open
    transaction's undo log (the §6 "state is part of the object"

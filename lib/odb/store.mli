@@ -102,6 +102,23 @@ val new_obj : klass -> oid -> obj
 (** Fresh object record with the class's field defaults installed. Does
     not add it to the heap. *)
 
+(** {1 Detection-state blocks}
+
+    Activations of mask-free (single-word, flat-table) detectors pack
+    their automaton word into a per-shard structure-of-arrays block
+    keyed by detector uid — the paper's "one integer per active trigger
+    per object". Allocation and release happen only in sequential
+    pipeline phases. *)
+
+val fresh_at_state : db -> oid -> Ode_event.Detector.t -> trig_state
+(** Fresh initial detection state for an activation of this detector on
+    this object: an SoA slot when the detector qualifies
+    ({!Ode_event.Detector.has_flat}), a private word vector otherwise. *)
+
+val free_at_state : active_trigger -> unit
+(** Return the activation's SoA slot (if any) to its block's free list.
+    Call only when the activation is being discarded. *)
+
 val add_obj : db -> obj -> unit
 val remove_obj : db -> oid -> unit
 
@@ -159,6 +176,12 @@ val mask_env : db -> obj -> Ode_event.Mask.env
 
 val db_mask_env : db -> Ode_event.Mask.env
 (** No object in scope: only dereferences and database functions. *)
+
+val make_scratch : db -> scratch
+(** A reusable posting-kernel buffer: a {!mask_env}-equivalent
+    environment reading fields through the scratch's [sc_obj] cell, plus
+    a grow-only classification-code buffer. The engine keeps one per
+    shard. *)
 
 (** {1 Event histories (§9)} *)
 

@@ -38,6 +38,7 @@ let fresh_txn db ~system =
       tx_system = system;
       tx_status = Active;
       tx_accessed = [];
+      tx_seen = Hashtbl.create 16;
       tx_undo = [];
     }
   in
@@ -97,10 +98,18 @@ let apply_undo db entry =
     db.wheel.timers <-
       List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.wheel.timers
   | U_delete obj -> Store.unmark_deleted db obj
-  | U_trigger_state (at, prev) -> at.at_state <- prev
+  | U_trigger_state (at, prev) -> at_state_restore at prev
   | U_trigger_collected (at, prev) -> at.at_collected <- prev
-  | U_trigger_active (at, prev) -> at.at_active <- prev
-  | U_trigger_added (obj, name) -> Hashtbl.remove obj.o_triggers name
+  | U_trigger_active (obj, at, prev) -> set_trigger_active obj at prev
+  | U_trigger_added (obj, name) -> (
+    match Hashtbl.find_opt obj.o_triggers name with
+    | None -> ()
+    | Some at ->
+      set_trigger_active (Some obj) at false;
+      let idx = at.at_def.t_index in
+      if idx >= 0 && idx < Array.length obj.o_acts then obj.o_acts.(idx) <- None;
+      Store.free_at_state at;
+      Hashtbl.remove obj.o_triggers name)
 
 (* Fold the per-shard undo segments a parallel classify/step phase
    produced into the transaction's log. Entries within one segment are
@@ -149,7 +158,8 @@ let commit db tx =
   if tx.tx_status <> Active then ode_error "transaction already finished";
   let obs = db.obs in
   let on = Registry.enabled obs in
-  let t0 = if on then Registry.now_ns () else 0 in
+  let timed = Registry.timing obs in
+  let t0 = if timed then Registry.now_ns () else 0 in
   let saved_current = db.txns.current in
   db.txns.current <- Some tx;
   let restore () =
@@ -195,7 +205,7 @@ let commit db tx =
     restore ();
     if not tx.tx_system then
       !system_post_hook db (List.rev tx.tx_accessed) Symbol.Tcommit;
-    if on then Registry.record_ns obs Registry.Commit (Registry.now_ns () - t0);
+    if timed then Registry.record_ns obs Registry.Commit (Registry.now_ns () - t0);
     Ok ()
   | exception Tabort ->
     abort db tx;

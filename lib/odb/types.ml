@@ -59,6 +59,22 @@ and store_state = {
   mutable next_oid : int;
   mutable n_live : int;  (* stored objects with [o_deleted = false] *)
   mutable history_limit : int;  (* 0 = recording off *)
+  soa : (int, soa_block) Hashtbl.t array;
+      (* per shard: detector uid -> the structure-of-arrays block packing
+         the one-word automaton states of every activation of that
+         detector on objects of the shard (paper §5: "one integer per
+         active trigger per object"). Only sequential pipeline phases
+         allocate or free slots; the parallel step phase of [post_many]
+         only touches blocks of its own shard. *)
+}
+
+(* One packed state block: [blk_state.(slot)] is the single automaton
+   word of one activation. Slots are recycled through a free list when
+   an activation is undone or its object removed. *)
+and soa_block = {
+  mutable blk_state : int array;
+  mutable blk_n : int;  (* high-water slot count *)
+  mutable blk_free : int list;
 }
 
 (* First-class backend operations. [sb_shards]/[sb_shard_of] expose the
@@ -113,6 +129,37 @@ and engine_state = {
       (* lazily created domain pool backing [post_many]; sized
          [post_domains] (or the call's [?domains]) and rebuilt when that
          changes. [Engine.shutdown_pool] releases the domains. *)
+  mutable use_posting_kernel : bool;
+      (* per-database switch between the compiled posting kernel
+         (candidate rows + packed classification codes + SoA state) and
+         the legacy indexed path (default true); only meaningful when
+         [use_dispatch_index] is also on *)
+  mutable scratch : scratch array;
+      (* per-shard reusable classify/step buffers, built lazily by
+         [Engine]; the sequential [post] path uses the posted object's
+         shard's scratch, [post_many]'s step tasks each own their
+         shard's — never two users at once *)
+  kind_names : (Symbol.basic, string) Hashtbl.t;
+      (* memoized pretty-printed basic-event keys for the observability
+         probes ([Format.asprintf] per post would dominate the enabled
+         cost); written only from the sequential posting phases *)
+}
+
+(* Reusable per-shard posting buffers: a mask environment whose field
+   reads resolve against whatever object [sc_obj] currently holds, and a
+   grow-only classification-code buffer (one packed code per distinct
+   detector of the candidate row). This is what makes the steady-state
+   kernel path allocation-free. *)
+and scratch = {
+  sc_obj : obj option ref;
+  sc_env : Ode_event.Mask.env;
+  mutable sc_codes : int array;
+  mutable sc_classified : int;
+  mutable sc_skipped : int;
+  mutable sc_transitions : int;
+      (* counter accumulators, flushed to the registry once per post
+         phase (per shard task under [post_many]) instead of per
+         candidate — the atomics stay exact, off the inner loop *)
 }
 
 (* [Timewheel]: simulated time. *)
@@ -126,12 +173,29 @@ and klass = {
   k_fields : (string * Value.t) list;  (* declaration order, with defaults *)
   k_methods : (string, meth) Hashtbl.t;
   k_triggers : (string, trigger_def) Hashtbl.t;
+  k_n_triggers : int;  (* sizes each object's [o_acts] slot array *)
   k_dispatch : (Symbol.basic_key, trigger_def list) Hashtbl.t;
       (* §5 hot-path index, built once at schema registration: posted
          basic -> trigger definitions whose alphabet can react to it, in
-         declaration order. [post] consults this instead of scanning
-         every activation on the object. *)
+         declaration order. The legacy indexed [post] path consults this
+         instead of scanning every activation on the object. *)
+  k_rows : (Symbol.basic_key, krow) Hashtbl.t;
+      (* the posting kernel's compiled candidate rows: same buckets as
+         [k_dispatch], materialized as arrays with the distinct shared
+         detectors factored out so one post classifies each detector
+         exactly once and never allocates. Static per class — activation
+         state is consulted through [o_acts], so trigger
+         (de)activation needs no invalidation. *)
   k_constructor : (db -> oid -> Value.t list -> unit) option;
+}
+
+(* One compiled candidate row: the trigger definitions of one class that
+   can react to one [basic_key], in declaration order, plus their
+   distinct detectors (shared detectors classify once per post). *)
+and krow = {
+  kr_defs : trigger_def array;  (* declaration order *)
+  kr_dets : Detector.t array;  (* distinct detectors, first-use order *)
+  kr_det_of : int array;  (* kr_defs index -> kr_dets index *)
 }
 
 and meth = {
@@ -149,6 +213,10 @@ and trigger_def = {
   t_perpetual : bool;
   t_witnesses : bool;  (* track full per-match provenance (§9) *)
   t_action : db -> fire_context -> unit;
+  mutable t_index : int;
+      (* dense per-class slot, assigned at [Schema.register_class] in
+         declaration order; indexes [o_acts] on every object of the
+         class. [-1] for database-scope definitions. *)
 }
 
 and fire_context = {
@@ -166,7 +234,7 @@ and fire_context = {
 and active_trigger = {
   at_def : trigger_def;
   mutable at_params : Value.t list;  (* activation arguments, passed to the action *)
-  mutable at_state : Detector.state;
+  mutable at_state : trig_state;
   mutable at_collected : (string * Value.t) list;  (* §9 parameter collection *)
   mutable at_provenance : Ode_event.Provenance.t option;  (* when t_witnesses *)
   mutable at_last_witnesses : (string * Value.t) list list;
@@ -174,11 +242,23 @@ and active_trigger = {
   mutable at_epoch : int;  (* bumped on (re)activation; stale timers check it *)
 }
 
+(* Where an activation's automaton state lives. Mask-free detectors
+   (one state word, flat transition table) on heap objects pack into the
+   per-shard SoA blocks; everything else — multi-word hierarchical
+   automata, database-scope activations — keeps its own word vector. *)
+and trig_state =
+  | S_words of Detector.state
+  | S_slot of soa_block * int
+
 and obj = {
   o_id : oid;
   o_class : klass;
   o_fields : (string, Value.t) Hashtbl.t;
   o_triggers : (string, active_trigger) Hashtbl.t;
+  o_acts : active_trigger option array;
+      (* activations by [t_index] — the kernel's candidate rows resolve
+         through this dense array instead of the name hashtable *)
+  mutable o_n_active : int;  (* activations with [at_active = true] *)
   mutable o_deleted : bool;
   mutable o_lock : Lock.t;
   mutable o_history : History.record list;  (* newest first; see §9 *)
@@ -190,6 +270,7 @@ and txn = {
   tx_system : bool;  (* transaction events are not posted for system txns *)
   mutable tx_status : txn_status;
   mutable tx_accessed : oid list;  (* reverse order of first access *)
+  tx_seen : (oid, unit) Hashtbl.t;  (* membership mirror of tx_accessed *)
   mutable tx_undo : undo_entry list;  (* newest first *)
 }
 
@@ -197,9 +278,12 @@ and undo_entry =
   | U_field of obj * string * Value.t
   | U_create of obj
   | U_delete of obj
-  | U_trigger_state of active_trigger * Detector.state
+  | U_trigger_state of active_trigger * int array
+      (* snapshot of the state words, whatever the representation *)
   | U_trigger_collected of active_trigger * (string * Value.t) list
-  | U_trigger_active of active_trigger * bool
+  | U_trigger_active of obj option * active_trigger * bool
+      (* the owning object (None for database scope) so undo can keep
+         [o_n_active] exact *)
   | U_trigger_added of obj * string
 
 and timer = {
@@ -249,7 +333,14 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           db_trigger_defs = Hashtbl.create 4;
           db_dispatch = Hashtbl.create 8;
         };
-      store = { backend; next_oid = 1; n_live = 0; history_limit = 0 };
+      store =
+        {
+          backend;
+          next_oid = 1;
+          n_live = 0;
+          history_limit = 0;
+          soa = Array.init backend.sb_shards (fun _ -> Hashtbl.create 8);
+        };
       txns =
         {
           next_txn_id = 1;
@@ -267,6 +358,9 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           use_dispatch_index = true;
           post_domains = 1;
           pool = None;
+          use_posting_kernel = true;
+          scratch = [||];
+          kind_names = Hashtbl.create 16;
         };
       wheel = { clock_ms = start_time; timers = [] };
       obs = Ode_obs.Registry.create ~trace_capacity ();
@@ -281,3 +375,45 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
         s_fn = (fun f -> db.engine.firings <- f :: db.engine.firings);
         s_active = true } ];
   db
+
+(* ------------------------------------------------------------------ *)
+(* Detection-state accessors                                          *)
+(*                                                                    *)
+(* All reads and writes of [at_state] outside the kernel's inner loop *)
+(* go through these, so undo snapshots, persistence images and the    *)
+(* public [trigger_state] API are byte-identical whichever            *)
+(* representation the activation uses.                                *)
+(* ------------------------------------------------------------------ *)
+
+let at_state_copy at =
+  match at.at_state with
+  | S_words w -> Array.copy w
+  | S_slot (b, i) -> [| b.blk_state.(i) |]
+
+let at_state_restore at w =
+  match at.at_state with
+  | S_words _ -> at.at_state <- S_words w
+  | S_slot (b, i) -> b.blk_state.(i) <- w.(0)
+
+let at_state_reset at =
+  match at.at_state with
+  | S_words _ -> at.at_state <- S_words (Detector.initial at.at_def.t_detector)
+  | S_slot (b, i) -> b.blk_state.(i) <- Detector.initial_word at.at_def.t_detector
+
+let at_top_state at =
+  match at.at_state with
+  | S_words w -> Detector.top_state w
+  | S_slot (b, i) -> b.blk_state.(i)
+
+let at_state_len at =
+  match at.at_state with S_words w -> Array.length w | S_slot _ -> 1
+
+(* Single point maintaining the per-object active count next to the
+   flag; [obj_opt] is [None] for database-scope activations. *)
+let set_trigger_active obj_opt at v =
+  if at.at_active <> v then begin
+    (match obj_opt with
+    | Some o -> o.o_n_active <- o.o_n_active + (if v then 1 else -1)
+    | None -> ());
+    at.at_active <- v
+  end

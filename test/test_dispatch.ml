@@ -1,16 +1,25 @@
-(* Equivalence of the dispatch-indexed posting path against the
-   brute-force reference path.
+(* Equivalence of the three posting paths.
 
    [Database.set_dispatch_index] (default true) makes [post]/[post_db]
    consult the per-class / per-database dispatch index and touch only
    the triggers whose alphabet can contain the posted basic event;
    switching it off restores the pre-index path that snapshots and
-   classifies {e every} activation. The two must be observably
-   identical: same firings, same collected §9 bindings, same witnesses,
-   same automaton states, same activation flags — on random schemas
-   (masked composite events, one-shot/perpetual, committed-mode,
+   classifies {e every} activation. On top of the index,
+   [Database.set_posting_kernel] (default true) selects the compiled
+   kernel — per-class candidate rows, packed classification codes,
+   flat-table stepping over the SoA detection state — over the legacy
+   indexed path it replaced. All three must be observably identical:
+   same firings, same collected §9 bindings, same witnesses, same
+   automaton states, same activation flags — on random schemas (masked
+   composite events, one-shot/perpetual, committed-mode,
    witness-tracking triggers) under random transaction scripts with
-   commits and aborts. *)
+   commits and aborts.
+
+   [kernel_codes_match_semantics] additionally pins the kernel's
+   classify/step primitives ([Detector.classify_code] / [post_code] /
+   [post_code_slot]) directly against the §4 denotational semantics, so
+   the engine-level property cannot pass by both paths sharing a broken
+   detector. *)
 
 open Ode_odb
 open Ode_event
@@ -40,10 +49,11 @@ let trigger_names case = List.mapi (fun i _ -> Printf.sprintf "t%d" i) case.trig
    sorted: the reference path iterates a [Hashtbl] snapshot, so its
    {e order} of same-occurrence firings is unspecified (the indexed path
    fixed it to declaration order). *)
-let run ~use_index case =
+let run ?(use_kernel = true) ~use_index case =
   let log = ref [] in
   let db = D.create_db () in
   D.set_dispatch_index db use_index;
+  D.set_posting_kernel db use_kernel;
   let firings_log = ref [] in
   let _sub = D.subscribe_firings db (fun f -> firings_log := f :: !firings_log) in
   (* one database-scope trigger so [post_db]'s index is exercised too *)
@@ -182,6 +192,72 @@ let index_equals_scan =
       QCheck.assume (List.for_all compiles case.triggers);
       run ~use_index:true case = run ~use_index:false case)
 
+(* Three-way: the compiled kernel, the legacy indexed path it replaced,
+   and the brute-force scan must agree on every observable. *)
+let kernel_equals_legacy_equals_scan =
+  QCheck.Test.make ~count:80 ~name:"posting kernel = legacy index = scan"
+    (QCheck.make ~print:print_case gen_case)
+    (fun case ->
+      QCheck.assume (List.for_all compiles case.triggers);
+      let k = run ~use_kernel:true ~use_index:true case in
+      k = run ~use_kernel:false ~use_index:true case
+      && k = run ~use_kernel:false ~use_index:false case)
+
+(* The kernel's own primitives against the §4 reference semantics: for a
+   random surface expression and occurrence stream, classify each
+   occurrence to a packed code, step the detector by code (both the
+   word-vector variant and — when the detector has a flat table — the
+   one-word SoA slot variant), and compare the accept stream with
+   [Semantics.eval] over the classified, filtered symbol history. Mirrors
+   [test_pipeline]'s detector property but through the kernel entry
+   points, so a discrepancy between [post] and [post_code]/[post_code_slot]
+   cannot hide behind a shared implementation. *)
+let kernel_codes_match_semantics =
+  let env = Ode_event.Mask.empty_env in
+  QCheck.Test.make ~count:300 ~name:"kernel classify/step codes = semantics"
+    (QCheck.make
+       ~print:(fun (e, occs) ->
+         Fmt.str "%a on %d occurrences" Expr.pp e (List.length occs))
+       QCheck.Gen.(
+         let* e = Gen.gen_surface_expr ~max_size:8 () in
+         let* occs = list_size (int_bound 30) Gen.gen_occurrence in
+         return (e, occs)))
+    (fun (e, occs) ->
+      match Detector.make e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | det ->
+        let codes = List.map (Detector.classify_code det ~env) occs in
+        let state = Detector.initial det in
+        let fired = List.map (Detector.post_code det state ~env) codes in
+        (if Detector.has_flat det then begin
+           let cells = [| 0; Detector.initial_word det; 0 |] in
+           let slot_fired = List.map (Detector.post_code_slot det cells 1) codes in
+           if slot_fired <> fired then
+             QCheck.Test.fail_report "SoA slot stepping diverged from word vector";
+           if cells.(0) <> 0 || cells.(2) <> 0 then
+             QCheck.Test.fail_report "slot stepping clobbered neighbouring cells"
+         end);
+        (* reference: classify, drop non-events, evaluate denotationally *)
+        let alphabet, lowered, _ = Rewrite.build e in
+        let classified =
+          List.map (fun occ -> Rewrite.classify alphabet ~env occ) occs
+        in
+        let kept =
+          List.filter (fun s -> s <> Rewrite.other alphabet) classified
+        in
+        let labels = Semantics.eval lowered (Array.of_list kept) in
+        let expected = ref [] in
+        let j = ref 0 in
+        List.iter
+          (fun s ->
+            if s = Rewrite.other alphabet then expected := false :: !expected
+            else begin
+              expected := labels.(!j) :: !expected;
+              incr j
+            end)
+          classified;
+        fired = List.rev !expected)
+
 (* A directed case through the default (indexed) path, so the property
    above cannot pass vacuously with both paths broken the same way:
    check actual firing, §9 collection and one-shot deactivation. *)
@@ -236,4 +312,9 @@ let test_indexed_firing () =
 
 let suite =
   Alcotest.test_case "indexed firing + collection" `Quick test_indexed_firing
-  :: List.map QCheck_alcotest.to_alcotest [ index_equals_scan ]
+  :: List.map QCheck_alcotest.to_alcotest
+       [
+         index_equals_scan;
+         kernel_equals_legacy_equals_scan;
+         kernel_codes_match_semantics;
+       ]

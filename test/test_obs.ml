@@ -67,6 +67,9 @@ let n_txns = 5
 let test_pinned_counters () =
   let db, oid = scripted_db () in
   D.set_observability db true;
+  (* latency histograms are sink-gated; force timing so the probe-count
+     pins below stay meaningful without attaching a sink *)
+  Obs.set_timing (D.observe db) true;
   for _ = 1 to n_txns do
     ping db oid
   done;
@@ -97,6 +100,41 @@ let test_pinned_counters () =
     (Hist.count (Obs.hist r Obs.Commit));
   Alcotest.(check int) "action latencies" n_txns
     (Hist.count (Obs.hist r Obs.Action))
+
+(* Latency histograms are only fed when timing data has a consumer: a
+   trace sink is attached, or [set_timing] forced it on. Counters, the
+   kind table and the span ring stay exact regardless. *)
+let test_timing_gate () =
+  let db, oid = scripted_db () in
+  D.set_observability db true;
+  let r = D.observe db in
+  ping db oid;
+  Alcotest.(check int) "counters exact without a sink" 9 (Obs.get r Obs.Posts);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        ("no " ^ Obs.probe_name p ^ " latencies without a consumer")
+        0
+        (Hist.count (Obs.hist r p)))
+    Obs.all_probes;
+  Alcotest.(check int) "spans still emitted" 15
+    (List.length (Trace.spans (Obs.trace r)));
+  (* attaching a sink turns the clock reads back on *)
+  let sink = Trace.add_sink (Obs.trace r) (fun _ -> ()) in
+  ping db oid;
+  Alcotest.(check int) "post latencies with a sink" 9
+    (Hist.count (Obs.hist r Obs.Post));
+  Alcotest.(check int) "call latencies with a sink" 1
+    (Hist.count (Obs.hist r Obs.Call));
+  Trace.remove_sink (Obs.trace r) sink;
+  ping db oid;
+  Alcotest.(check int) "gated again after detach" 9
+    (Hist.count (Obs.hist r Obs.Post));
+  (* and the explicit override works without any sink *)
+  Obs.set_timing r true;
+  ping db oid;
+  Alcotest.(check int) "forced timing feeds histograms" 18
+    (Hist.count (Obs.hist r Obs.Post))
 
 let test_scan_path_counters () =
   (* brute-force reference path: every active trigger is classified on
@@ -367,6 +405,7 @@ let suite =
     Alcotest.test_case "pinned pipeline counters" `Quick test_pinned_counters;
     Alcotest.test_case "exact counters under 4 domains" `Quick
       test_exact_counters_under_domains;
+    Alcotest.test_case "timing gate" `Quick test_timing_gate;
     Alcotest.test_case "scan-path counters" `Quick test_scan_path_counters;
     Alcotest.test_case "disabled = all zeros" `Quick test_disabled_counts_nothing;
     Alcotest.test_case "abort + undo accounting" `Quick test_abort_and_undo;

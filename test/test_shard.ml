@@ -45,9 +45,10 @@ let trigger_names case = List.mapi (fun i _ -> Printf.sprintf "t%d" i) case.trig
    summarise everything the backends could disagree on. Nothing is
    sorted: the {e order} of firings and logged actions is part of the
    contract. *)
-let run ~backend case =
+let run ?(kernel = true) ~backend case =
   let log = ref [] in
   let db = D.create_db ~backend () in
+  D.set_posting_kernel db kernel;
   let firings_log = ref [] in
   let _sub = D.subscribe_firings db (fun f -> firings_log := f :: !firings_log) in
   D.db_trigger_str db ~perpetual:true "census" ~event:"choose 2 (after create)"
@@ -159,9 +160,10 @@ let n_batch_objects = 8
 (* Run both batches through [post_many] — the second in a transaction
    that aborts, exercising the merged per-shard undo segments — and
    summarise every observable, the exact counters included. *)
-let run_batch ~backend ~domains case =
+let run_batch ?(kernel = true) ~backend ~domains case =
   let log = ref [] in
   let db = D.create_db ~backend () in
+  D.set_posting_kernel db kernel;
   D.set_post_domains db domains;
   D.set_observability db true;
   let firings_log = ref [] in
@@ -352,6 +354,36 @@ let post_many_domains_equal =
       let d1 = run_batch ~backend:(`Sharded 8) ~domains:1 case in
       d1 = run_batch ~backend:(`Sharded 8) ~domains:4 case
       && d1 = run_batch ~backend:`Heap ~domains:4 case)
+
+(* The posting kernel against the legacy indexed path it replaced, on
+   both backends: same firings, same states, same object listings, same
+   byte-identical persist image. The state representation (SoA slots) is
+   shared by both paths, so the image comparison pins the kernel's
+   in-place stepping to the exact words the legacy path computes. *)
+let kernel_equals_prekernel_backends =
+  QCheck.Test.make ~count:30
+    ~name:"posting kernel = pre-kernel path (both backends, persist bytes)"
+    (QCheck.make ~print:print_case gen_case)
+    (fun case ->
+      QCheck.assume (List.for_all compiles case.triggers);
+      let k = run ~kernel:true ~backend:(`Sharded 4) case in
+      k = run ~kernel:false ~backend:(`Sharded 4) case
+      && k = run ~kernel:false ~backend:`Heap case)
+
+(* Likewise for the batch pipeline, exact observability counters
+   included, across 1/4-domain step phases: the kernel's per-shard
+   scratch accumulators must flush to the same totals the legacy path
+   records one event at a time. *)
+let kernel_equals_prekernel_batches =
+  QCheck.Test.make ~count:30
+    ~name:"post_many: kernel = pre-kernel (1/4 domains, counters)"
+    (QCheck.make ~print:print_batch_case gen_batch_case)
+    (fun case ->
+      QCheck.assume (List.for_all compiles case.btriggers);
+      let k = run_batch ~kernel:true ~backend:(`Sharded 8) ~domains:1 case in
+      k = run_batch ~kernel:false ~backend:(`Sharded 8) ~domains:1 case
+      && k = run_batch ~kernel:false ~backend:(`Sharded 8) ~domains:4 case
+      && k = run_batch ~kernel:false ~backend:`Heap ~domains:1 case)
 
 (* ------------------------------------------------------------------ *)
 (* Directed tests                                                      *)
@@ -544,4 +576,9 @@ let suite =
     Alcotest.test_case "cross-backend image" `Quick test_cross_backend_image;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ heap_equals_sharded; post_many_domains_equal ]
+      [
+        heap_equals_sharded;
+        post_many_domains_equal;
+        kernel_equals_prekernel_backends;
+        kernel_equals_prekernel_batches;
+      ]
