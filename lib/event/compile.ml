@@ -2,6 +2,7 @@ type level = {
   l_mask : int;
   l_deps : int array;
   l_dfa : Dfa.t;
+  l_flat : int array option;
 }
 
 type t = {
@@ -10,6 +11,7 @@ type t = {
   top_deps : int array;
   top_dfa : Dfa.t;
   flat : int array option;
+  all_flat : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -277,11 +279,13 @@ let to_flat ~m ~deps (e : Lowered.t) : flat =
   in
   go e
 
-(* Mask-free automata additionally get a row-major packed transition
-   table: cell [q * m + sym] holds [(q' lsl 1) lor accept q'], so the
-   hot-path step is one load, one shift and one bit test — the paper's
-   "one transition-table lookup per posted event". Capped so a
-   pathological automaton cannot pin megabytes per detector. *)
+(* Every automaton level additionally gets a row-major packed transition
+   table over its own (extended) alphabet: cell [q * m_ext + sym] holds
+   [(q' lsl 1) lor accept q'], so the hot-path step is one load, one
+   shift and one bit test per level — the paper's "one transition-table
+   lookup per posted event", generalized to the hierarchical stack.
+   Capped so a pathological automaton cannot pin megabytes per
+   detector; the cap is one shared budget across the whole stack. *)
 let flat_cells_limit = 1 lsl 22
 
 let flatten_dfa (d : Dfa.t) =
@@ -309,16 +313,35 @@ let compile ~m (e : Lowered.t) : t =
     let dfa = compile_flat ~m:(m * (1 lsl Array.length deps)) (to_flat ~m ~deps body) in
     (deps, dfa)
   in
+  (* one flat-cell budget per detector, shared by the whole level stack *)
+  let budget = ref flat_cells_limit in
+  let flatten_within (d : Dfa.t) =
+    let cells = Array.length d.accept * d.m in
+    if cells > !budget then None
+    else begin
+      budget := !budget - cells;
+      flatten_dfa d
+    end
+  in
   let levels =
     List.map
       (fun (mask_id, body) ->
         let deps, dfa = build_level body in
-        { l_mask = mask_id; l_deps = deps; l_dfa = dfa })
+        { l_mask = mask_id; l_deps = deps; l_dfa = dfa;
+          l_flat = flatten_within dfa })
       level_specs
   in
   let top_deps, top_dfa = build_level top in
-  let flat = if level_specs = [] then flatten_dfa top_dfa else None in
-  { base_m = m; levels = Array.of_list levels; top_deps; top_dfa; flat }
+  let flat = flatten_within top_dfa in
+  let levels = Array.of_list levels in
+  (* [step_flat]/[step_cells] carry derived bits in one int, so stacks
+     beyond 62 levels keep the boxed path even if every table fit *)
+  let all_flat =
+    flat <> None
+    && Array.length levels <= 62
+    && Array.for_all (fun l -> l.l_flat <> None) levels
+  in
+  { base_m = m; levels; top_deps; top_dfa; flat; all_flat }
 
 let compile_pure ~m (e : Lowered.t) : Dfa.t =
   let c = compile ~m e in
@@ -394,16 +417,48 @@ let rec step_levels t state base_sym ~mask i fired_bits =
     Dfa.accepts_state t.top_dfa q
   end
 
+(* Fully-flat hierarchical stepping: one packed-table load per level
+   (extended symbol = base symbol shifted past the level's derived
+   bits), mask filters consulted only on acceptance. [cells]/[off] is
+   the structure-of-arrays form — the word-vector paths pass the state
+   array with offset 0. The two variants differ only in how masks are
+   evaluated (caller closure vs inline mask table). *)
+let rec step_flat t cells off base_sym ~mask i fired_bits =
+  let n_levels = Array.length t.levels in
+  if i < n_levels then begin
+    let level = t.levels.(i) in
+    let d = Array.length level.l_deps in
+    let sym = (base_sym lsl d) lor ext_bits level.l_deps fired_bits 0 0 in
+    let f = match level.l_flat with Some f -> f | None -> assert false in
+    let cell = f.((cells.(off + i) * (t.base_m lsl d)) + sym) in
+    cells.(off + i) <- cell lsr 1;
+    let fired_bits =
+      if cell land 1 = 1 && mask level.l_mask then fired_bits lor (1 lsl i)
+      else fired_bits
+    in
+    step_flat t cells off base_sym ~mask (i + 1) fired_bits
+  end
+  else begin
+    let d = Array.length t.top_deps in
+    let sym = (base_sym lsl d) lor ext_bits t.top_deps fired_bits 0 0 in
+    let f = match t.flat with Some f -> f | None -> assert false in
+    let cell = f.((cells.(off + i) * (t.base_m lsl d)) + sym) in
+    cells.(off + i) <- cell lsr 1;
+    cell land 1 = 1
+  end
+
 let step t state base_sym ~mask =
   if base_sym < 0 || base_sym >= t.base_m then invalid_arg "Compile.step: bad symbol";
-  match t.flat with
-  | Some f ->
-    let cell = f.((state.(0) * t.base_m) + base_sym) in
-    state.(0) <- cell lsr 1;
-    cell land 1 = 1
-  | None ->
-    if Array.length t.levels > 62 then step_boxed t state base_sym ~mask
-    else step_levels t state base_sym ~mask 0 0
+  if Array.length t.levels = 0 then
+    match t.flat with
+    | Some f ->
+      let cell = f.((state.(0) * t.base_m) + base_sym) in
+      state.(0) <- cell lsr 1;
+      cell land 1 = 1
+    | None -> step_levels t state base_sym ~mask 0 0
+  else if t.all_flat then step_flat t state 0 base_sym ~mask 0 0
+  else if Array.length t.levels > 62 then step_boxed t state base_sym ~mask
+  else step_levels t state base_sym ~mask 0 0
 
 (* Same stepping, but mask filters are evaluated inline from the mask
    table — no per-step closure, which is what keeps the database's
@@ -429,27 +484,66 @@ let rec step_levels_masks t state base_sym ~masks ~env i fired_bits =
     Dfa.accepts_state t.top_dfa q
   end
 
+(* [step_flat] with masks evaluated inline from the mask table — no
+   per-step closure; the kernel's allocation-free form. *)
+let rec step_flat_masks t cells off base_sym ~masks ~env i fired_bits =
+  let n_levels = Array.length t.levels in
+  if i < n_levels then begin
+    let level = t.levels.(i) in
+    let d = Array.length level.l_deps in
+    let sym = (base_sym lsl d) lor ext_bits level.l_deps fired_bits 0 0 in
+    let f = match level.l_flat with Some f -> f | None -> assert false in
+    let cell = f.((cells.(off + i) * (t.base_m lsl d)) + sym) in
+    cells.(off + i) <- cell lsr 1;
+    let fired_bits =
+      if cell land 1 = 1 && Mask.eval_bool env masks.(level.l_mask) then
+        fired_bits lor (1 lsl i)
+      else fired_bits
+    in
+    step_flat_masks t cells off base_sym ~masks ~env (i + 1) fired_bits
+  end
+  else begin
+    let d = Array.length t.top_deps in
+    let sym = (base_sym lsl d) lor ext_bits t.top_deps fired_bits 0 0 in
+    let f = match t.flat with Some f -> f | None -> assert false in
+    let cell = f.((cells.(off + i) * (t.base_m lsl d)) + sym) in
+    cells.(off + i) <- cell lsr 1;
+    cell land 1 = 1
+  end
+
 let step_masks t state base_sym ~masks ~env =
   if base_sym < 0 || base_sym >= t.base_m then invalid_arg "Compile.step: bad symbol";
-  match t.flat with
-  | Some f ->
-    let cell = f.((state.(0) * t.base_m) + base_sym) in
-    state.(0) <- cell lsr 1;
-    cell land 1 = 1
-  | None ->
-    if Array.length t.levels > 62 then
-      step_boxed t state base_sym ~mask:(fun id -> Mask.eval_bool env masks.(id))
-    else step_levels_masks t state base_sym ~masks ~env 0 0
+  if Array.length t.levels = 0 then
+    match t.flat with
+    | Some f ->
+      let cell = f.((state.(0) * t.base_m) + base_sym) in
+      state.(0) <- cell lsr 1;
+      cell land 1 = 1
+    | None -> step_levels_masks t state base_sym ~masks ~env 0 0
+  else if t.all_flat then step_flat_masks t state 0 base_sym ~masks ~env 0 0
+  else if Array.length t.levels > 62 then
+    step_boxed t state base_sym ~mask:(fun id -> Mask.eval_bool env masks.(id))
+  else step_levels_masks t state base_sym ~masks ~env 0 0
 
-let has_flat t = t.flat <> None
+let has_flat t = t.all_flat
 
-let step_cell t cells i sym =
-  match t.flat with
-  | Some f ->
-    let cell = f.((cells.(i) * t.base_m) + sym) in
-    cells.(i) <- cell lsr 1;
-    cell land 1 = 1
-  | None -> invalid_arg "Compile.step_cell: automaton has no flat table"
+let write_initial t cells off =
+  let n = Array.length t.levels in
+  for i = 0 to n - 1 do
+    cells.(off + i) <- t.levels.(i).l_dfa.start
+  done;
+  cells.(off + n) <- t.top_dfa.start
+
+let step_cells t cells off sym ~masks ~env =
+  if Array.length t.levels = 0 then
+    match t.flat with
+    | Some f ->
+      let cell = f.((cells.(off) * t.base_m) + sym) in
+      cells.(off) <- cell lsr 1;
+      cell land 1 = 1
+    | None -> invalid_arg "Compile.step_cells: automaton has no flat tables"
+  else if t.all_flat then step_flat_masks t cells off sym ~masks ~env 0 0
+  else invalid_arg "Compile.step_cells: automaton has no flat tables"
 
 let run t ~mask history =
   let state = initial t in

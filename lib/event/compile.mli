@@ -16,6 +16,10 @@ type level = {
       (** derived events this level's expression references (indices of
           lower levels), ascending *)
   l_dfa : Dfa.t;  (** over the extended alphabet [m * 2^|l_deps|] *)
+  l_flat : int array option;
+      (** this level's row-major packed transition table over its
+          extended alphabet; [None] only when the stack blew the shared
+          cell budget *)
 }
 
 type t = {
@@ -24,11 +28,16 @@ type t = {
   top_deps : int array;
   top_dfa : Dfa.t;
   flat : int array option;
-      (** For mask-free automata (no levels): the row-major packed
-          transition table. Cell [q * base_m + sym] holds
-          [(q' lsl 1) lor accept(q')], so a step is one array load.
-          [None] when the expression has composite masks or the table
-          would exceed the internal cell cap. *)
+      (** the top automaton's row-major packed transition table over
+          its extended alphabet [base_m * 2^|top_deps|]. Cell
+          [q * m_ext + sym] holds [(q' lsl 1) lor accept(q')], so a
+          step is one array load per level. [None] when the table would
+          exceed the internal cell cap. *)
+  all_flat : bool;
+      (** every level and the top carry a packed table (and the stack
+          is at most 62 levels): the whole automaton steps through
+          {!step_cells} — one load per level, masks evaluated only on
+          acceptance. *)
 }
 
 val minimization : bool ref
@@ -56,8 +65,8 @@ val step : t -> state -> int -> mask:(int -> bool) -> bool
     (extended with derived bits computed level by level), consulting
     [mask mask_id] whenever a level's DFA accepts, and returns whether the
     top-level event occurs at this point. [state] is updated in place.
-    Mask-free automata step through {!flat} — one table load, no
-    allocation. *)
+    {!all_flat} automata step through the packed tables — one table
+    load per level, no allocation. *)
 
 val step_masks : t -> state -> int -> masks:Mask.t array -> env:Mask.env -> bool
 (** {!step} with the mask filter evaluated inline from a mask table
@@ -66,16 +75,25 @@ val step_masks : t -> state -> int -> masks:Mask.t array -> env:Mask.env -> bool
     table, evaluated in [env] "now"). *)
 
 val has_flat : t -> bool
-(** The automaton carries a {!flat} packed table (implies
-    [n_state_words t = 1]). *)
+(** The automaton is fully packed ({!all_flat}): every level steps
+    through a flat table, so the whole [n_state_words t]-word state
+    vector is eligible for the database's structure-of-arrays packing. *)
 
-val step_cell : t -> int array -> int -> int -> bool
-(** [step_cell t cells i sym] steps the one-word state held in
-    [cells.(i)] in place through the {!flat} table and returns
-    acceptance — the structure-of-arrays entry point: the database packs
-    the states of all activations sharing a detector into one int array
-    per shard and sweeps it linearly. Raises [Invalid_argument] if the
-    automaton has no flat table. *)
+val write_initial : t -> int array -> int -> unit
+(** [write_initial t cells off] writes the initial state vector
+    ([n_state_words t] words — level starts, then the top start) into
+    [cells] at [off]. *)
+
+val step_cells : t -> int array -> int -> int -> masks:Mask.t array -> env:Mask.env -> bool
+(** [step_cells t cells off sym ~masks ~env] steps the
+    [n_state_words t]-word state vector held at [cells.(off ..)] in
+    place through the per-level {!flat} tables and returns top-level
+    acceptance — the structure-of-arrays entry point: the database
+    packs the state vectors of all activations sharing a detector into
+    one int array per shard and sweeps it linearly. Composite masks are
+    evaluated inline against [env] when a level accepts (mask-free
+    automata never consult them). Raises [Invalid_argument] unless
+    {!has_flat}. *)
 
 val run : t -> mask:(int -> int -> bool) -> int array -> bool array
 (** Run over a whole history; [mask mask_id position]. Fresh state. *)

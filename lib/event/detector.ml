@@ -97,14 +97,16 @@ let has_flat t = Compile.has_flat t.compiled
 
 let initial_word t = t.compiled.Compile.top_dfa.Dfa.start
 
-let post_code_slot t cells i code =
+let write_initial t cells off = Compile.write_initial t.compiled cells off
+
+let post_code_slot t cells off ~env code =
   let sym = Rewrite.sym_of_code t.alphabet code in
   if sym = Rewrite.other t.alphabet then false
-  else Compile.step_cell t.compiled cells i sym
+  else Compile.step_cells t.compiled cells off sym ~masks:t.masks ~env
 
-let post_classified_slot t cells i c =
+let post_classified_slot t cells off ~env c =
   if c.c_sym = Rewrite.other t.alphabet then false
-  else Compile.step_cell t.compiled cells i c.c_sym
+  else Compile.step_cells t.compiled cells off c.c_sym ~masks:t.masks ~env
 
 let copy_state = Array.copy
 

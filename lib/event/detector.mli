@@ -123,20 +123,28 @@ val collect_code :
   t -> int -> Symbol.occurrence -> (string * Ode_base.Value.t) list
 
 val has_flat : t -> bool
-(** The compiled automaton is mask-free with a packed {!Compile.flat}
-    table — its whole detection state is one integer, eligible for the
-    database's structure-of-arrays packing. *)
+(** Every level of the compiled automaton carries a packed flat table
+    ({!Compile.all_flat}) — its whole detection state is a fixed vector
+    of [n_state_words t] integers, eligible for the database's
+    structure-of-arrays packing. Mask-free expressions have one level
+    and one word; composite-mask and counting expressions a few. *)
 
 val initial_word : t -> int
-(** The start state of the top automaton: the initial value of the one
-    state word of a {!has_flat} detector. *)
+(** The start state of the top automaton — the initial value of the
+    {e last} state word (the only word, for mask-free detectors). *)
 
-val post_code_slot : t -> int array -> int -> int -> bool
-(** [post_code_slot t cells i code] steps the one-word state stored at
-    [cells.(i)] in place ({!has_flat} detectors only; raises
-    [Invalid_argument] otherwise). *)
+val write_initial : t -> int array -> int -> unit
+(** [write_initial t cells off] writes the detector's initial
+    [n_state_words t]-word state vector into [cells] at [off]. *)
 
-val post_classified_slot : t -> int array -> int -> classified -> bool
+val post_code_slot : t -> int array -> int -> env:Mask.env -> int -> bool
+(** [post_code_slot t cells off ~env code] steps the
+    [n_state_words t]-word state vector stored at [cells.(off ..)] in
+    place through the flat tables; composite masks are evaluated in
+    [env] "now" when their level accepts ({!has_flat} detectors only;
+    raises [Invalid_argument] otherwise). *)
+
+val post_classified_slot : t -> int array -> int -> env:Mask.env -> classified -> bool
 (** As {!post_code_slot}, from a {!classify} record. *)
 
 val collect_classified :

@@ -12,6 +12,8 @@ type counter =
   | Classified
   | Index_skipped
   | Transitions
+  | Slot_transitions
+  | Word_transitions
   | Firings
   | Tcomplete_rounds
   | Undo_entries
@@ -26,21 +28,24 @@ let counter_index = function
   | Classified -> 2
   | Index_skipped -> 3
   | Transitions -> 4
-  | Firings -> 5
-  | Tcomplete_rounds -> 6
-  | Undo_entries -> 7
-  | Timer_deliveries -> 8
-  | Lock_conflicts -> 9
-  | Classes_registered -> 10
-  | Triggers_indexed -> 11
+  | Slot_transitions -> 5
+  | Word_transitions -> 6
+  | Firings -> 7
+  | Tcomplete_rounds -> 8
+  | Undo_entries -> 9
+  | Timer_deliveries -> 10
+  | Lock_conflicts -> 11
+  | Classes_registered -> 12
+  | Triggers_indexed -> 13
 
-let n_counters = 12
+let n_counters = 14
 
 let all_counters =
   [
-    Posts; Db_posts; Classified; Index_skipped; Transitions; Firings;
-    Tcomplete_rounds; Undo_entries; Timer_deliveries; Lock_conflicts;
-    Classes_registered; Triggers_indexed;
+    Posts; Db_posts; Classified; Index_skipped; Transitions;
+    Slot_transitions; Word_transitions; Firings; Tcomplete_rounds;
+    Undo_entries; Timer_deliveries; Lock_conflicts; Classes_registered;
+    Triggers_indexed;
   ]
 
 let counter_name = function
@@ -49,6 +54,8 @@ let counter_name = function
   | Classified -> "classified"
   | Index_skipped -> "index_skipped"
   | Transitions -> "transitions"
+  | Slot_transitions -> "slot_transitions"
+  | Word_transitions -> "word_transitions"
   | Firings -> "firings"
   | Tcomplete_rounds -> "tcomplete_rounds"
   | Undo_entries -> "undo_entries"

@@ -27,6 +27,11 @@
       without touching (0 on the brute-force path) [Engine]
     - [Transitions] — automaton advances on relevant occurrences
       [Engine], around {!Ode_event.Detector.post_classified}
+    - [Slot_transitions] / [Word_transitions] — the same advances split
+      by state representation: flat-table structure-of-arrays slots vs
+      boxed word vectors [Engine]. The kernel-coverage check: with
+      every object-scope detector flat-eligible, [Word_transitions]
+      counts only database-scope advances
     - [Firings] — trigger firings, both scopes [Engine]
     - [Tcomplete_rounds] — §6 [before tcomplete] fixpoint rounds [Txn]
     - [Undo_entries] — undo-log entries accumulated by finished (either
@@ -42,6 +47,8 @@ type counter =
   | Classified
   | Index_skipped
   | Transitions
+  | Slot_transitions
+  | Word_transitions
   | Firings
   | Tcomplete_rounds
   | Undo_entries

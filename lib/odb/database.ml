@@ -78,9 +78,23 @@ let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend () =
   let spec =
     match backend with Some s -> s | None -> Store.default_spec ()
   in
-  Types.make_db
-    ~backend:(Store.backend_of spec)
-    ?start_time ?max_tcomplete_rounds ?trace_capacity ()
+  let db =
+    Types.make_db
+      ~backend:(Store.backend_of spec)
+      ?start_time ?max_tcomplete_rounds ?trace_capacity ()
+  in
+  (match Sys.getenv_opt "ODE_POST_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 ->
+          (* test/CI override: force the parallel machinery on even for
+             small batches and past the core-count clamp *)
+          Engine.set_post_domains db n;
+          Engine.set_domain_clamp db false;
+          Engine.set_parallel_threshold db 0
+      | _ -> ())
+  | None -> ());
+  db
 
 let backend_name = Store.backend_name
 let now = Timewheel.now
@@ -113,6 +127,10 @@ let apply_fun = Engine.apply_fun
 let post_many = Engine.post_many
 let set_post_domains = Engine.set_post_domains
 let post_domains = Engine.post_domains
+let set_parallel_threshold = Engine.set_parallel_threshold
+let parallel_threshold = Engine.parallel_threshold
+let set_domain_clamp = Engine.set_domain_clamp
+let domain_clamp = Engine.domain_clamp
 let shutdown_pool = Engine.shutdown_pool
 let get_field = Store.get_field
 let set_field = Engine.set_field

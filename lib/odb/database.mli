@@ -311,10 +311,33 @@ val post_many :
 
 val set_post_domains : t -> int -> unit
 (** Domain count for {!post_many}'s step phase (default 1, i.e. fully
-    sequential; clamped to the backend's shard count at use). Raises
+    sequential). At use the count is clamped to the backend's shard
+    count and — while {!domain_clamp} holds — to
+    [Domain.recommended_domain_count ()], so configuring more domains
+    than the machine has cores cannot regress a run. Raises
     {!Ode_error} if < 1. *)
 
 val post_domains : t -> int
+
+val set_parallel_threshold : t -> int -> unit
+(** Minimum batch size (default 32) below which {!post_many} steps
+    sequentially even when {!post_domains} > 1 — smaller batches lose
+    more to the pool rendezvous than they gain from parallelism. Set 0
+    to always take the parallel machinery. Raises {!Ode_error} if
+    negative. *)
+
+val parallel_threshold : t -> int
+
+val set_domain_clamp : t -> bool -> unit
+(** Whether the effective domain count is clamped to
+    [Domain.recommended_domain_count ()] (default [true]). Turn off
+    only to force oversubscription, e.g. to exercise the multi-domain
+    machinery deterministically on a small machine — the
+    [ODE_POST_DOMAINS] environment variable does exactly that at
+    {!create_db}: [ODE_POST_DOMAINS=n] sets {!set_post_domains} [n],
+    disables the clamp and zeroes {!set_parallel_threshold}. *)
+
+val domain_clamp : t -> bool
 
 val shutdown_pool : t -> unit
 (** Join and discard the cached domain pool, if any; idempotent. Call

@@ -91,6 +91,14 @@ let flush_scratch_counters obs sc =
   if sc.sc_transitions <> 0 then begin
     Registry.add obs Registry.Transitions sc.sc_transitions;
     sc.sc_transitions <- 0
+  end;
+  if sc.sc_slot_steps <> 0 then begin
+    Registry.add obs Registry.Slot_transitions sc.sc_slot_steps;
+    sc.sc_slot_steps <- 0
+  end;
+  if sc.sc_word_steps <> 0 then begin
+    Registry.add obs Registry.Word_transitions sc.sc_word_steps;
+    sc.sc_word_steps <- 0
   end
 
 (* ------------------------------------------------------------------ *)
@@ -262,10 +270,15 @@ let step_activation db ~undo ~scope (at : active_trigger) ~env c occurrence =
       match at.at_state with
       | S_words w -> Detector.post_classified detector w ~env c
       | S_slot (blk, slot) ->
-        Detector.post_classified_slot detector blk.blk_state slot c
+        Detector.post_classified_slot detector blk.blk_state
+          (slot * blk.blk_words) ~env c
     in
     if on && relevant then begin
       Registry.incr obs Registry.Transitions;
+      Registry.incr obs
+        (match at.at_state with
+        | S_slot _ -> Registry.Slot_transitions
+        | S_words _ -> Registry.Word_transitions);
       Registry.span obs
         (Trace.Advanced
            { scope; trigger = at.at_def.t_name; old_state = old_top;
@@ -358,12 +371,16 @@ let rec step_pass db ~undo ~on sc (row : krow) obj occurrence i acc =
           | None -> ());
           match at.at_state with
           | S_slot (blk, slot) ->
-            Detector.post_code_slot det blk.blk_state slot code
+            Detector.post_code_slot det blk.blk_state (slot * blk.blk_words)
+              ~env:sc.sc_env code
           | S_words w -> Detector.post_code det w ~env:sc.sc_env code
         with Mask.Eval_error msg -> mask_error at msg
       in
       if on && relevant then begin
         sc.sc_transitions <- sc.sc_transitions + 1;
+        (match at.at_state with
+        | S_slot _ -> sc.sc_slot_steps <- sc.sc_slot_steps + 1
+        | S_words _ -> sc.sc_word_steps <- sc.sc_word_steps + 1);
         Registry.span db.obs
           (Trace.Advanced
              { scope = Trace.Obj obj.o_id; trigger = at.at_def.t_name;
@@ -750,6 +767,15 @@ let set_post_domains db n =
 
 let post_domains db = db.engine.post_domains
 
+let set_parallel_threshold db n =
+  if n < 0 then ode_error "parallel_threshold must be >= 0 (got %d)" n;
+  db.engine.parallel_threshold <- n
+
+let parallel_threshold db = db.engine.parallel_threshold
+
+let set_domain_clamp db flag = db.engine.clamp_domains <- flag
+let domain_clamp db = db.engine.clamp_domains
+
 let shutdown_pool db =
   match db.engine.pool with
   | Some p ->
@@ -824,16 +850,47 @@ let post_many db items =
   let resolved = Array.of_list resolved in
   let n = Array.length resolved in
   let nsh = Store.shards db in
-  (* Phases 1+2 — one task per shard. Each task walks the batch in
-     order, handling only its own shard's items; fired sets land in a
-     per-item slot (disjoint writes), committed-mode undo snapshots in a
-     per-shard segment. [Fun.protect] flushes the segment even when a
-     mask blows up mid-shard, so the merge below always sees every
-     snapshot that was taken. *)
+  (* Still phase 0: route each event to its shard's queue — a counting
+     sort of item indices into reusable engine buffers, one int per
+     event and no closures — so a shard task walks only its own events
+     instead of filtering the whole batch. *)
+  let eng = db.engine in
+  if Array.length eng.q_off < nsh + 1 then begin
+    eng.q_off <- Array.make (nsh + 1) 0;
+    eng.q_cur <- Array.make nsh 0
+  end;
+  if Array.length eng.q_items < n then
+    eng.q_items <- Array.make (max 64 (2 * n)) 0;
+  let q_off = eng.q_off
+  and q_cur = eng.q_cur
+  and q_items = eng.q_items in
+  Array.fill q_off 0 (nsh + 1) 0;
+  for i = 0 to n - 1 do
+    let obj, _ = resolved.(i) in
+    let s = Store.shard_of db obj.o_id in
+    q_off.(s + 1) <- q_off.(s + 1) + 1
+  done;
+  for s = 0 to nsh - 1 do
+    q_off.(s + 1) <- q_off.(s + 1) + q_off.(s);
+    q_cur.(s) <- q_off.(s)
+  done;
+  for i = 0 to n - 1 do
+    let obj, _ = resolved.(i) in
+    let s = Store.shard_of db obj.o_id in
+    q_items.(q_cur.(s)) <- i;
+    q_cur.(s) <- q_cur.(s) + 1
+  done;
+  (* Phases 1+2 — one task per shard, each sweeping its queue in batch
+     order; fired sets land in a per-item slot (disjoint writes),
+     committed-mode undo snapshots in a per-shard segment.
+     [Fun.protect] flushes the segment even when a mask blows up
+     mid-shard, so the merge below always sees every snapshot that was
+     taken. *)
   let fired = Array.make n [] in
   let segments = Array.make nsh [] in
   let step_shard s =
     let undo = ref [] in
+    let lo = q_off.(s) and hi = q_off.(s + 1) in
     if kernel then
       (* kernel sweep: the shard task owns its scratch; counters batch
          there and flush once per task, so the inner loop's only shared
@@ -844,47 +901,59 @@ let post_many db items =
           segments.(s) <- !undo;
           if on then flush_scratch_counters obs sc)
         (fun () ->
-          for i = 0 to n - 1 do
+          for j = lo to hi - 1 do
+            let i = q_items.(j) in
             let obj, occurrence = resolved.(i) in
-            if Store.shard_of db obj.o_id = s then
-              fired.(i) <- kernel_post_one db ~undo ~on sc obj occurrence
+            fired.(i) <- kernel_post_one db ~undo ~on sc obj occurrence
           done)
     else
       Fun.protect
         ~finally:(fun () -> segments.(s) <- !undo)
         (fun () ->
-          for i = 0 to n - 1 do
+          for j = lo to hi - 1 do
+            let i = q_items.(j) in
             let obj, occurrence = resolved.(i) in
-            if Store.shard_of db obj.o_id = s then begin
-              let basic = occurrence.Symbol.basic in
-              let candidates = candidate_triggers db obj basic in
-              if on then
-                record_dispatch obs ~indexed:(use_index db)
-                  ~n_active:obj.o_n_active
-                  ~n_candidates:(List.length candidates);
-              match candidates with
-              | [] -> ()
-              | candidates ->
-                let env = Store.mask_env db obj in
-                let classified = classify_phase ~env occurrence candidates in
-                fired.(i) <-
-                  List.map fst
-                    (List.filter
-                       (fun (at, c) ->
-                         step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at
-                           ~env c occurrence)
-                       classified)
-            end
+            let basic = occurrence.Symbol.basic in
+            let candidates = candidate_triggers db obj basic in
+            if on then
+              record_dispatch obs ~indexed:(use_index db)
+                ~n_active:obj.o_n_active
+                ~n_candidates:(List.length candidates);
+            match candidates with
+            | [] -> ()
+            | candidates ->
+              let env = Store.mask_env db obj in
+              let classified = classify_phase ~env occurrence candidates in
+              fired.(i) <-
+                List.map fst
+                  (List.filter
+                     (fun (at, c) ->
+                       step_activation db ~undo ~scope:(Trace.Obj obj.o_id) at
+                         ~env c occurrence)
+                     classified)
           done)
   in
-  let domains = min db.engine.post_domains nsh in
+  (* Effective parallelism: never more domains than shards; by default
+     never more than the box has cores (oversubscription buys only
+     contention — [set_domain_clamp] opts out for tests); and below the
+     batch threshold the pool barrier costs more than it amortizes, so
+     small batches step inline on the caller. *)
+  let domains =
+    let d = min db.engine.post_domains nsh in
+    let d =
+      if db.engine.clamp_domains then
+        min d (Domain.recommended_domain_count ())
+      else d
+    in
+    if n < db.engine.parallel_threshold then 1 else d
+  in
   let merge () = Txn.merge_undo_segments tx (Array.to_list segments) in
   (match
      if domains <= 1 || n = 0 then
        for s = 0 to nsh - 1 do
          step_shard s
        done
-     else Pool.run (ensure_pool db ~size:domains) ~tasks:nsh step_shard
+     else Pool.run_static (ensure_pool db ~size:domains) ~tasks:nsh step_shard
    with
   | () -> merge ()
   | exception e ->

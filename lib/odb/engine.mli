@@ -82,11 +82,29 @@ val post_many : db -> (oid * Ode_event.Symbol.basic * Value.t list) list -> int
 
 val set_post_domains : db -> int -> unit
 (** Target domain count for [post_many]'s step phase (default 1 —
-    fully sequential). Clamped to the backend's shard count at use; the
-    cached pool is rebuilt on the next batch after a change. Raises
-    {!Types.Ode_error} if < 1. *)
+    fully sequential). At use the count is clamped to the backend's
+    shard count and — while {!domain_clamp} holds — to
+    [Domain.recommended_domain_count ()]; the cached pool is rebuilt on
+    the next batch after a change. Raises {!Types.Ode_error} if < 1. *)
 
 val post_domains : db -> int
+
+val set_parallel_threshold : db -> int -> unit
+(** Minimum batch size (default 32) below which [post_many] steps
+    sequentially even with [post_domains] > 1: a small batch loses more
+    to the pool rendezvous than it gains from the fan-out. 0 means
+    always use the configured domains. Raises {!Types.Ode_error} if
+    negative. *)
+
+val parallel_threshold : db -> int
+
+val set_domain_clamp : db -> bool -> unit
+(** Whether the effective domain count is clamped to
+    [Domain.recommended_domain_count ()] (default [true]). Disabling it
+    deliberately oversubscribes the machine — tests use this to drive
+    the real multi-domain machinery on a 1-core box. *)
+
+val domain_clamp : db -> bool
 
 val shutdown_pool : db -> unit
 (** Join and discard the cached domain pool, if any. Idempotent; the

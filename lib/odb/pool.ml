@@ -1,8 +1,22 @@
-(* A one-job-at-a-time domain pool. Workers park on [work_ready] between
-   jobs; a job is published by bumping [generation], and completion is
-   tracked with [active] + [work_done]. Task indices are claimed through
-   the [next] atomic, so the caller and the workers drain one shared
-   queue without further coordination. *)
+(* A one-job-at-a-time domain pool built around a reusable barrier.
+
+   Workers are spawned once and kept; a job is published by bumping the
+   [generation] atomic, and workers notice it by spinning briefly on
+   that atomic before falling back to parking on [work_ready] — so a
+   batch-per-millisecond caller pays two atomic transitions per batch
+   instead of a mutex broadcast and a condvar sleep/wake per worker.
+   Completion is a countdown on [pending]: the caller spins briefly,
+   then parks on [work_done], which only the last finishing worker
+   signals (one mutex acquisition per batch, off the hot path).
+
+   Work distribution is either {e dynamic} ([run]: task indices claimed
+   through the [next] atomic, caller and workers draining one shared
+   queue) or {e static} ([run_static]: participant [w] of [size] owns
+   tasks [w, w + size, ...]). The engine's step phase uses the static
+   form: with tasks = shards, the shard -> domain map is a pure
+   function of the pool size, so every batch pins the same shards (and
+   their scratch buffers) to the same domain — no work-stealing
+   migrates a shard's state across domains mid-run. *)
 
 type t = {
   size : int;  (* parallelism including the calling thread *)
@@ -12,14 +26,23 @@ type t = {
   work_done : Condition.t;
   mutable job : (int -> unit) option;
   mutable n_tasks : int;
-  next : int Atomic.t;
-  mutable active : int;  (* workers still draining the current job *)
-  mutable generation : int;  (* bumped once per run *)
-  mutable stop : bool;
+  mutable static : bool;  (* this job's distribution mode *)
+  next : int Atomic.t;  (* dynamic-mode claim counter *)
+  generation : int Atomic.t;  (* bumped once per run; spun on *)
+  pending : int Atomic.t;  (* workers still inside the current job *)
+  sleepers : int Atomic.t;  (* workers parked on [work_ready] *)
+  stop : bool Atomic.t;
   mutable failure : exn option;  (* first exception raised by a task *)
 }
 
 let size t = t.size
+
+(* How long a participant polls an atomic before parking on a condvar.
+   Long enough to cover the fan-out/fan-in of a typical batch when
+   every participant has a core; short enough that an oversubscribed
+   box (more domains than cores) quickly yields the CPU to whoever
+   holds the work. *)
+let spin_budget = 512
 
 let record_failure t e =
   Mutex.lock t.mu;
@@ -40,22 +63,50 @@ let drain t f =
   in
   go ()
 
-let worker t () =
-  let rec loop seen_gen =
-    Mutex.lock t.mu;
-    while (not t.stop) && t.generation = seen_gen do
-      Condition.wait t.work_ready t.mu
-    done;
-    if t.stop then Mutex.unlock t.mu
-    else begin
-      let gen = t.generation in
-      let job = t.job in
-      Mutex.unlock t.mu;
-      (match job with Some f -> drain t f | None -> ());
+(* Static mode: participant [w] runs its own strided subset, no shared
+   claim counter. Same failure contract as [drain]. *)
+let run_chunk t f w =
+  let i = ref w in
+  while !i < t.n_tasks do
+    (try f !i with e -> record_failure t e);
+    i := !i + t.size
+  done
+
+(* Spin until the generation moves past [seen] (or the pool stops);
+   false = budget exhausted, caller should park. *)
+let rec spin_for_job t seen budget =
+  if Atomic.get t.generation <> seen || Atomic.get t.stop then true
+  else if budget = 0 then false
+  else begin
+    Domain.cpu_relax ();
+    spin_for_job t seen (budget - 1)
+  end
+
+let worker t w () =
+  let rec loop seen =
+    if not (spin_for_job t seen spin_budget) then begin
       Mutex.lock t.mu;
-      t.active <- t.active - 1;
-      if t.active = 0 then Condition.broadcast t.work_done;
-      Mutex.unlock t.mu;
+      Atomic.incr t.sleepers;
+      while Atomic.get t.generation = seen && not (Atomic.get t.stop) do
+        Condition.wait t.work_ready t.mu
+      done;
+      Atomic.decr t.sleepers;
+      Mutex.unlock t.mu
+    end;
+    if not (Atomic.get t.stop) then begin
+      let gen = Atomic.get t.generation in
+      (* the job fields were written before the generation bump; the
+         atomic read above orders these plain reads after them *)
+      (match t.job with
+      | Some f -> if t.static then run_chunk t f w else drain t f
+      | None -> ());
+      if Atomic.fetch_and_add t.pending (-1) = 1 then begin
+        (* last finisher: the caller may already be parked on
+           [work_done] — one mutex round-trip per batch, not per task *)
+        Mutex.lock t.mu;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mu
+      end;
       loop gen
     end
   in
@@ -73,56 +124,83 @@ let create ~size =
       work_done = Condition.create ();
       job = None;
       n_tasks = 0;
+      static = false;
       next = Atomic.make 0;
-      active = 0;
-      generation = 0;
-      stop = false;
+      generation = Atomic.make 0;
+      pending = Atomic.make 0;
+      sleepers = Atomic.make 0;
+      stop = Atomic.make false;
       failure = None;
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t.workers <- List.init (size - 1) (fun w -> Domain.spawn (worker t w));
   t
 
-let run t ~tasks f =
+(* Wait for the workers' countdown: spin first, park only if they are
+   slow (descheduled, or the box has fewer cores than domains). *)
+let rec await_pending t budget =
+  if Atomic.get t.pending > 0 then
+    if budget > 0 then begin
+      Domain.cpu_relax ();
+      await_pending t (budget - 1)
+    end
+    else begin
+      Mutex.lock t.mu;
+      while Atomic.get t.pending > 0 do
+        Condition.wait t.work_done t.mu
+      done;
+      Mutex.unlock t.mu
+    end
+
+let run_mode t ~tasks ~static f =
   if tasks > 0 then
     if t.size = 1 || tasks = 1 then begin
       (* inline fast path: same failure contract, no synchronisation *)
       t.failure <- None;
       t.n_tasks <- tasks;
-      Atomic.set t.next 0;
-      drain t f;
+      t.static <- static;
+      if static then run_chunk t f 0
+      else begin
+        Atomic.set t.next 0;
+        drain t f
+      end;
       match t.failure with None -> () | Some e -> raise e
     end
     else begin
-      Mutex.lock t.mu;
-      if t.stop then begin
-        Mutex.unlock t.mu;
-        invalid_arg "Pool.run: pool is shut down"
-      end;
+      if Atomic.get t.stop then invalid_arg "Pool.run: pool is shut down";
       t.job <- Some f;
       t.n_tasks <- tasks;
-      Atomic.set t.next 0;
+      t.static <- static;
       t.failure <- None;
-      t.active <- t.size - 1;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.work_ready;
-      Mutex.unlock t.mu;
-      drain t f;
-      Mutex.lock t.mu;
-      while t.active > 0 do
-        Condition.wait t.work_done t.mu
-      done;
+      Atomic.set t.next 0;
+      Atomic.set t.pending (t.size - 1);
+      (* publish: the generation bump makes the plain writes above
+         visible to any worker that observes it *)
+      Atomic.incr t.generation;
+      if Atomic.get t.sleepers > 0 then begin
+        (* a worker racing into its park re-checks the generation under
+           the condvar's guard, so a missed broadcast here is benign *)
+        Mutex.lock t.mu;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mu
+      end;
+      (* the caller is participant [size - 1] *)
+      if static then run_chunk t f (t.size - 1) else drain t f;
+      await_pending t spin_budget;
       t.job <- None;
-      let fail = t.failure in
-      Mutex.unlock t.mu;
-      match fail with None -> () | Some e -> raise e
+      match t.failure with None -> () | Some e -> raise e
     end
+
+let run t ~tasks f = run_mode t ~tasks ~static:false f
+let run_static t ~tasks f = run_mode t ~tasks ~static:true f
 
 let shutdown t =
   Mutex.lock t.mu;
   let ws = t.workers in
   t.workers <- [];
-  t.stop <- true;
+  Atomic.set t.stop true;
+  (* wake spinners (generation moved) and sleepers (broadcast) alike *)
+  Atomic.incr t.generation;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mu;
   List.iter Domain.join ws

@@ -1,12 +1,23 @@
 (** A fixed-size pool of OCaml 5 domains for the parallel classify/step
     phase of batch posting ({!Engine.post_many}).
 
-    The pool runs one job at a time: {!run} publishes a task function
-    over indices [0 .. tasks-1], the caller participates in draining the
-    task queue alongside the worker domains, and {!run} returns only
-    after every task has finished. Tasks are claimed with an atomic
-    counter, so a pool of [size] n executes at most n tasks
-    concurrently and every task exactly once.
+    The pool runs one job at a time through a reusable barrier: a job
+    is published by bumping a generation counter that idle workers spin
+    on (parking on a condition variable once a short budget runs out),
+    and completion is a lock-free countdown the caller awaits the same
+    way. Publishing a batch therefore costs a couple of atomic
+    transitions when the pool is hot, instead of a mutex broadcast and
+    a condvar wake per worker per batch.
+
+    Two distribution modes:
+    - {!run} — dynamic: task indices are claimed from a shared atomic
+      counter; good when task costs are unknown.
+    - {!run_static} — static: participant [w] of [size] owns the
+      strided subset [w, w + size, ...]. The task → participant map is
+      a pure function of the pool size, so repeated jobs over the same
+      index space pin each task to the same domain — the engine uses
+      this to keep each store shard (and its scratch state) on one
+      domain across batches.
 
     The pool is {e not} reentrant: tasks must not call {!run} on the
     pool executing them, and only one thread may orchestrate a pool at
@@ -28,10 +39,16 @@ val size : t -> int
 
 val run : t -> tasks:int -> (int -> unit) -> unit
 (** [run t ~tasks f] executes [f 0 .. f (tasks-1)], each exactly once,
-    distributed over the pool, and blocks until all have completed. If
-    one or more tasks raise, every remaining task still runs (partial
-    effects must stay mergeable) and then the first-recorded exception
-    is re-raised in the caller. *)
+    distributed dynamically over the pool, and blocks until all have
+    completed. If one or more tasks raise, every remaining task still
+    runs (partial effects must stay mergeable) and then the
+    first-recorded exception is re-raised in the caller. *)
+
+val run_static : t -> tasks:int -> (int -> unit) -> unit
+(** Like {!run}, but with the static strided distribution: participant
+    [w] executes exactly the tasks [i] with [i mod size = w], the
+    caller being participant [size - 1]. Same completion and failure
+    contract as {!run}. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent; the pool must not be

@@ -179,8 +179,9 @@ let new_obj k oid =
 (* Structure-of-arrays detection-state blocks                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Activations of mask-free (single-word, flat-table) detectors on heap
-   objects keep their automaton word in a per-shard block shared by all
+(* Activations of flat-table detectors on heap objects keep their
+   automaton state vector — one word per level, one word total for
+   mask-free expressions — in a per-shard block shared by all
    activations of the same detector — the paper's "one integer per
    active trigger per object", laid out so [post_many]'s step phase
    sweeps a contiguous int array. Slot allocation and release only
@@ -189,11 +190,15 @@ let new_obj k oid =
 
 let soa_slot db oid (det : Ode_event.Detector.t) =
   let tbl = db.store.soa.(shard_of db oid) in
+  let w = Ode_event.Detector.n_state_words det in
   let blk =
     match Hashtbl.find_opt tbl det.uid with
     | Some b -> b
     | None ->
-      let b = { blk_state = Array.make 16 0; blk_n = 0; blk_free = [] } in
+      let b =
+        { blk_words = w; blk_state = Array.make (16 * w) 0; blk_n = 0;
+          blk_free = [] }
+      in
       Hashtbl.add tbl det.uid b;
       b
   in
@@ -205,14 +210,14 @@ let soa_slot db oid (det : Ode_event.Detector.t) =
     | [] ->
       let s = blk.blk_n in
       blk.blk_n <- s + 1;
-      if s >= Array.length blk.blk_state then begin
+      if (s + 1) * w > Array.length blk.blk_state then begin
         let grown = Array.make (2 * Array.length blk.blk_state) 0 in
         Array.blit blk.blk_state 0 grown 0 (Array.length blk.blk_state);
         blk.blk_state <- grown
       end;
       s
   in
-  blk.blk_state.(slot) <- Ode_event.Detector.initial_word det;
+  Ode_event.Detector.write_initial det blk.blk_state (slot * w);
   S_slot (blk, slot)
 
 (* Fresh detection state for an activation of [det] on object [oid]:
@@ -357,7 +362,7 @@ let make_scratch db =
     }
   in
   { sc_obj; sc_env; sc_codes = Array.make 16 (-1); sc_classified = 0;
-    sc_skipped = 0; sc_transitions = 0 }
+    sc_skipped = 0; sc_transitions = 0; sc_slot_steps = 0; sc_word_steps = 0 }
 
 let db_mask_env db : Mask.env =
   {

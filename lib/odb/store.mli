@@ -104,11 +104,12 @@ val new_obj : klass -> oid -> obj
 
 (** {1 Detection-state blocks}
 
-    Activations of mask-free (single-word, flat-table) detectors pack
-    their automaton word into a per-shard structure-of-arrays block
-    keyed by detector uid — the paper's "one integer per active trigger
-    per object". Allocation and release happen only in sequential
-    pipeline phases. *)
+    Activations of flat-table detectors pack their automaton state into
+    a per-shard structure-of-arrays block keyed by detector uid, strided
+    by the detector's state width (one word per automaton level) — the
+    paper's "one integer per active trigger per object", generalised to
+    a small fixed vector for composite-mask hierarchies. Allocation and
+    release happen only in sequential pipeline phases. *)
 
 val fresh_at_state : db -> oid -> Ode_event.Detector.t -> trig_state
 (** Fresh initial detection state for an activation of this detector on

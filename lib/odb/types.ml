@@ -61,17 +61,21 @@ and store_state = {
   mutable history_limit : int;  (* 0 = recording off *)
   soa : (int, soa_block) Hashtbl.t array;
       (* per shard: detector uid -> the structure-of-arrays block packing
-         the one-word automaton states of every activation of that
-         detector on objects of the shard (paper §5: "one integer per
-         active trigger per object"). Only sequential pipeline phases
-         allocate or free slots; the parallel step phase of [post_many]
-         only touches blocks of its own shard. *)
+         the fixed-width automaton state vectors of every activation of
+         that detector on objects of the shard (paper §5: "one integer
+         per active trigger per object", one per level for hierarchical
+         automata). Only sequential pipeline phases allocate or free
+         slots; the parallel step phase of [post_many] only touches
+         blocks of its own shard. *)
 }
 
-(* One packed state block: [blk_state.(slot)] is the single automaton
-   word of one activation. Slots are recycled through a free list when
-   an activation is undone or its object removed. *)
+(* One packed state block: slot [i] of an activation occupies the
+   [blk_words] cells at [blk_state.(i * blk_words ..)] — one word per
+   automaton level plus the top (1 for mask-free detectors). Slots are
+   recycled through a free list when an activation is undone or its
+   object removed. *)
 and soa_block = {
+  blk_words : int;  (* words per activation: the detector's n_state_words *)
   mutable blk_state : int array;
   mutable blk_n : int;  (* high-water slot count *)
   mutable blk_free : int list;
@@ -125,10 +129,28 @@ and engine_state = {
          brute-force reference path (default true) *)
   mutable post_domains : int;
       (* default parallelism of [post_many]'s classify/step phase *)
+  mutable clamp_domains : bool;
+      (* clamp the effective parallelism to
+         [Domain.recommended_domain_count ()] (default true): requesting
+         more domains than the box has cores buys only contention.
+         [ODE_POST_DOMAINS] turns this off — an explicit test override
+         must exercise the parallel machinery even on a 1-core box. *)
+  mutable parallel_threshold : int;
+      (* batches smaller than this run the step phase inline on the
+         caller: below one shard's worth of events the pool barrier
+         costs more than it buys *)
   mutable pool : Pool.t option;
       (* lazily created domain pool backing [post_many]; sized
          [post_domains] (or the call's [?domains]) and rebuilt when that
          changes. [Engine.shutdown_pool] releases the domains. *)
+  mutable q_items : int array;
+      (* reusable per-shard event queues, rebuilt each batch by a
+         counting sort in phase 0: item indices grouped by shard, so a
+         shard task walks only its own events — one int per event, no
+         closures *)
+  mutable q_off : int array;
+      (* shard s owns [q_items.(q_off.(s) .. q_off.(s+1) - 1)] *)
+  mutable q_cur : int array;  (* counting-sort fill cursors *)
   mutable use_posting_kernel : bool;
       (* per-database switch between the compiled posting kernel
          (candidate rows + packed classification codes + SoA state) and
@@ -157,9 +179,14 @@ and scratch = {
   mutable sc_classified : int;
   mutable sc_skipped : int;
   mutable sc_transitions : int;
+  mutable sc_slot_steps : int;
+  mutable sc_word_steps : int;
       (* counter accumulators, flushed to the registry once per post
          phase (per shard task under [post_many]) instead of per
-         candidate — the atomics stay exact, off the inner loop *)
+         candidate — the atomics stay exact, off the inner loop. The
+         slot/word split is the kernel-coverage breakdown: transitions
+         taken through the flat-table SoA path vs the boxed
+         word-vector fallback. *)
 }
 
 (* [Timewheel]: simulated time. *)
@@ -242,10 +269,12 @@ and active_trigger = {
   mutable at_epoch : int;  (* bumped on (re)activation; stale timers check it *)
 }
 
-(* Where an activation's automaton state lives. Mask-free detectors
-   (one state word, flat transition table) on heap objects pack into the
-   per-shard SoA blocks; everything else — multi-word hierarchical
-   automata, database-scope activations — keeps its own word vector. *)
+(* Where an activation's automaton state lives. Detectors whose whole
+   level stack carries flat transition tables ([Detector.has_flat] —
+   all compilable expressions in practice) pack their fixed state
+   vector into the per-shard SoA blocks; everything else — automata
+   past the flat-cell budget, database-scope activations — keeps its
+   own word vector. *)
 and trig_state =
   | S_words of Detector.state
   | S_slot of soa_block * int
@@ -357,7 +386,12 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           next_sub_id = 1;
           use_dispatch_index = true;
           post_domains = 1;
+          clamp_domains = true;
+          parallel_threshold = 32;
           pool = None;
+          q_items = [||];
+          q_off = [||];
+          q_cur = [||];
           use_posting_kernel = true;
           scratch = [||];
           kind_names = Hashtbl.create 16;
@@ -388,25 +422,28 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
 let at_state_copy at =
   match at.at_state with
   | S_words w -> Array.copy w
-  | S_slot (b, i) -> [| b.blk_state.(i) |]
+  | S_slot (b, i) -> Array.sub b.blk_state (i * b.blk_words) b.blk_words
 
 let at_state_restore at w =
   match at.at_state with
   | S_words _ -> at.at_state <- S_words w
-  | S_slot (b, i) -> b.blk_state.(i) <- w.(0)
+  | S_slot (b, i) -> Array.blit w 0 b.blk_state (i * b.blk_words) b.blk_words
 
 let at_state_reset at =
   match at.at_state with
   | S_words _ -> at.at_state <- S_words (Detector.initial at.at_def.t_detector)
-  | S_slot (b, i) -> b.blk_state.(i) <- Detector.initial_word at.at_def.t_detector
+  | S_slot (b, i) ->
+    Detector.write_initial at.at_def.t_detector b.blk_state (i * b.blk_words)
 
 let at_top_state at =
   match at.at_state with
   | S_words w -> Detector.top_state w
-  | S_slot (b, i) -> b.blk_state.(i)
+  | S_slot (b, i) -> b.blk_state.(((i + 1) * b.blk_words) - 1)
 
 let at_state_len at =
-  match at.at_state with S_words w -> Array.length w | S_slot _ -> 1
+  match at.at_state with
+  | S_words w -> Array.length w
+  | S_slot (b, _) -> b.blk_words
 
 (* Single point maintaining the per-object active count next to the
    flag; [obj_opt] is [None] for database-scope activations. *)

@@ -230,11 +230,18 @@ let kernel_codes_match_semantics =
         let state = Detector.initial det in
         let fired = List.map (Detector.post_code det state ~env) codes in
         (if Detector.has_flat det then begin
-           let cells = [| 0; Detector.initial_word det; 0 |] in
-           let slot_fired = List.map (Detector.post_code_slot det cells 1) codes in
+           let w = Detector.n_state_words det in
+           let cells = Array.make (w + 2) 0 in
+           Detector.write_initial det cells 1;
+           let slot_fired =
+             List.map (Detector.post_code_slot det cells 1 ~env) codes
+           in
            if slot_fired <> fired then
              QCheck.Test.fail_report "SoA slot stepping diverged from word vector";
-           if cells.(0) <> 0 || cells.(2) <> 0 then
+           if Array.sub cells 1 w <> state then
+             QCheck.Test.fail_report
+               "slot state diverged from word-vector state";
+           if cells.(0) <> 0 || cells.(w + 1) <> 0 then
              QCheck.Test.fail_report "slot stepping clobbered neighbouring cells"
          end);
         (* reference: classify, drop non-events, evaluate denotationally *)
@@ -257,6 +264,63 @@ let kernel_codes_match_semantics =
             end)
           classified;
         fired = List.rev !expected)
+
+(* Multi-level automata through the flat tables: wrap random
+   subexpressions in composite masks (each mask a [cm<i> = true] lookup
+   the environment answers differently at different positions of the
+   stream), then step the same code stream through the word-vector path
+   and the SoA slot path. Both must agree on every firing and end in
+   identical state words — and every such expression must be
+   kernel-eligible, masks, counting and nesting included. *)
+let masked_slots_match_words =
+  QCheck.Test.make ~count:300
+    ~name:"multi-level slot stepping = word stepping under varying masks"
+    (QCheck.make
+       ~print:(fun (e, steps) ->
+         Fmt.str "%a on %d occurrences" Expr.pp e (List.length steps))
+       QCheck.Gen.(
+         let* e = Gen.gen_surface_masked ~max_size:8 () in
+         let* occs = list_size (int_bound 30) Gen.gen_occurrence in
+         let* flags = list_repeat (List.length occs) (array_size (return 3) bool) in
+         return (e, List.combine occs flags)))
+    (fun (e, steps) ->
+      match Detector.make e with
+      | exception Invalid_argument _ -> true (* state-limit: skip *)
+      | det ->
+        if not (Detector.has_flat det) then
+          QCheck.Test.fail_report "masked expression missed the flat tables";
+        let current = ref [| true; true; true |] in
+        let env =
+          {
+            Ode_event.Mask.empty_env with
+            var =
+              (fun n ->
+                match n with
+                | "cm0" -> Some (Value.Bool !current.(0))
+                | "cm1" -> Some (Value.Bool !current.(1))
+                | "cm2" -> Some (Value.Bool !current.(2))
+                | _ -> None);
+          }
+        in
+        let state = Detector.initial det in
+        let w = Detector.n_state_words det in
+        let cells = Array.make (w + 2) 0 in
+        Detector.write_initial det cells 1;
+        let agree =
+          List.for_all
+            (fun (occ, flags) ->
+              current := flags;
+              let code = Detector.classify_code det ~env occ in
+              let word_fired = Detector.post_code det state ~env code in
+              let slot_fired = Detector.post_code_slot det cells 1 ~env code in
+              word_fired = slot_fired)
+            steps
+        in
+        if not agree then
+          QCheck.Test.fail_report "slot and word paths fired differently";
+        if Array.sub cells 1 w <> state then
+          QCheck.Test.fail_report "slot state diverged from word-vector state";
+        cells.(0) = 0 && cells.(w + 1) = 0)
 
 (* A directed case through the default (indexed) path, so the property
    above cannot pass vacuously with both paths broken the same way:
@@ -317,4 +381,5 @@ let suite =
          index_equals_scan;
          kernel_equals_legacy_equals_scan;
          kernel_codes_match_semantics;
+         masked_slots_match_words;
        ]

@@ -165,6 +165,11 @@ let run_batch ?(kernel = true) ~backend ~domains case =
   let db = D.create_db ~backend () in
   D.set_posting_kernel db kernel;
   D.set_post_domains db domains;
+  (* make the domain count real even on a small box: no core-count
+     clamp, no sequential fallback for small batches — these
+     properties exist to drive the parallel machinery *)
+  D.set_domain_clamp db false;
+  D.set_parallel_threshold db 0;
   D.set_observability db true;
   let firings_log = ref [] in
   let _sub = D.subscribe_firings db (fun f -> firings_log := f :: !firings_log) in
@@ -231,9 +236,22 @@ let run_batch ?(kernel = true) ~backend ~domains case =
       (fun (f : D.firing) -> (f.D.f_trigger, f.D.f_oid, f.D.f_txn))
       (List.rev !firings_log)
   in
+  (* the persist image pins the exact post-batch state words: a domain
+     count or path switch that corrupted even one automaton cell would
+     change the bytes *)
+  let image =
+    let tmp = Filename.temp_file "ode_shard" ".img" in
+    D.save db tmp;
+    let ic = open_in_bin tmp in
+    let len = in_channel_length ic in
+    let bytes = really_input_string ic len in
+    close_in ic;
+    Sys.remove tmp;
+    bytes
+  in
   D.shutdown_pool db;
   ( !n1, !n2, firings, List.rev !log, states, counters,
-    Ode_obs.Registry.posts_by_kind obs )
+    Ode_obs.Registry.posts_by_kind obs, image )
 
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
@@ -385,6 +403,42 @@ let kernel_equals_prekernel_batches =
       && k = run_batch ~kernel:false ~backend:(`Sharded 8) ~domains:4 case
       && k = run_batch ~kernel:false ~backend:`Heap ~domains:1 case)
 
+(* Kernel coverage, detector level: every expression the generators can
+   produce — composite masks, [choose]/[every] counting, nesting — must
+   compile to the flat-table representation in both history modes. The
+   multi-level tables made the full algebra kernel-eligible; this pins
+   that no compilable expression silently falls back to the boxed
+   interpreter. *)
+let all_expressions_flat =
+  QCheck.Test.make ~count:300 ~name:"kernel coverage: every compilable expression has flat tables"
+    (QCheck.make
+       ~print:(Fmt.str "%a" Expr.pp)
+       (Gen.gen_surface_masked ~max_size:8 ()))
+    (fun e ->
+      List.for_all
+        (fun mode ->
+          match Detector.make ~mode e with
+          | exception Invalid_argument _ -> true (* state-limit: skip *)
+          | det -> Detector.has_flat det)
+        [ Detector.Full_history; Detector.Committed ])
+
+(* Kernel coverage, pipeline level: with every object-scope detector
+   flat-eligible and no database-scope triggers in the batch schema,
+   every automaton advance must go through a SoA slot — the boxed
+   word-vector counter stays at zero. *)
+let batch_steps_all_slots =
+  QCheck.Test.make ~count:30
+    ~name:"post_many: object-scope advances are all flat-table slots"
+    (QCheck.make ~print:print_batch_case gen_batch_case)
+    (fun case ->
+      QCheck.assume (List.for_all compiles case.btriggers);
+      let _, _, _, _, _, counters, _, _ =
+        run_batch ~kernel:true ~backend:(`Sharded 8) ~domains:2 case
+      in
+      let get n = List.assoc n counters in
+      get "word_transitions" = 0
+      && get "slot_transitions" = get "transitions")
+
 (* ------------------------------------------------------------------ *)
 (* Directed tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -530,6 +584,21 @@ let test_pool () =
   | () -> Alcotest.fail "expected the task failure to propagate"
   | exception Failure msg -> Alcotest.(check string) "message" "task 3 failed" msg);
   Alcotest.(check int) "all tasks still ran" 8 (Atomic.get ran);
+  (* static distribution: same run-once contract on a task count that is
+     not a multiple of the pool size *)
+  let shits = Array.make 13 0 in
+  Pool.run_static p ~tasks:13 (fun i -> shits.(i) <- shits.(i) + 1);
+  Array.iter (fun n -> Alcotest.(check int) "static task once" 1 n) shits;
+  let sran = Atomic.make 0 in
+  (match
+     Pool.run_static p ~tasks:8 (fun i ->
+         Atomic.incr sran;
+         if i = 5 then failwith "static task 5 failed")
+   with
+  | () -> Alcotest.fail "expected the static task failure to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "static message" "static task 5 failed" msg);
+  Alcotest.(check int) "static siblings still ran" 8 (Atomic.get sran);
   Pool.shutdown p;
   Pool.shutdown p (* idempotent *)
 
@@ -581,4 +650,6 @@ let suite =
         post_many_domains_equal;
         kernel_equals_prekernel_backends;
         kernel_equals_prekernel_batches;
+        all_expressions_flat;
+        batch_steps_all_slots;
       ]
