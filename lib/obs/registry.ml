@@ -21,6 +21,10 @@ type counter =
   | Lock_conflicts
   | Classes_registered
   | Triggers_indexed
+  | Wal_batches
+  | Wal_flushes
+  | Wal_snapshots
+  | Wal_replayed
 
 let counter_index = function
   | Posts -> 0
@@ -37,15 +41,20 @@ let counter_index = function
   | Lock_conflicts -> 11
   | Classes_registered -> 12
   | Triggers_indexed -> 13
+  | Wal_batches -> 14
+  | Wal_flushes -> 15
+  | Wal_snapshots -> 16
+  | Wal_replayed -> 17
 
-let n_counters = 14
+let n_counters = 18
 
 let all_counters =
   [
     Posts; Db_posts; Classified; Index_skipped; Transitions;
     Slot_transitions; Word_transitions; Firings; Tcomplete_rounds;
     Undo_entries; Timer_deliveries; Lock_conflicts; Classes_registered;
-    Triggers_indexed;
+    Triggers_indexed; Wal_batches; Wal_flushes; Wal_snapshots;
+    Wal_replayed;
   ]
 
 let counter_name = function
@@ -63,6 +72,10 @@ let counter_name = function
   | Lock_conflicts -> "lock_conflicts"
   | Classes_registered -> "classes_registered"
   | Triggers_indexed -> "triggers_indexed"
+  | Wal_batches -> "wal_batches"
+  | Wal_flushes -> "wal_flushes"
+  | Wal_snapshots -> "wal_snapshots"
+  | Wal_replayed -> "wal_replayed"
 
 type probe = Post | Call | Commit | Action
 

@@ -40,7 +40,15 @@
       [Timewheel]
     - [Lock_conflicts] — incompatible lock requests [Txn]
     - [Classes_registered], [Triggers_indexed] — schema registrations
-      and trigger definitions added to a dispatch index [Schema] *)
+      and trigger definitions added to a dispatch index [Schema]
+    - [Wal_batches] — redo batches framed by the WAL durability backend
+      [Wal]
+    - [Wal_flushes] — physical log writes (a group commit retires many
+      batches per flush; [Wal_batches - Wal_flushes] is the work the
+      window saved) [Wal]
+    - [Wal_snapshots] — checkpoints (snapshot written + log truncated)
+      [Wal]
+    - [Wal_replayed] — batches replayed by recovery [Wal] *)
 type counter =
   | Posts
   | Db_posts
@@ -56,6 +64,10 @@ type counter =
   | Lock_conflicts
   | Classes_registered
   | Triggers_indexed
+  | Wal_batches
+  | Wal_flushes
+  | Wal_snapshots
+  | Wal_replayed
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -14,6 +14,8 @@ type span =
   | Fired of { scope : scope; trigger : string; txn : int; at_ms : int64 }
   | Action_ran of { scope : scope; trigger : string; ns : int }
   | Timer_delivered of { oid : int; at_ms : int64 }
+  | Wal_flushed of { batches : int; bytes : int }
+  | Wal_recovered of { gen : int; batches : int; damaged : bool }
 
 module type SINK = sig
   val emit : span -> unit
@@ -95,3 +97,11 @@ let pp_span ppf = function
     Format.fprintf ppf "action %s%a ran in %dns" trigger pp_scope scope ns
   | Timer_delivered { oid; at_ms } ->
     Format.fprintf ppf "timer -> @%d at t=%Ld" oid at_ms
+  | Wal_flushed { batches; bytes } ->
+    Format.fprintf ppf "wal flush: %d batch%s, %d bytes" batches
+      (if batches = 1 then "" else "es")
+      bytes
+  | Wal_recovered { gen; batches; damaged } ->
+    Format.fprintf ppf "wal recover: gen %d, %d batch%s replayed%s" gen batches
+      (if batches = 1 then "" else "es")
+      (if damaged then " (damaged tail)" else "")

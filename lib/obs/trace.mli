@@ -28,6 +28,11 @@ type span =
   | Fired of { scope : scope; trigger : string; txn : int; at_ms : int64 }
   | Action_ran of { scope : scope; trigger : string; ns : int }
   | Timer_delivered of { oid : int; at_ms : int64 }
+  | Wal_flushed of { batches : int; bytes : int }
+      (** the WAL backend wrote a group of framed batches to disk *)
+  | Wal_recovered of { gen : int; batches : int; damaged : bool }
+      (** recovery replayed [batches] complete frames from generation
+          [gen]; [damaged] reports a truncated or CRC-bad tail *)
 
 (** A consumer of every emitted span. *)
 module type SINK = sig

@@ -9,10 +9,14 @@
      Engine    — the §5 posting pipeline, candidate selection,
                  classification cache, firing, system transactions
      Timewheel — timers and simulated-time advancement
-     Persist   — the ODE1 save/load codec
+     Persist   — the ODE1 full-image codec and the image durability
+                 backend
+     Wal       — the write-ahead-log durability backend (redo batches,
+                 group commit, snapshots, crash recovery)
 
-   This module only re-exports; keep it free of logic so the public API
-   stays a stable surface over the layers. *)
+   This module only re-exports (plus the composition-root choice of
+   store and durability backends in [create_db]); keep it free of logic
+   so the public API stays a stable surface over the layers. *)
 
 module Value = Ode_base.Value
 
@@ -55,7 +59,6 @@ let register_fun = Schema.register_fun
 
 (* Dispatch-index configuration *)
 
-let dispatch_index = Engine.dispatch_index
 let set_dispatch_index = Engine.set_dispatch_index
 let dispatch_index_enabled = Engine.dispatch_index_enabled
 let set_posting_kernel = Engine.set_posting_kernel
@@ -71,17 +74,52 @@ let set_observability (db : t) flag =
 (* Lifecycle *)
 
 type backend_spec = Store.spec
+type durability_spec = [ `Image | `Wal of Wal.config ]
 
-let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend () =
-  (* composition root: instantiate the store backend here — [Types] holds
-     it abstractly and cannot depend on [Store] *)
+(* A fresh unique directory for an env-selected WAL — each database
+   must own its log (a shared one would interleave generations). *)
+let fresh_wal_dir () =
+  let f = Filename.temp_file "ode-wal" "" in
+  Sys.remove f;
+  f
+
+(* CI runs the whole suite against the WAL backend with
+   ODE_DURABILITY=wal (optionally wal:<flush_ms>), mirroring the
+   ODE_STORE_BACKEND escape hatch. *)
+let default_durability () : durability_spec =
+  match Sys.getenv_opt "ODE_DURABILITY" with
+  | None | Some "" | Some "image" -> `Image
+  | Some "wal" -> `Wal (Wal.config (fresh_wal_dir ()))
+  | Some s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "wal" -> (
+      match
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some ms when ms >= 0 -> `Wal (Wal.config ~flush_ms:ms (fresh_wal_dir ()))
+      | Some _ | None ->
+        Types.ode_error "ODE_DURABILITY: bad flush window in %S" s)
+    | Some _ | None -> Types.ode_error "ODE_DURABILITY: unknown backend %S" s)
+
+let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend
+    ?durability () =
+  (* composition root: instantiate the store and durability backends
+     here — [Types] holds both abstractly and cannot depend on [Store],
+     [Persist] or [Wal] *)
   let spec =
     match backend with Some s -> s | None -> Store.default_spec ()
+  in
+  let dur =
+    match
+      (match durability with Some d -> d | None -> default_durability ())
+    with
+    | `Image -> Persist.image_backend ()
+    | `Wal cfg -> Wal.backend cfg
   in
   let db =
     Types.make_db
       ~backend:(Store.backend_of spec)
-      ?start_time ?max_tcomplete_rounds ?trace_capacity ()
+      ?start_time ?max_tcomplete_rounds ?trace_capacity ~durability:dur ()
   in
   (match Sys.getenv_opt "ODE_POST_DOMAINS" with
   | Some s -> (
@@ -94,14 +132,22 @@ let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend () =
           Engine.set_parallel_threshold db 0
       | _ -> ())
   | None -> ());
+  db.Types.durability.Types.dur_attach db;
   db
 
 let backend_name = Store.backend_name
+
+let durability_name (db : t) = db.Types.durability.Types.dur_name
+
 let now = Timewheel.now
 let advance_clock = Timewheel.advance_clock
 let advance_to = Timewheel.advance_to
-let save = Persist.save
-let load = Persist.load
+let image_bytes = Persist.image_bytes
+let save (db : t) path = db.Types.durability.Types.dur_save db path
+let load (db : t) path = db.Types.durability.Types.dur_load db path
+let recover (db : t) = db.Types.durability.Types.dur_recover db
+let sync_durability (db : t) = db.Types.durability.Types.dur_sync db
+let close_durability (db : t) = db.Types.durability.Types.dur_close db
 
 (* Transactions *)
 
@@ -149,7 +195,6 @@ type subscription = Types.subscription
 
 let subscribe_firings = Engine.subscribe_firings
 let unsubscribe = Engine.unsubscribe
-let take_firings = Engine.take_firings
 
 (* Database-scope triggers (§3) *)
 

@@ -31,10 +31,11 @@
     [Schema] (compiled class/trigger definitions and dispatch indexes),
     [Store] (the object heap, behind a [STORE] backend signature),
     [Txn] (transactions, undo, locks), [Engine] (the posting pipeline),
-    [Timewheel] (timers) and [Persist] (the save/load codec), with the
-    mutually-recursive state knot tied in [Types]. See
-    docs/INTERNALS.md for the layer diagram and the allowed dependency
-    direction. *)
+    [Timewheel] (timers), and the pluggable durability layer — [Persist]
+    (the ODE1 full-image codec and backend) and [Wal] (the
+    write-ahead-log backend) — with the mutually-recursive state knot
+    tied in [Types]. See docs/INTERNALS.md for the layer diagram and
+    the allowed dependency direction. *)
 
 module Value = Ode_base.Value
 
@@ -159,14 +160,6 @@ val set_posting_kernel : t -> bool -> unit
 
 val posting_kernel_enabled : t -> bool
 
-val dispatch_index : bool ref
-[@@deprecated "use set_dispatch_index — the global ref is a test-isolation hazard"]
-(** Deprecated process-global override of {!set_dispatch_index}, kept
-    for the ablation bench and the equivalence property test: posting
-    takes the indexed path only when both this ref and the database's
-    own flag are true. Use {!set_dispatch_index} in new code — a global
-    is a test-isolation hazard and incoherent across shards. *)
-
 val register_fun : t -> string -> (t -> Value.t list -> Value.t) -> unit
 (** Register a database function callable from masks, e.g.
     [authorized(user())]. *)
@@ -180,9 +173,19 @@ type backend_spec = Store.spec
     observably identical — same firings, same order, same {!save}
     bytes — per the {!Store} ordering contract. *)
 
+type durability_spec = [ `Image | `Wal of Wal.config ]
+(** Which durability backend to attach: [`Image] (the ODE1 full-image
+    codec — {!save}/{!load} only, nothing written between saves) or
+    [`Wal cfg] (a write-ahead log: every commit, abort, system
+    transaction and clock advance appends a logical redo batch, group
+    commits retire batches under [cfg]'s flush window, periodic
+    snapshots truncate the log, and {!recover} rebuilds the database
+    from snapshot + replay after a crash). Both present the same
+    {!save}/{!load} surface and identical observable behaviour. *)
+
 val create_db :
   ?start_time:int64 -> ?max_tcomplete_rounds:int -> ?trace_capacity:int ->
-  ?backend:backend_spec -> unit -> t
+  ?backend:backend_spec -> ?durability:durability_spec -> unit -> t
 (** [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
     [before tcomplete] fixpoint at commit; when a commit's rounds
     exceed it, {!commit} raises {!Ode_error} naming the round count
@@ -190,10 +193,19 @@ val create_db :
     >= 1) sizes the observability trace ring — see {!observe}.
     [backend] defaults to {!Store.default_spec} — [`Heap], unless the
     [ODE_STORE_BACKEND] environment variable overrides it (how CI runs
-    the whole suite against the sharded backend). *)
+    the whole suite against the sharded backend). [durability]
+    defaults to [`Image], unless [ODE_DURABILITY] overrides it:
+    [ODE_DURABILITY=wal] (optionally [wal:<flush_ms>]) attaches a WAL
+    in a fresh temporary directory — how CI runs the whole suite under
+    the log. The chosen backend is attached (its [dur_attach]) before
+    this returns: a WAL database starts logging from its very first
+    commit. *)
 
 val backend_name : t -> string
 (** ["heap"] or ["sharded:<n>"]. *)
+
+val durability_name : t -> string
+(** ["image"] or ["wal:<dir>"]. *)
 
 (** {1 Observability}
 
@@ -226,15 +238,43 @@ val advance_to : t -> int64 -> unit
 
 val save : t -> string -> unit
 (** Persist all objects (fields, trigger activations and their automaton
-    states), pending timers, the object counter and the clock. Fails if a
-    transaction is open. Not saved: the schema itself (closures are
-    code), database-scope trigger activations (re-activate after
-    {!load}), the history log, provenance partial matches, and the
-    {!enable_history} setting. *)
+    states), pending timers, the object counter and the clock, as one
+    ODE1 image — whatever the attached durability backend (a WAL
+    checkpoint-and-truncates as a side effect, so the image and the log
+    never disagree). Fails if a transaction is open. Not saved: the
+    schema itself (closures are code), database-scope trigger
+    activations (re-activate after {!load}), the history log,
+    provenance partial matches, and the {!enable_history} setting. *)
 
 val load : t -> string -> unit
 (** Restore a {!save}d image into a database whose classes have been
     registered again. Existing objects are discarded. *)
+
+val image_bytes : t -> string
+(** The exact bytes {!save} would write, in memory — the canonical
+    state fingerprint: two databases in the same logical state (same
+    objects, activations, automaton states, timers, counters, clock)
+    produce equal bytes, whatever their store or durability backends.
+    Usable with transactions open (unlike {!save}). *)
+
+val recover : t -> unit
+(** WAL backend only: rebuild the database state from the newest
+    snapshot plus every intact redo batch in its log — call it after
+    {!create_db} pointed [`Wal] at a directory left behind by a crashed
+    process, once the classes are registered again. A damaged tail
+    (torn write, bad checksum) stops the replay at the last intact
+    batch; recovery then re-baselines the directory with a fresh
+    snapshot so the damage cannot resurface. Raises {!Ode_error} on the
+    image backend, with a transaction open, or when the directory holds
+    no state. *)
+
+val sync_durability : t -> unit
+(** Force any buffered redo batches to disk now, regardless of the
+    group-commit window. No-op on the image backend. *)
+
+val close_durability : t -> unit
+(** Flush and detach the durability backend: later commits emit nothing.
+    No-op on the image backend; idempotent. *)
 
 (** {1 Transactions} *)
 
@@ -397,13 +437,6 @@ val unsubscribe : t -> subscription -> unit
 (** Remove a subscription; idempotent. Unsubscribing from inside a
     callback takes effect immediately (no further deliveries, including
     later subscribers' deliveries of the same firing batch). *)
-
-val take_firings : t -> firing list
-[@@deprecated "subscribe with subscribe_firings instead of draining"]
-(** Drain the buffered firing log, oldest first. Deprecated: this is a
-    shim over {!subscribe_firings} (an internal subscription feeds the
-    buffer), kept for existing tests and scripts. Mixing both surfaces
-    double-observes every firing. *)
 
 (** {1 Database-scope triggers (§3 "events have a scope")}
 

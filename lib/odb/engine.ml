@@ -42,18 +42,13 @@ let record_dispatch obs ~indexed ~n_active ~n_candidates =
 (* Dispatch-index configuration                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-database switch lives in [engine_state.use_dispatch_index]
-   (default true). The process-global ref below is a deprecated
-   override kept for the ablation bench and the equivalence property
-   test: the indexed path is taken only when {e both} the database's
-   field and the global are true, so legacy [dispatch_index := false]
-   still forces the brute-force reference path everywhere. *)
-let dispatch_index = ref true
-
+(* Per-database switch in [engine_state.use_dispatch_index] (default
+   true); the ablation bench and the equivalence property test flip it
+   per database to force the brute-force reference path. *)
 let set_dispatch_index db flag = db.engine.use_dispatch_index <- flag
 let dispatch_index_enabled db = db.engine.use_dispatch_index
 
-let use_index db = db.engine.use_dispatch_index && !dispatch_index
+let use_index db = db.engine.use_dispatch_index
 
 (* ------------------------------------------------------------------ *)
 (* Posting-kernel configuration                                       *)
@@ -166,10 +161,9 @@ let db_candidate_triggers db (basic : Symbol.basic) =
 (* Firing notification: subscriptions                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* The primary notification surface. Every firing — object or database
-   scope — flows through here to the subscribers in subscription order;
-   the deprecated [take_firings] drain is subscriber 0, installed at
-   [create_db]. *)
+(* The only notification surface. Every firing — object or database
+   scope — flows through here to the subscribers in subscription
+   order. *)
 let notify_firing db (f : firing) =
   let obs = db.obs in
   if Registry.enabled obs then begin
@@ -624,11 +618,6 @@ let post_db db (basic : Symbol.basic) args =
           })
       fired
 
-let take_firings db =
-  let fs = List.rev db.engine.firings in
-  db.engine.firings <- [];
-  fs
-
 (* ------------------------------------------------------------------ *)
 (* Database-scope trigger activation (§3)                              *)
 (* ------------------------------------------------------------------ *)
@@ -681,6 +670,24 @@ let register_class db b =
 (* System transactions                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* A system transaction's redo batch must cover its fan-out targets
+   too: [post] delivers to them without [touch], so they never enter
+   [tx_accessed], yet their automatons advanced. Order-preserving
+   union: fan-out targets first, then the accessed set the actions
+   grew. *)
+let union_oids oids accessed =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun o -> Hashtbl.replace seen o ()) oids;
+  oids
+  @ List.filter
+      (fun o ->
+        if Hashtbl.mem seen o then false
+        else begin
+          Hashtbl.replace seen o ();
+          true
+        end)
+      accessed
+
 (* Post a transaction event to every object the finished transaction
    accessed, inside a fresh system transaction (§5: commit/abort events
    belong to no user transaction). A [Tabort] raised by an action there
@@ -706,13 +713,17 @@ let system_post db oids basic =
      finish ()
    with
   | Tabort ->
+    (* [Txn.abort] emitted a batch for [sys.tx_accessed]; the union
+       batch below additionally captures the fan-out targets whose
+       full-history advances survived the undo *)
     Txn.abort db sys;
     finish ()
   | e ->
     Txn.abort db sys;
     finish ();
+    db.durability.dur_commit db (union_oids oids (List.rev sys.tx_accessed @ List.rev sys.tx_dirty));
     raise e);
-  ()
+  db.durability.dur_commit db (union_oids oids (List.rev sys.tx_accessed @ List.rev sys.tx_dirty))
 
 (* Deliver one time-event occurrence to an object, inside a system
    transaction so fired actions can mutate objects transactionally. *)
@@ -728,7 +739,8 @@ let deliver_time_event db oid spec =
        Txn.release_locks db sys
      with Tabort -> Txn.abort db sys);
     db.txns.open_txns <- List.filter (fun t -> not (t == sys)) db.txns.open_txns;
-    db.txns.current <- saved
+    db.txns.current <- saved;
+    db.durability.dur_commit db (union_oids [ oid ] (List.rev sys.tx_accessed @ List.rev sys.tx_dirty))
   | None -> ()
 
 (* Wire the upward calls: Txn's commit/abort and Timewheel's delivery
@@ -1066,6 +1078,10 @@ let activate db oid tname params =
     | Some d -> d
     | None -> ode_error "class %s has no trigger %s" obj.o_class.k_name tname
   in
+  (* durable state changes below, but activation is not an object
+     access (no [after tbegin], no event fan-out membership) — record
+     the oid for the redo-batch footprint only *)
+  tx.tx_dirty <- oid :: tx.tx_dirty;
   (match Hashtbl.find_opt obj.o_triggers tname with
   | Some at ->
     (* Re-activation re-arms the trigger: fresh automaton state, in
@@ -1111,6 +1127,7 @@ let deactivate db oid tname =
   match Hashtbl.find_opt obj.o_triggers tname with
   | None -> ()
   | Some at ->
+    tx.tx_dirty <- oid :: tx.tx_dirty;
     tx.tx_undo <- U_trigger_active (Some obj, at, at.at_active) :: tx.tx_undo;
     set_trigger_active (Some obj) at false
 

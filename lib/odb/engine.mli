@@ -14,12 +14,6 @@ open Types
 
 (** {1 Dispatch-index configuration} *)
 
-val dispatch_index : bool ref
-(** Deprecated process-global override, kept for the ablation bench and
-    the equivalence property test: posting takes the indexed path only
-    when both this and the per-database flag are true. New code should
-    use {!set_dispatch_index}. *)
-
 val set_dispatch_index : db -> bool -> unit
 (** Per-database switch (default true): when enabled, posting consults
     the per-class / per-database dispatch index and touches only the
@@ -113,12 +107,10 @@ val shutdown_pool : db -> unit
 
 (** {1 Firing notification}
 
-    The primary notification surface is subscription-based: register a
-    callback with {!subscribe_firings} and every subsequent firing —
-    object or database scope — is delivered to it synchronously, in
-    subscription order, from inside the posting pipeline. The legacy
-    drain {!take_firings} is a shim implemented as the internal
-    subscriber installed at [create_db]. *)
+    The notification surface is subscription-based: register a callback
+    with {!subscribe_firings} and every subsequent firing — object or
+    database scope — is delivered to it synchronously, in subscription
+    order, from inside the posting pipeline. *)
 
 val subscribe_firings : db -> (firing -> unit) -> subscription
 (** Register a callback invoked synchronously for every firing, in
@@ -136,10 +128,6 @@ val notify_firing : db -> firing -> unit
 (** Deliver one firing to all subscribers (and the observability
     registry). Exposed for the façade and tests; the pipeline calls it
     internally. *)
-
-val take_firings : db -> firing list
-(** Drain the firing buffer, oldest first. Deprecated shim over
-    {!subscribe_firings}: the buffer is fed by internal subscriber 0. *)
 
 val touch : db -> txn -> obj -> unit
 (** Record first access and lazily post [after tbegin] (§3.1(4)). *)

@@ -40,8 +40,138 @@ let read_time_spec r : Symbol.time_spec =
   | 2 -> After_period (Int64.of_int (Codec.read_int r))
   | t -> raise (Codec.Corrupt (Printf.sprintf "bad time spec tag %d" t))
 
-let save db path =
-  if db.txns.open_txns <> [] then ode_error "cannot save with open transactions";
+(* ------------------------------------------------------------------ *)
+(* Object and timer framing                                            *)
+(*                                                                     *)
+(* One writer/reader pair per entity, shared verbatim by the full      *)
+(* image below and by [Wal]'s redo records — there is exactly one      *)
+(* codec path, so a WAL snapshot and a [save] of the same state are    *)
+(* bit-identical by construction.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_obj w obj =
+  Codec.write_int w obj.o_id;
+  Codec.write_string w obj.o_class.k_name;
+  Codec.write_list w
+    (fun w (name, v) ->
+      Codec.write_string w name;
+      Codec.write_value w v)
+    (Hashtbl.fold (fun name v acc -> (name, v) :: acc) obj.o_fields []
+    |> List.sort compare);
+  Codec.write_list w
+    (fun w (name, (at : active_trigger)) ->
+      Codec.write_string w name;
+      Codec.write_list w Codec.write_value at.at_params;
+      (* [at_state_copy] reads whichever representation the
+         activation uses, so SoA-packed and word-vector states
+         serialize to identical bytes *)
+      Codec.write_array w Codec.write_int (at_state_copy at);
+      Codec.write_list w
+        (fun w (name, v) ->
+          Codec.write_string w name;
+          Codec.write_value w v)
+        at.at_collected;
+      Codec.write_bool w at.at_active;
+      Codec.write_int w at.at_epoch)
+    (Hashtbl.fold (fun name at acc -> (name, at) :: acc) obj.o_triggers []
+    |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+(* Schema-free parse of one serialized object — also what [odec
+   wal-dump] decodes without a database at hand. *)
+let read_obj_raw r =
+  let oid = Codec.read_int r in
+  let cname = Codec.read_string r in
+  let fields =
+    Codec.read_list r (fun r ->
+        let name = Codec.read_string r in
+        let v = Codec.read_value r in
+        (name, v))
+  in
+  let triggers =
+    Codec.read_list r (fun r ->
+        let name = Codec.read_string r in
+        let params = Codec.read_list r Codec.read_value in
+        let state = Codec.read_array r Codec.read_int in
+        let collected =
+          Codec.read_list r (fun r ->
+              let name = Codec.read_string r in
+              let v = Codec.read_value r in
+              (name, v))
+        in
+        let active = Codec.read_bool r in
+        let epoch = Codec.read_int r in
+        (name, params, state, collected, active, epoch))
+  in
+  (oid, cname, fields, triggers)
+
+(* Materialize a parsed object into the heap: class re-resolved by
+   name, activations rebuilt with fresh detection-state representations
+   (SoA slot or word vector) then overwritten with the saved words. *)
+let install_obj db (oid, cname, fields, triggers) =
+  let k =
+    match Schema.find_class db cname with
+    | Some k -> k
+    | None -> raise (Codec.Corrupt ("image references unregistered class " ^ cname))
+  in
+  let obj = Store.new_obj k oid in
+  (* saved field values override the class defaults installed by
+     [Store.new_obj] *)
+  List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) fields;
+  List.iter
+    (fun (name, params, state, collected, active, epoch) ->
+      match Hashtbl.find_opt k.k_triggers name with
+      | None -> raise (Codec.Corrupt ("image references unknown trigger " ^ name))
+      | Some def ->
+        if Array.length state <> Detector.n_state_words def.t_detector then
+          raise (Codec.Corrupt "trigger state size mismatch (schema changed?)");
+        let at =
+          {
+            at_def = def;
+            at_params = params;
+            (* fresh representation (SoA slot or word vector), then
+               overwrite with the saved words *)
+            at_state = Store.fresh_at_state db oid def.t_detector;
+            at_collected = collected;
+            (* provenance instances are volatile: rebuilt empty after a
+               load (documented in save) *)
+            at_provenance =
+              (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
+               else None);
+            at_last_witnesses = [];
+            at_active = active;
+            at_epoch = epoch;
+          }
+        in
+        at_state_restore at state;
+        if active then obj.o_n_active <- obj.o_n_active + 1;
+        Hashtbl.add obj.o_triggers name at;
+        if def.t_index >= 0 then obj.o_acts.(def.t_index) <- Some at)
+    triggers;
+  Store.add_obj db obj
+
+let write_timer w (tm : timer) =
+  Codec.write_int w (Int64.to_int tm.tm_due);
+  Codec.write_int w tm.tm_oid;
+  Codec.write_string w tm.tm_trigger;
+  Codec.write_int w tm.tm_epoch;
+  write_time_spec w tm.tm_spec;
+  Codec.write_int w (Int64.to_int tm.tm_anchor)
+
+let read_timer r =
+  let due = Int64.of_int (Codec.read_int r) in
+  let oid = Codec.read_int r in
+  let tname = Codec.read_string r in
+  let epoch = Codec.read_int r in
+  let spec = read_time_spec r in
+  let anchor = Int64.of_int (Codec.read_int r) in
+  { tm_due = due; tm_oid = oid; tm_trigger = tname; tm_epoch = epoch;
+    tm_spec = spec; tm_anchor = anchor }
+
+(* ------------------------------------------------------------------ *)
+(* Full images                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let image_bytes db =
   let w = Codec.writer () in
   Codec.write_string w magic;
   Codec.write_int w db.store.next_oid;
@@ -49,138 +179,53 @@ let save db path =
   Codec.write_int w (Int64.to_int db.wheel.clock_ms);
   (* backend-neutral: [live_objects] sorts to ascending oid per the
      Store ordering contract, so Heap and Sharded images are identical *)
-  let live = Store.live_objects db in
-  Codec.write_list w
-    (fun w obj ->
-      Codec.write_int w obj.o_id;
-      Codec.write_string w obj.o_class.k_name;
-      Codec.write_list w
-        (fun w (name, v) ->
-          Codec.write_string w name;
-          Codec.write_value w v)
-        (Hashtbl.fold (fun name v acc -> (name, v) :: acc) obj.o_fields []
-        |> List.sort compare);
-      Codec.write_list w
-        (fun w (name, (at : active_trigger)) ->
-          Codec.write_string w name;
-          Codec.write_list w Codec.write_value at.at_params;
-          (* [at_state_copy] reads whichever representation the
-             activation uses, so SoA-packed and word-vector states
-             serialize to identical bytes *)
-          Codec.write_array w Codec.write_int (at_state_copy at);
-          Codec.write_list w
-            (fun w (name, v) ->
-              Codec.write_string w name;
-              Codec.write_value w v)
-            at.at_collected;
-          Codec.write_bool w at.at_active;
-          Codec.write_int w at.at_epoch)
-        (Hashtbl.fold (fun name at acc -> (name, at) :: acc) obj.o_triggers []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)))
-    live;
-  Codec.write_list w
-    (fun w (tm : timer) ->
-      Codec.write_int w (Int64.to_int tm.tm_due);
-      Codec.write_int w tm.tm_oid;
-      Codec.write_string w tm.tm_trigger;
-      Codec.write_int w tm.tm_epoch;
-      write_time_spec w tm.tm_spec;
-      Codec.write_int w (Int64.to_int tm.tm_anchor))
-    db.wheel.timers;
-  Codec.to_file path (Codec.contents w)
+  Codec.write_list w write_obj (Store.live_objects db);
+  Codec.write_list w write_timer db.wheel.timers;
+  Codec.contents w
 
-let load db path =
-  if db.txns.open_txns <> [] then ode_error "cannot load with open transactions";
-  let r = Codec.reader (Codec.of_file path) in
+let save db path =
+  if db.txns.open_txns <> [] then ode_error "cannot save with open transactions";
+  Codec.to_file path (image_bytes db)
+
+let load_image db data =
+  let r = Codec.reader data in
   if Codec.read_string r <> magic then raise (Codec.Corrupt "not an Ode image");
   let next_oid = Codec.read_int r in
   let next_txn_id = Codec.read_int r in
   let clock_ms = Int64.of_int (Codec.read_int r) in
+  (* parse everything before touching the heap, so a corrupt image does
+     not leave a half-installed database behind *)
+  let objs = Codec.read_list r read_obj_raw in
+  let timers = Codec.read_list r read_timer in
   Store.reset_heap db;
   db.wheel.timers <- [];
-  db.engine.firings <- [];
+  db.wheel.timers_dirty <- true;
   db.store.next_oid <- next_oid;
   db.txns.next_txn_id <- next_txn_id;
   db.wheel.clock_ms <- clock_ms;
-  let objs =
-    Codec.read_list r (fun r ->
-        let oid = Codec.read_int r in
-        let cname = Codec.read_string r in
-        let fields =
-          Codec.read_list r (fun r ->
-              let name = Codec.read_string r in
-              let v = Codec.read_value r in
-              (name, v))
-        in
-        let triggers =
-          Codec.read_list r (fun r ->
-              let name = Codec.read_string r in
-              let params = Codec.read_list r Codec.read_value in
-              let state = Codec.read_array r Codec.read_int in
-              let collected =
-                Codec.read_list r (fun r ->
-                    let name = Codec.read_string r in
-                    let v = Codec.read_value r in
-                    (name, v))
-              in
-              let active = Codec.read_bool r in
-              let epoch = Codec.read_int r in
-              (name, params, state, collected, active, epoch))
-        in
-        (oid, cname, fields, triggers))
-  in
-  List.iter
-    (fun (oid, cname, fields, triggers) ->
-      let k =
-        match Schema.find_class db cname with
-        | Some k -> k
-        | None -> raise (Codec.Corrupt ("image references unregistered class " ^ cname))
-      in
-      let obj = Store.new_obj k oid in
-      (* saved field values override the class defaults installed by
-         [Store.new_obj] *)
-      List.iter (fun (name, v) -> Hashtbl.replace obj.o_fields name v) fields;
-      List.iter
-        (fun (name, params, state, collected, active, epoch) ->
-          match Hashtbl.find_opt k.k_triggers name with
-          | None -> raise (Codec.Corrupt ("image references unknown trigger " ^ name))
-          | Some def ->
-            if Array.length state <> Detector.n_state_words def.t_detector then
-              raise (Codec.Corrupt "trigger state size mismatch (schema changed?)");
-            let at =
-              {
-                at_def = def;
-                at_params = params;
-                (* fresh representation (SoA slot or word vector), then
-                   overwrite with the saved words *)
-                at_state = Store.fresh_at_state db oid def.t_detector;
-                at_collected = collected;
-                (* provenance instances are volatile: rebuilt empty after a
-                   load (documented in save) *)
-                at_provenance =
-                  (if def.t_witnesses then Some (Ode_event.Provenance.make def.t_event)
-                   else None);
-                at_last_witnesses = [];
-                at_active = active;
-                at_epoch = epoch;
-              }
-            in
-            at_state_restore at state;
-            if active then obj.o_n_active <- obj.o_n_active + 1;
-            Hashtbl.add obj.o_triggers name at;
-            if def.t_index >= 0 then obj.o_acts.(def.t_index) <- Some at)
-        triggers;
-      Store.add_obj db obj)
-    objs;
-  let timers =
-    Codec.read_list r (fun r ->
-        let due = Int64.of_int (Codec.read_int r) in
-        let oid = Codec.read_int r in
-        let tname = Codec.read_string r in
-        let epoch = Codec.read_int r in
-        let spec = read_time_spec r in
-        let anchor = Int64.of_int (Codec.read_int r) in
-        { tm_due = due; tm_oid = oid; tm_trigger = tname; tm_epoch = epoch;
-          tm_spec = spec; tm_anchor = anchor })
-  in
+  List.iter (install_obj db) objs;
   List.iter (Timewheel.insert_timer db) timers
+
+let load db path =
+  if db.txns.open_txns <> [] then ode_error "cannot load with open transactions";
+  load_image db (Codec.of_file path)
+
+(* ------------------------------------------------------------------ *)
+(* The full-image durability backend                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [save]/[load] as a [durability_backend]: no incremental log, commits
+   emit nothing, recovery has nothing to replay from. This is the
+   PR-6-and-earlier behaviour, packaged. *)
+let image_backend () =
+  {
+    dur_name = "image";
+    dur_attach = (fun _ -> ());
+    dur_commit = (fun _ _ -> ());
+    dur_save = save;
+    dur_load = load;
+    dur_recover =
+      (fun _ -> ode_error "image durability keeps no log to recover from");
+    dur_sync = (fun _ -> ());
+    dur_close = (fun _ -> ());
+  }

@@ -26,7 +26,8 @@ let insert_timer db tm =
     | t :: rest when t.tm_due <= tm.tm_due -> t :: ins rest
     | rest -> tm :: rest
   in
-  db.wheel.timers <- ins db.wheel.timers
+  db.wheel.timers <- ins db.wheel.timers;
+  db.wheel.timers_dirty <- true
 
 let first_due (spec : Symbol.time_spec) ~after =
   match spec with
@@ -92,6 +93,7 @@ let advance_to db target =
       in
       let dups, rest = List.partition same rest in
       db.wheel.timers <- rest;
+      db.wheel.timers_dirty <- true;
       let group = tm :: dups in
       db.wheel.clock_ms <- max db.wheel.clock_ms tm.tm_due;
       if List.exists (timer_alive db) group then begin
@@ -114,7 +116,12 @@ let advance_to db target =
     | _ -> ()
   in
   loop ();
-  db.wheel.clock_ms <- target
+  db.wheel.clock_ms <- target;
+  (* capture the final clock (and the timer queue, when deliveries or
+     reschedules moved it) — each delivery's system transaction emitted
+     its own batch mid-loop, but the clock kept advancing after the
+     last due timer *)
+  db.durability.dur_commit db []
 
 let advance_clock db span =
   if span < 0L then ode_error "clock cannot go backwards";

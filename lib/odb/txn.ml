@@ -40,6 +40,7 @@ let fresh_txn db ~system =
       tx_accessed = [];
       tx_seen = Hashtbl.create 16;
       tx_undo = [];
+      tx_dirty = [];
     }
   in
   db.txns.next_txn_id <- db.txns.next_txn_id + 1;
@@ -95,8 +96,11 @@ let apply_undo db entry =
   | U_field (obj, name, prev) -> Hashtbl.replace obj.o_fields name prev
   | U_create obj ->
     Store.remove_obj db obj.o_id;
-    db.wheel.timers <-
-      List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.wheel.timers
+    if List.exists (fun tm -> tm.tm_oid = obj.o_id) db.wheel.timers then begin
+      db.wheel.timers <-
+        List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.wheel.timers;
+      db.wheel.timers_dirty <- true
+    end
   | U_delete obj -> Store.unmark_deleted db obj
   | U_trigger_state (at, prev) -> at_state_restore at prev
   | U_trigger_collected (at, prev) -> at.at_collected <- prev
@@ -151,6 +155,11 @@ let abort db tx =
   tx.tx_status <- Aborted;
   release_locks db tx;
   detach db tx;
+  (* Aborts mutate durable state too: full-history automaton advances
+     (including those of the [before tabort] posts above) survive the
+     undo by design, and the txn-id counter moved — so an abort emits a
+     redo batch like a commit does. *)
+  db.durability.dur_commit db (List.rev tx.tx_accessed @ List.rev tx.tx_dirty);
   if not tx.tx_system then
     !system_post_hook db (List.rev tx.tx_accessed) (Symbol.Tabort After)
 
@@ -203,6 +212,13 @@ let commit db tx =
     release_locks db tx;
     detach db tx;
     restore ();
+    (* commit is the durability boundary: emit one redo batch covering
+       everything this transaction touched (the tcomplete rounds above
+       already extended [tx_accessed] and [tx_dirty] holds the
+       (de)activation targets that carry no access semantics); the
+       [after tcommit] system transaction below emits its own batch *)
+    db.durability.dur_commit db
+      (List.rev tx.tx_accessed @ List.rev tx.tx_dirty);
     if not tx.tx_system then
       !system_post_hook db (List.rev tx.tx_accessed) Symbol.Tcommit;
     if timed then Registry.record_ns obs Registry.Commit (Registry.now_ns () - t0);

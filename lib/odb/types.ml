@@ -31,6 +31,10 @@ type db = {
   txns : txn_state;
   engine : engine_state;
   wheel : wheel_state;
+  mutable durability : durability_backend;
+      (* the persistence strategy behind [Database.save]/[load] and the
+         commit-time redo emission; mutable so [create_db] can install
+         the resolved backend after the knot is tied *)
   obs : Ode_obs.Registry.t;
       (* observability registry (counters, latency histograms, trace
          ring). Created disabled; every probe in the layers guards on
@@ -117,12 +121,8 @@ and txn_state = {
 and engine_state = {
   db_triggers : (string, active_trigger) Hashtbl.t;
       (* activations of database-scope triggers *)
-  mutable firings : firing list;
-      (* newest first; the buffer behind the deprecated [take_firings]
-         shim, fed by the internal subscription installed at create_db *)
   mutable subscribers : subscription list;
-      (* firing subscribers in subscription order; head is the internal
-         take_firings shim *)
+      (* firing subscribers in subscription order *)
   mutable next_sub_id : int;
   mutable use_dispatch_index : bool;
       (* per-database switch between the indexed posting path and the
@@ -193,6 +193,38 @@ and scratch = {
 and wheel_state = {
   mutable clock_ms : int64;
   mutable timers : timer list;  (* sorted by due time *)
+  mutable timers_dirty : bool;
+      (* set whenever [timers] changes (insert, pop, undo filtering,
+         load), cleared when a durability batch captures the list — so
+         WAL batches only carry the timer queue when it moved *)
+}
+
+(* [Durability]: the persistence strategy, held abstractly as a record
+   of backend operations — the same inversion as [store_backend].
+   [Persist] packs the full-image ODE1 codec, [Wal] the write-ahead-log
+   backend; [Database.create_db ?durability] resolves the choice. The
+   default installed by [make_db] is a no-op: raw-layer users (tests,
+   benches) pay nothing, and batch emission from [Txn]/[Engine]/
+   [Timewheel] goes through [dur_commit] without those layers depending
+   on [Persist] or [Wal]. *)
+and durability_backend = {
+  dur_name : string;  (* "none", "image" or "wal:<dir>" *)
+  dur_attach : db -> unit;
+      (* called once by [create_db] right after construction — the WAL
+         backend baselines its directory (initial snapshot + empty log)
+         here so a crash before the first commit still recovers *)
+  dur_commit : db -> oid list -> unit;
+      (* emit one redo batch covering the listed objects (plus counters,
+         clock and — when dirty — the timer queue). Called at the end of
+         every transaction (user commit and abort, system transactions,
+         timer deliveries) and after clock advancement. *)
+  dur_save : db -> string -> unit;
+  dur_load : db -> string -> unit;
+  dur_recover : db -> unit;
+      (* rebuild state from the backend's own storage (WAL: latest
+         snapshot + log replay); classes must be registered first *)
+  dur_sync : db -> unit;  (* force buffered group-commit batches to disk *)
+  dur_close : db -> unit;
 }
 
 and klass = {
@@ -301,6 +333,11 @@ and txn = {
   mutable tx_accessed : oid list;  (* reverse order of first access *)
   tx_seen : (oid, unit) Hashtbl.t;  (* membership mirror of tx_accessed *)
   mutable tx_undo : undo_entry list;  (* newest first *)
+  mutable tx_dirty : oid list;
+      (* objects whose durable state this txn changed outside the
+         access path (trigger (de)activation carries no object access
+         semantics, so it must not enter [tx_accessed] and the event
+         fan-outs) — unioned into the redo-batch footprint at emission *)
 }
 
 and undo_entry =
@@ -349,8 +386,23 @@ let ode_error fmt = Format.kasprintf (fun s -> raise (Ode_error s)) fmt
    backend is passed in ready-made — [Store] owns the implementations and
    [Database.create_db] resolves the [?backend] argument through it, so
    the knot stays free of representation choices. *)
+(* The durability backend installed when nobody chose one: emission is
+   free, and save/load point the caller at [Database.create_db
+   ?durability] (raw [make_db] users drive [Persist] directly). *)
+let noop_durability =
+  {
+    dur_name = "none";
+    dur_attach = (fun _ -> ());
+    dur_commit = (fun _ _ -> ());
+    dur_save = (fun _ _ -> ode_error "no durability backend attached");
+    dur_load = (fun _ _ -> ode_error "no durability backend attached");
+    dur_recover = (fun _ -> ode_error "no durability backend attached");
+    dur_sync = (fun _ -> ());
+    dur_close = (fun _ -> ());
+  }
+
 let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
-    ?(trace_capacity = 1024) () =
+    ?(trace_capacity = 1024) ?(durability = noop_durability) () =
   if max_tcomplete_rounds < 1 then
     ode_error "max_tcomplete_rounds must be >= 1";
   let db =
@@ -381,7 +433,6 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
       engine =
         {
           db_triggers = Hashtbl.create 4;
-          firings = [];
           subscribers = [];
           next_sub_id = 1;
           use_dispatch_index = true;
@@ -396,18 +447,11 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           scratch = [||];
           kind_names = Hashtbl.create 16;
         };
-      wheel = { clock_ms = start_time; timers = [] };
+      wheel = { clock_ms = start_time; timers = []; timers_dirty = false };
+      durability;
       obs = Ode_obs.Registry.create ~trace_capacity ();
     }
   in
-  (* The deprecated [take_firings] drain is itself a subscription: the
-     internal subscriber below appends every notified firing to the
-     buffer that [take_firings] empties, so the old API is a shim over
-     the new one rather than a parallel code path. *)
-  db.engine.subscribers <-
-    [ { s_id = 0;
-        s_fn = (fun f -> db.engine.firings <- f :: db.engine.firings);
-        s_active = true } ];
   db
 
 (* ------------------------------------------------------------------ *)

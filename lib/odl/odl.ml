@@ -430,6 +430,10 @@ type script_state = {
   out : Format.formatter;
   vars : (string, Value.t) Hashtbl.t;
   mutable open_txn : D.txn option;
+  mutable pending_firings : D.firing list;
+      (* newest first; the session's own subscription feeds it — the
+         script-level [firings] statement is a drain surface by design,
+         scripts have no way to hold a callback *)
 }
 
 let script_value ss st : Value.t =
@@ -554,26 +558,36 @@ let exec_script_stmt ss st =
       | None -> P.stream_fail st (var ^ " is not bound")))
   | L.IDENT "firings" ->
     P.stream_expect st L.SEMI;
+    let fs = List.rev ss.pending_firings in
+    ss.pending_firings <- [];
     List.iter
       (fun (f : D.firing) ->
         Fmt.pf ss.out "fired %s.%s on @%d@." f.D.f_class f.D.f_trigger f.D.f_oid)
-      (* the script-level [firings] statement is the drain surface by
-         design: scripts have no way to hold a subscription *)
-      ((D.take_firings [@alert "-deprecated"]) ss.db)
+      fs
   | t -> P.stream_fail st ("unexpected " ^ L.describe t ^ " in script")
 
 let run_script ?(out = Fmt.stdout) db src =
   wrap_parse src (fun () ->
       let st = P.stream_of_tokens (L.tokenize src) in
-      let ss = { db; out; vars = Hashtbl.create 16; open_txn = None } in
-      while P.stream_peek st <> L.EOF do
-        exec_script_stmt ss st
-      done;
-      match ss.open_txn with
-      | Some tx ->
-        ss.open_txn <- None;
-        ignore (D.commit db tx)
-      | None -> ())
+      let ss =
+        { db; out; vars = Hashtbl.create 16; open_txn = None;
+          pending_firings = [] }
+      in
+      let sub =
+        D.subscribe_firings db (fun f ->
+            ss.pending_firings <- f :: ss.pending_firings)
+      in
+      Fun.protect
+        ~finally:(fun () -> D.unsubscribe db sub)
+        (fun () ->
+          while P.stream_peek st <> L.EOF do
+            exec_script_stmt ss st
+          done;
+          match ss.open_txn with
+          | Some tx ->
+            ss.open_txn <- None;
+            ignore (D.commit db tx)
+          | None -> ()))
 
 let run_script_file ?out db path =
   let ic = open_in_bin path in

@@ -2,18 +2,13 @@
    through the public [Database] API, pinning the facade's behaviour
    across the Schema/Store/Txn/Engine/Timewheel/Persist layering —
    create class -> activate trigger -> transaction with method calls ->
-   commit -> take_firings -> save/load round-trip. Also covers the two
-   configuration knobs the refactor introduced: the per-database
-   dispatch-index switch and [?max_tcomplete_rounds]. *)
+   commit -> firing subscription -> save/load round-trip. Also covers
+   the two configuration knobs the refactor introduced: the
+   per-database dispatch-index switch and [?max_tcomplete_rounds]. *)
 
 open Ode_odb
 module D = Database
 module Value = Ode_base.Value
-
-(* This suite deliberately pins the deprecated facade surface
-   ([take_firings], the global [dispatch_index] ref) so the shims keep
-   working until they are removed. *)
-[@@@alert "-deprecated"]
 
 let expect_ok = function
   | Ok v -> v
@@ -23,6 +18,16 @@ let contains s sub =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
+
+(* Buffer firings through the subscription surface; [drain] returns the
+   firings since the last drain, oldest first. *)
+let collect_firings db =
+  let buf = ref [] in
+  ignore (D.subscribe_firings db (fun f -> buf := f :: !buf));
+  fun () ->
+    let fs = List.rev !buf in
+    buf := [];
+    fs
 
 (* An account whose audit trigger wants two deposits, collecting the
    amount of the most recent one (§9). *)
@@ -45,6 +50,7 @@ let tmp = Filename.temp_file "ode_facade" ".img"
 
 let test_end_to_end () =
   let db = D.create_db () in
+  let drain = collect_firings db in
   D.register_class db (schema ());
   Alcotest.(check bool)
     "dispatch index on by default" true
@@ -60,7 +66,7 @@ let test_end_to_end () =
   in
   Alcotest.(check bool) "balance updated" true
     (D.get_field db oid "balance" = Value.Int 42);
-  (match D.take_firings db with
+  (match drain () with
   | [ f ] ->
     Alcotest.(check string) "trigger" "audit" f.D.f_trigger;
     Alcotest.(check string) "class" "account" f.D.f_class;
@@ -74,10 +80,11 @@ let test_end_to_end () =
     (D.with_txn db (fun _ ->
          D.activate db oid "audit" [];
          ignore (D.call db oid "deposit" [ Value.Int 5 ])));
-  ignore (D.take_firings db);
+  ignore (drain ());
   D.save db tmp;
 
   let db2 = D.create_db () in
+  let drain2 = collect_firings db2 in
   D.register_class db2 (schema ());
   D.load db2 tmp;
   Alcotest.(check (list int)) "objects survive" [ oid ] (D.objects db2);
@@ -91,14 +98,14 @@ let test_end_to_end () =
     (D.with_txn db2 (fun _ -> ignore (D.call db2 oid "deposit" [ Value.Int 1 ])));
   Alcotest.(check (list string))
     "mid-sequence state fires after reload" [ "audit" ]
-    (List.map (fun f -> f.D.f_trigger) (D.take_firings db2))
+    (List.map (fun (f : D.firing) -> f.D.f_trigger) (drain2 ()))
 
 (* The per-database switch must force the brute-force reference path —
-   observably identical firings — without touching the deprecated
-   process-global override. *)
+   observably identical firings. *)
 let test_per_db_dispatch_switch () =
   let run ~indexed =
     let db = D.create_db () in
+    let drain = collect_firings db in
     D.register_class db (schema ());
     D.set_dispatch_index db indexed;
     Alcotest.(check bool) "flag readable" indexed (D.dispatch_index_enabled db);
@@ -111,9 +118,8 @@ let test_per_db_dispatch_switch () =
              ignore (D.call db oid "deposit" [ Value.Int 2 ]);
              oid))
     in
-    (List.map (fun f -> (f.D.f_trigger, f.D.f_oid)) (D.take_firings db), oid)
+    (List.map (fun (f : D.firing) -> (f.D.f_trigger, f.D.f_oid)) (drain ()), oid)
   in
-  Alcotest.(check bool) "global override untouched" true !D.dispatch_index;
   let fired_on, oid_on = run ~indexed:true in
   let fired_off, oid_off = run ~indexed:false in
   Alcotest.(check bool) "same oid" true (oid_on = oid_off);

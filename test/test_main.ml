@@ -30,4 +30,5 @@ let () =
       ("odl", Test_odl.suite);
       ("soak", Test_soak.suite);
       ("committed-integration", Test_committed_integration.suite);
+      ("wal", Test_wal.suite);
     ]

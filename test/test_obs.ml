@@ -1,7 +1,7 @@
 (* The Ode_obs observability layer: pinned pipeline counters for a
    scripted scenario, latency-histogram bookkeeping, the trace ring's
-   ordering/truncation/sink behaviour, and the subscription surface
-   (including the deprecated [take_firings] shim layered on it). *)
+   ordering/truncation/sink behaviour, and the firing-subscription
+   surface. *)
 
 open Ode_odb
 module D = Database
@@ -24,7 +24,12 @@ let kind basic = Format.asprintf "%a" Symbol.pp_basic_key (Symbol.basic_key basi
    Setup runs with observability OFF so the counters reflect only the
    scripted transactions. *)
 let scripted_db ?trace_capacity () =
-  let db = D.create_db ?trace_capacity () in
+  (* image durability pinned: these tests assert exact span sequences
+     and counts of the posting pipeline, which the WAL's own
+     [Wal_flushed] spans would interleave with under the
+     ODE_DURABILITY=wal CI leg (WAL observability is pinned in
+     test_wal.ml instead) *)
+  let db = D.create_db ?trace_capacity ~durability:`Image () in
   let b = D.define_class "c" in
   let b = D.field b "n" (Value.Int 0) in
   let b = D.method_ b ~kind:D.Updating "ping" (fun _ _ _ -> Value.Unit) in
@@ -242,6 +247,8 @@ let tag = function
   | Trace.Fired _ -> "f"
   | Trace.Action_ran _ -> "r"
   | Trace.Timer_delivered _ -> "t"
+  | Trace.Wal_flushed _ -> "w"
+  | Trace.Wal_recovered _ -> "R"
 
 let test_span_order () =
   let db, oid = scripted_db () in
@@ -310,24 +317,23 @@ let test_hist () =
   Alcotest.(check int) "reset" 0 (Hist.count h)
 
 (* ------------------------------------------------------------------ *)
-(* Subscriptions and the take_firings shim                             *)
+(* Subscriptions                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let test_take_firings_shim () =
-  (* this test deliberately exercises the deprecated drain to pin the
-     shim's equivalence with the subscription surface *)
+let test_subscription_order () =
+  (* two subscribers see every firing, in subscription order, once *)
   let db, oid = scripted_db () in
   let seen = ref [] in
-  let _sub = D.subscribe_firings db (fun f -> seen := f :: !seen) in
+  let _s1 = D.subscribe_firings db (fun f -> seen := (1, f) :: !seen) in
+  let _s2 = D.subscribe_firings db (fun f -> seen := (2, f) :: !seen) in
   for _ = 1 to 3 do
     ping db oid
   done;
-  let drained = (D.take_firings [@alert "-deprecated"]) db in
-  Alcotest.(check int) "shim buffered every firing" 3 (List.length drained);
-  Alcotest.(check bool) "same firings, same order" true
-    (drained = List.rev !seen);
-  Alcotest.(check int) "drained" 0
-    (List.length ((D.take_firings [@alert "-deprecated"]) db))
+  let deliveries = List.rev !seen in
+  Alcotest.(check int) "both saw all three firings" 6 (List.length deliveries);
+  Alcotest.(check (list int)) "subscription order per firing"
+    [ 1; 2; 1; 2; 1; 2 ]
+    (List.map fst deliveries)
 
 let test_unsubscribe_during_delivery () =
   (* a subscriber that unsubscribes itself mid-batch must not break the
@@ -417,7 +423,7 @@ let suite =
     Alcotest.test_case "sinks see every span" `Quick test_sinks_see_everything;
     Alcotest.test_case "trace validation" `Quick test_trace_validation;
     Alcotest.test_case "histogram bookkeeping" `Quick test_hist;
-    Alcotest.test_case "take_firings shim" `Quick test_take_firings_shim;
+    Alcotest.test_case "subscription order" `Quick test_subscription_order;
     Alcotest.test_case "unsubscribe during delivery" `Quick
       test_unsubscribe_during_delivery;
   ]

@@ -106,10 +106,191 @@ let test_corrupt_image () =
     | () -> false
     | exception Ode_base.Codec.Corrupt _ -> true)
 
+(* [load] replaces state, not wiring: firing subscriptions registered
+   before the load keep delivering afterwards. *)
+let test_subscriptions_survive_load () =
+  let fired = ref [] in
+  let db = D.create_db () in
+  D.register_class db (schema (ref []));
+  let oid =
+    expect_ok
+      (D.with_txn db (fun _ ->
+           let oid = D.create db "item" [] in
+           D.activate db oid "third" [];
+           ignore (D.call db oid "deposit" [ Value.Int 1 ]);
+           ignore (D.call db oid "deposit" [ Value.Int 1 ]);
+           oid))
+  in
+  D.save db tmp;
+  let db2 = D.create_db () in
+  D.register_class db2 (schema (ref []));
+  let seen = ref [] in
+  ignore (D.subscribe_firings db2 (fun f -> seen := f.D.f_trigger :: !seen));
+  D.load db2 tmp;
+  expect_ok
+    (D.with_txn db2 (fun _ -> ignore (D.call db2 oid "deposit" [ Value.Int 1 ])));
+  Alcotest.(check (list string))
+    "pre-load subscriber sees the post-load firing" [ "third" ] !seen;
+  ignore !fired
+
+(* Two timers due at the same instant: the queue's FIFO order among
+   equal deadlines must survive the round trip — both deliveries happen,
+   in the original activation order. *)
+let timer_schema () =
+  D.define_class "beeper"
+  |> (fun b ->
+       D.trigger_str b ~perpetual:true "tick" ~event:"every time(MS=100)"
+         ~action:(fun _ _ -> ()))
+  |> fun b ->
+  D.trigger_str b ~perpetual:true "tock" ~event:"every time(MS=100)"
+    ~action:(fun _ _ -> ())
+
+let timer_firings db =
+  let seen = ref [] in
+  ignore
+    (D.subscribe_firings db (fun f -> seen := (f.D.f_trigger, f.D.f_oid) :: !seen));
+  fun () -> List.rev !seen
+
+let test_equal_deadline_timers () =
+  let build () =
+    let db = D.create_db () in
+    D.register_class db (timer_schema ());
+    let a, b =
+      expect_ok
+        (D.with_txn db (fun _ ->
+             let a = D.create db "beeper" [] in
+             let b = D.create db "beeper" [] in
+             (* four timers, all due at t=100, armed in a fixed order *)
+             D.activate db a "tick" [];
+             D.activate db b "tock" [];
+             D.activate db b "tick" [];
+             D.activate db a "tock" [];
+             (a, b)))
+    in
+    ignore (a, b);
+    db
+  in
+  let db = build () in
+  let direct = timer_firings db in
+  D.advance_clock db 250L;
+  let db0 = build () in
+  D.save db0 tmp;
+  let db2 = D.create_db () in
+  D.register_class db2 (timer_schema ());
+  let reloaded = timer_firings db2 in
+  D.load db2 tmp;
+  D.advance_clock db2 250L;
+  Alcotest.(check bool) "both deliveries happen" true
+    (List.length (direct ()) = 8 (* 4 timers x 2 periods *));
+  Alcotest.(check bool)
+    "equal-deadline delivery order survives the round trip" true
+    (direct () = reloaded ())
+
+(* Committed-mode detection state after a history of commits interleaved
+   with aborts: what survives the round trip must be exactly what the
+   aborts left behind — aborted occurrences discarded, committed ones
+   kept. *)
+let committed_schema () =
+  D.define_class "ledger"
+  |> (fun b -> D.field b "qty" (Value.Int 0))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "deposit" (fun db oid args ->
+           match args with
+           | [ q ] ->
+             D.set_field db oid "qty" (Value.add (D.get_field db oid "qty") q);
+             Value.Unit
+           | _ -> Value.Unit))
+  |> fun b ->
+  D.trigger_str b ~perpetual:true ~mode:Ode_event.Detector.Committed "cthird"
+    ~event:"after deposit; after deposit; after deposit"
+    ~action:(fun _ _ -> ())
+
+(* Committed-mode triggers fire eagerly and roll their automaton state
+   and effects back on abort (consumers filter the subscription stream
+   by transaction fate) — so the invariant to pin is equivalence: after
+   an abort-heavy history, a database that went through save/load must
+   behave {e exactly} like one that never did, including during and
+   after further aborted transactions. *)
+let test_committed_mode_abort_history () =
+  let drain db =
+    let seen = ref [] in
+    ignore
+      (D.subscribe_firings db (fun f ->
+           seen := (f.D.f_trigger, f.D.f_oid, f.D.f_txn) :: !seen));
+    fun () ->
+      let fs = List.rev !seen in
+      seen := [];
+      fs
+  in
+  let run ~roundtrip =
+    let mk () =
+      let db = D.create_db () in
+      D.register_class db (committed_schema ());
+      db
+    in
+    let db = mk () in
+    let fired = drain db in
+    let oid =
+      expect_ok
+        (D.with_txn db (fun _ ->
+             let oid = D.create db "ledger" [] in
+             D.activate db oid "cthird" [];
+             ignore (D.call db oid "deposit" [ Value.Int 1 ]);
+             oid))
+    in
+    (* the abort-heavy prefix: each aborted deposit advances the
+       committed automaton mid-transaction, then rolls back *)
+    for _ = 1 to 4 do
+      let tx = D.begin_txn db in
+      ignore (D.call db oid "deposit" [ Value.Int 10 ]);
+      D.abort db tx
+    done;
+    expect_ok
+      (D.with_txn db (fun _ -> ignore (D.call db oid "deposit" [ Value.Int 1 ])));
+    Alcotest.(check bool) "aborted deposits left the balance alone" true
+      (Value.equal (D.get_field db oid "qty") (Value.Int 2));
+    let db, fired =
+      if not roundtrip then (db, fired)
+      else begin
+        D.save db tmp;
+        let db2 = mk () in
+        let fired2 = drain db2 in
+        D.load db2 tmp;
+        (db2, fired2)
+      end
+    in
+    ignore (fired ());
+    (* tail: one more aborted completion (fires eagerly, rolls back),
+       then the committed completion — txn ids continue from the
+       restored counter, so the streams must match verbatim *)
+    let tx = D.begin_txn db in
+    ignore (D.call db oid "deposit" [ Value.Int 10 ]);
+    D.abort db tx;
+    expect_ok
+      (D.with_txn db (fun _ -> ignore (D.call db oid "deposit" [ Value.Int 1 ])));
+    (fired (), D.get_field db oid "qty", D.image_bytes db)
+  in
+  let fired_direct, qty_direct, img_direct = run ~roundtrip:false in
+  let fired_loaded, qty_loaded, img_loaded = run ~roundtrip:true in
+  Alcotest.(check bool) "tail firing streams identical" true
+    (fired_direct = fired_loaded);
+  Alcotest.(check bool) "a completion is in the tail" true
+    (List.exists (fun (t, _, _) -> t = "cthird") fired_direct);
+  Alcotest.(check bool) "balances identical" true
+    (Value.equal qty_direct qty_loaded);
+  Alcotest.(check bool) "final images byte-identical" true
+    (String.equal img_direct img_loaded)
+
 let suite =
   [
     Alcotest.test_case "image round-trip" `Quick test_roundtrip;
     Alcotest.test_case "save with open txn rejected" `Quick test_save_open_txn_rejected;
     Alcotest.test_case "oid counter survives" `Quick test_new_objects_after_load;
     Alcotest.test_case "corrupt image rejected" `Quick test_corrupt_image;
+    Alcotest.test_case "subscriptions survive load" `Quick
+      test_subscriptions_survive_load;
+    Alcotest.test_case "equal-deadline timers survive load" `Quick
+      test_equal_deadline_timers;
+    Alcotest.test_case "committed-mode abort history survives load" `Quick
+      test_committed_mode_abort_history;
   ]
