@@ -1166,7 +1166,59 @@ let smoke () =
   done;
   pf "crash smoke ok (50/50 kill points recovered byte-identical, %d batches \
       logged).@."
-    (Array.length shadows)
+    (Array.length shadows);
+  (* wire smoke: an in-process server, two clients over loopback, a
+     subscriber that must see firings, a clean stop *)
+  let module Server = Ode_net.Server in
+  let module Client = Ode_net.Client in
+  let module NP = Ode_net.Protocol in
+  let module NJ = Ode_net.Json in
+  let sdb = D.create_db ~config:D.Config.default () in
+  let config =
+    {
+      D.Config.default with
+      D.Config.serve = { D.Config.default_serve with D.Config.port = 0 };
+    }
+  in
+  let srv = Server.create ~db:sdb ~config () in
+  Server.start srv;
+  let port = Server.port srv in
+  let sub = Client.connect ~port () in
+  let wire_ok = function
+    | Ok j -> j
+    | Error (code, msg) -> failwith (Printf.sprintf "smoke: wire [%s] %s" code msg)
+  in
+  ignore
+    (wire_ok
+       (Client.request sub
+          (NP.Schema
+             "class cell { int n = 0; public: cell() { activate T(); } update \
+              void hit(int q) { n = n + q; } update void seen() { } trigger: \
+              T() : perpetual after hit(q) && q > 0 ==> seen(); };")));
+  let oid =
+    match NJ.member "oid" (wire_ok (Client.request sub (NP.Create ("cell", [])))) with
+    | Some (NJ.Int oid) -> oid
+    | _ -> failwith "smoke: wire create returned no oid"
+  in
+  ignore (wire_ok (Client.request sub (NP.Subscribe NP.Block)));
+  let poster = Client.connect ~port () in
+  let item =
+    { NP.i_oid = oid; i_event = Symbol.Method (After, "hit"); i_args = [ Value.Int 3 ] }
+  in
+  ignore (wire_ok (Client.request poster (NP.Post_many (List.init 8 (fun _ -> item)))));
+  Client.close poster;
+  let rec wire_drain n =
+    match Client.wait_firing ~timeout_s:1.0 sub with
+    | Some _ -> wire_drain (n + 1)
+    | None -> n
+  in
+  let wired = wire_drain 0 in
+  Client.close sub;
+  Server.stop srv;
+  D.shutdown_pool sdb;
+  if wired <> 8 then
+    failwith (Printf.sprintf "smoke: wire subscriber saw %d/8 firings" wired);
+  pf "wire smoke ok (8/8 firings streamed over loopback, clean stop).@."
 
 (* ------------------------------------------------------------------ *)
 (* E14-wal: commit durability cost — WAL vs full-image saves            *)
@@ -1320,6 +1372,154 @@ let e14_wal () =
   pf "wrote BENCH_wal.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E15: the wire front door — multi-client soak over loopback          *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process server (its select loop on one thread) and N client
+   threads posting batches over real loopback sockets: end-to-end wire
+   throughput and per-request latency for 1, 4 and 16 clients, with one
+   drop-policy subscriber watching the firing stream the whole time.
+   Emits BENCH_serve.json. *)
+let e15_serve () =
+  section "E15: odes serve over loopback (events/sec and request p99 by client count)";
+  let module DB = Ode_odb.Database in
+  let module Server = Ode_net.Server in
+  let module Client = Ode_net.Client in
+  let module NP = Ode_net.Protocol in
+  let module NJ = Ode_net.Json in
+  let schema =
+    {|
+    class meter {
+      int total = 0;
+      int spikes = 0;
+    public:
+      meter() { activate Spike(); }
+      update void bump(int q) { total = total + q; }
+      update void mark() { spikes = spikes + 1; }
+    trigger:
+      Spike() : perpetual after bump(q) && q > 5 ==> mark();
+    };
+    |}
+  in
+  let jint key j =
+    match NJ.member key j with
+    | Some (NJ.Int n) -> n
+    | _ -> failwith ("e15: reply carried no " ^ key)
+  in
+  let rpc c req =
+    match Client.request c req with
+    | Ok j -> j
+    | Error (code, msg) -> failwith (Printf.sprintf "e15: [%s] %s" code msg)
+  in
+  let run ~clients ~events_per_client ~batch =
+    let db = DB.create_db ~config:DB.Config.default () in
+    ignore (Ode_odl.Odl.load_schema db schema);
+    let config =
+      {
+        DB.Config.default with
+        DB.Config.serve =
+          { DB.Config.default_serve with DB.Config.port = 0; batch_window_ms = 1 };
+      }
+    in
+    let srv = Server.create ~db ~config () in
+    Server.start srv;
+    let port = Server.port srv in
+    let sub = Client.connect ~port () in
+    (* one object per client so the soak exercises candidate selection,
+       not one hot history *)
+    let oids =
+      Array.init clients (fun _ -> jint "oid" (rpc sub (NP.Create ("meter", []))))
+    in
+    ignore (rpc sub (NP.Subscribe NP.Drop));
+    let requests = events_per_client / batch in
+    let lat = Array.make (clients * requests) 0.0 in
+    (* a reply reports its whole batch's firing total, and coalescing
+       puts many requests in one batch — dedup by batch serial or the
+       sum multiplies *)
+    let mu = Mutex.create () in
+    let by_batch = Hashtbl.create 1024 in
+    let t0 = Unix.gettimeofday () in
+    let worker k =
+      Thread.create
+        (fun () ->
+          let c = Client.connect ~port () in
+          let items =
+            List.init batch (fun i ->
+                {
+                  NP.i_oid = oids.(k);
+                  i_event = Symbol.Method (After, "bump");
+                  i_args = [ Value.Int (i mod 10) ];
+                })
+          in
+          for r = 0 to requests - 1 do
+            let q0 = Unix.gettimeofday () in
+            let j = rpc c (NP.Post_many items) in
+            lat.((k * requests) + r) <- Unix.gettimeofday () -. q0;
+            Mutex.lock mu;
+            Hashtbl.replace by_batch (jint "batch" j) (jint "firings" j);
+            Mutex.unlock mu
+          done;
+          Client.close c)
+        ()
+    in
+    let threads = List.init clients worker in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    let seen = List.length (Client.poll_firings sub) + Client.lagged_total sub in
+    Client.close sub;
+    Server.stop srv;
+    DB.shutdown_pool db;
+    Array.sort compare lat;
+    let pct p =
+      lat.(min (Array.length lat - 1) (int_of_float (p *. float_of_int (Array.length lat))))
+      *. 1e6
+    in
+    let fired = Hashtbl.fold (fun _ n acc -> acc + n) by_batch 0 in
+    let total = float_of_int (clients * requests * batch) in
+    (total /. dt, pct 0.5, pct 0.99, fired, seen)
+  in
+  pf "%8s %14s %12s %12s %12s %12s@." "clients" "events/sec" "p50 (us)" "p99 (us)"
+    "firings" "observed";
+  let rows =
+    List.map
+      (fun clients ->
+        let events_per_client = 20_000 in
+        let ev_s, p50, p99, fired, seen =
+          run ~clients ~events_per_client ~batch:100
+        in
+        if fired = 0 then failwith "e15: soak produced no firings";
+        pf "%8d %14.0f %12.1f %12.1f %12d %12d@." clients ev_s p50 p99 fired seen;
+        (clients, events_per_client, ev_s, p50, p99, fired))
+      [ 1; 4; 16 ]
+  in
+  pf "shape: one select loop owns the engine; throughput climbs with client\n\
+      count while batches coalesce, and p99 absorbs the coalescing window.@.";
+  let oc = open_out "BENCH_serve.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E15-serve\",\n";
+  p "  \"unit\": \"end-to-end wire events per second; per-request latency \
+     percentiles in microseconds\",\n";
+  p
+    "  \"description\": \"N concurrent clients posting 100-event post_many \
+     batches over loopback to odes serve (1ms coalescing window), one \
+     drop-policy subscriber streaming firings throughout\",\n";
+  p "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (clients, events, ev_s, p50, p99, fired) ->
+      p
+        "    {\"clients\": %d, \"events_per_client\": %d, \"events_per_sec\": \
+         %.0f, \"req_p50_us\": %.1f, \"req_p99_us\": %.1f, \"firings\": %d}%s\n"
+        clients events ev_s p50 p99 fired
+        (if i = last then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  pf "wrote BENCH_serve.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1448,7 +1648,7 @@ let () =
     [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
       ("e7", e7); ("e8", e8); ("e9", e9); ("e9d", e9_dispatch); ("e10", e10);
       ("e10o", e10_obs); ("e11", e11); ("e11s", e11_shard); ("e12", e12);
-      ("e12k", e12_kernel); ("e14w", e14_wal);
+      ("e12k", e12_kernel); ("e14w", e14_wal); ("e15s", e15_serve);
       ("micro", bechamel_suite); ("smoke", smoke) ]
   in
   let selected =

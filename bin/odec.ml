@@ -266,6 +266,7 @@ let cmd_schema schema_file script_file obs =
     Fmt.pr "-- %d object(s), %d active trigger(s), %d bytes of detection state --@."
       st.Ode_odb.Database.n_objects st.Ode_odb.Database.n_active_triggers
       st.Ode_odb.Database.state_bytes;
+    Fmt.pr "-- config: %s --@." (D.config_summary db);
     summarise ()
   with
   | () -> Ok ()
@@ -324,6 +325,153 @@ let cmd_wal_dump path =
       Fmt.pr "DAMAGE: CRC mismatch on frame %d at offset %d@." index offset);
     if damage = None then Ok ()
     else Error (`Msg "log damaged (recovery would replay the clean prefix)")
+
+(* ------------------------------------------------------------------ *)
+(* client: drive a running odes server over the wire                   *)
+(* ------------------------------------------------------------------ *)
+
+module Net = Ode_net
+
+let with_client host port f =
+  match Net.Client.connect ~host ~port () with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (`Msg
+        (Printf.sprintf "cannot reach %s:%d: %s" host port
+           (Unix.error_message err)))
+  | c ->
+    Fun.protect
+      ~finally:(fun () -> Net.Client.close c)
+      (fun () ->
+        match f c with
+        | r -> r
+        | exception Net.Client.Protocol_error msg -> Error (`Msg msg)
+        | exception End_of_file -> Error (`Msg "server closed the connection"))
+
+let rpc c req =
+  match Net.Client.request c req with
+  | Ok j -> Ok j
+  | Error (code, msg) -> Error (`Msg (Printf.sprintf "server error [%s]: %s" code msg))
+
+let cmd_client_status host port =
+  with_client host port (fun c ->
+      let ( let* ) = Result.bind in
+      let* j = rpc c Net.Protocol.Status in
+      Fmt.pr "%s@." (Net.Json.to_string j);
+      Ok ())
+
+let cmd_client_schema host port file =
+  with_client host port (fun c ->
+      let ( let* ) = Result.bind in
+      let src = In_channel.with_open_bin file In_channel.input_all in
+      let* j = rpc c (Net.Protocol.Schema src) in
+      Fmt.pr "%s@." (Net.Json.to_string j);
+      Ok ())
+
+let cmd_client_post host port oid occs =
+  with_client host port (fun c ->
+      let ( let* ) = Result.bind in
+      let rec items acc = function
+        | [] -> Ok (List.rev acc)
+        | src :: rest ->
+          let* o = parse_occurrence src in
+          items
+            ({
+               Net.Protocol.i_oid = oid;
+               i_event = o.Symbol.basic;
+               i_args = o.Symbol.args;
+             }
+            :: acc)
+            rest
+      in
+      let* items = items [] occs in
+      let* j = rpc c (Net.Protocol.Post_many items) in
+      Fmt.pr "%s@." (Net.Json.to_string j);
+      Ok ())
+
+let cmd_client_shutdown host port =
+  with_client host port (fun c ->
+      let ( let* ) = Result.bind in
+      let* _ = rpc c Net.Protocol.Shutdown in
+      Fmt.pr "server stopping@.";
+      Ok ())
+
+(* The soak: one subscriber connection watching firings, N poster
+   connections hammering a shared schema. Used by the CI server-smoke
+   step; exits nonzero unless every post is acknowledged and at least
+   one firing arrives at the subscriber. *)
+let soak_schema =
+  {|
+  class meter {
+    int total = 0;
+    int spikes = 0;
+  public:
+    meter() { activate Spike(); activate Surge(); }
+    update void bump(int q)  { total = total + q; }
+    update void mark() { spikes = spikes + 1; }
+  trigger:
+    Spike() : perpetual after bump(q) && q > 5 ==> mark();
+    Surge() : perpetual after bump; after bump; after bump ==> mark();
+  };
+  |}
+
+let cmd_client_soak host port clients events =
+  with_client host port (fun sub ->
+      let ( let* ) = Result.bind in
+      let* _ = rpc sub (Net.Protocol.Schema soak_schema) in
+      let* created = rpc sub (Net.Protocol.Create ("meter", [])) in
+      let* oid =
+        match Net.Json.member "oid" created with
+        | Some (Net.Json.Int oid) -> Ok oid
+        | _ -> Error (`Msg "create reply carried no oid")
+      in
+      let* _ = rpc sub (Net.Protocol.Subscribe Net.Protocol.Block) in
+      let failures = Atomic.make 0 in
+      let posted = Atomic.make 0 in
+      let t0 = Unix.gettimeofday () in
+      let poster _i =
+        Thread.create
+          (fun () ->
+            match Net.Client.connect ~host ~port () with
+            | exception Unix.Unix_error _ -> Atomic.incr failures
+            | c ->
+              for k = 1 to events do
+                match
+                  Net.Client.request c
+                    (Net.Protocol.Post
+                       {
+                         Net.Protocol.i_oid = oid;
+                         i_event = Symbol.Method (After, "bump");
+                         i_args = [ Value.Int (k mod 10) ];
+                       })
+                with
+                | Ok _ -> Atomic.incr posted
+                | Error _ -> Atomic.incr failures
+              done;
+              Net.Client.close c)
+          ()
+      in
+      let threads = List.init clients poster in
+      List.iter Thread.join threads;
+      let dt = Unix.gettimeofday () -. t0 in
+      (* drain the firing stream until it goes quiet *)
+      let fired = ref (List.length (Net.Client.poll_firings sub)) in
+      let quiet = ref 0 in
+      while !quiet < 2 do
+        match Net.Client.wait_firing ~timeout_s:0.25 sub with
+        | Some _ -> incr fired
+        | None -> incr quiet
+      done;
+      Fmt.pr
+        "soak: %d client(s) x %d event(s): %d posted, %d failed, %d firing(s) \
+         observed, %.0f events/s@."
+        clients events (Atomic.get posted) (Atomic.get failures) !fired
+        (float_of_int (Atomic.get posted) /. Float.max 1e-9 dt);
+      if Atomic.get failures > 0 then Error (`Msg "soak saw request failures")
+      else if Atomic.get posted <> clients * events then
+        Error (`Msg "soak lost posts")
+      else if !fired = 0 then Error (`Msg "soak observed no firings")
+      else Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
@@ -418,6 +566,90 @@ let wal_dump_cmd =
           mismatches and torn tails")
     Term.(term_result (const cmd_wal_dump $ wal_file_arg))
 
+let chost_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let cport_arg =
+  Arg.(
+    value & opt int 7912
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let client_status_cmd =
+  Cmd.v (Cmd.info "status" ~doc:"Print the server's status JSON")
+    Term.(term_result (const cmd_client_status $ chost_arg $ cport_arg))
+
+let client_schema_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCHEMA.odl" ~doc:"ODL source to register on the server.")
+
+let client_schema_cmd =
+  Cmd.v (Cmd.info "schema" ~doc:"Register an ODL schema on the server")
+    Term.(
+      term_result
+        (const cmd_client_schema $ chost_arg $ cport_arg $ client_schema_file_arg))
+
+let client_oid_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "oid" ] ~docv:"OID" ~doc:"Object to post the occurrences at.")
+
+let client_occs_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"OCCURRENCE"
+        ~doc:"Basic-event occurrences, e.g. 'after withdraw(1, 200)'.")
+
+let client_post_cmd =
+  Cmd.v
+    (Cmd.info "post" ~doc:"Post basic-event occurrences at an object")
+    Term.(
+      term_result
+        (const cmd_client_post $ chost_arg $ cport_arg $ client_oid_arg
+       $ client_occs_arg))
+
+let client_shutdown_cmd =
+  Cmd.v (Cmd.info "shutdown" ~doc:"Ask the server to stop")
+    Term.(term_result (const cmd_client_shutdown $ chost_arg $ cport_arg))
+
+let soak_clients_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "clients" ] ~docv:"N" ~doc:"Concurrent poster connections.")
+
+let soak_events_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "events" ] ~docv:"M" ~doc:"Events posted per client.")
+
+let client_soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Register a built-in schema, hammer it from N concurrent \
+          connections and verify firings stream back (exits nonzero on any \
+          lost post or a silent trigger)")
+    Term.(
+      term_result
+        (const cmd_client_soak $ chost_arg $ cport_arg $ soak_clients_arg
+       $ soak_events_arg))
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running odes server (docs/PROTOCOL.md)")
+    [
+      client_status_cmd;
+      client_schema_cmd;
+      client_post_cmd;
+      client_soak_cmd;
+      client_shutdown_cmd;
+    ]
+
 let () =
   let doc = "composite trigger events, compiled to finite automata (SIGMOD '92)" in
   exit
@@ -431,4 +663,5 @@ let () =
             schema_cmd;
             normalize_cmd;
             wal_dump_cmd;
+            client_cmd;
           ]))

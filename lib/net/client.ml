@@ -1,0 +1,103 @@
+module P = Protocol
+
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  firings : P.firing Queue.t;
+  mutable lagged : int;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with
+  | () -> ()
+  | exception e ->
+    Unix.close fd;
+    raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; next_id = 1; firings = Queue.create (); lagged = 0; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let read_msg t =
+  match Frame.read_frame t.fd with
+  | Error Frame.Eof -> raise End_of_file
+  | Error (Frame.Truncated owed) ->
+    raise (Protocol_error (Printf.sprintf "stream ended %d bytes short" owed))
+  | Error (Frame.Oversized len) ->
+    raise (Protocol_error (Printf.sprintf "oversized frame (%d bytes)" len))
+  | Ok payload -> (
+    match Json.of_string payload with
+    | Error msg -> raise (Protocol_error ("bad JSON from server: " ^ msg))
+    | Ok j -> (
+      match P.decode_msg j with
+      | Error msg -> raise (Protocol_error msg)
+      | Ok m -> m))
+
+(* Stream notifications can arrive at any point between a request and
+   its reply; stash them so the caller sees a clean request/reply
+   surface and an independent firing stream. *)
+let stash t = function
+  | P.Firing f -> Queue.add f t.firings
+  | P.Lagged k -> t.lagged <- t.lagged + k
+  | P.Reply (id, _) ->
+    raise (Protocol_error (Printf.sprintf "unexpected reply for id %d" id))
+
+let request t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Frame.write_frame t.fd (P.encode_request ~id req);
+  let rec await () =
+    match read_msg t with
+    | P.Reply (rid, resp) when rid = id -> (
+      match resp with
+      | P.R_ok j -> Ok j
+      | P.R_error (code, msg) -> Error (code, msg))
+    | P.Reply (rid, _) ->
+      raise
+        (Protocol_error (Printf.sprintf "reply id %d, expected %d" rid id))
+    | m ->
+      stash t m;
+      await ()
+  in
+  await ()
+
+let readable ?(timeout_s = 0.0) t =
+  match Unix.select [ t.fd ] [] [] timeout_s with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let poll_firings t =
+  while readable t do
+    stash t (read_msg t)
+  done;
+  let out = List.of_seq (Queue.to_seq t.firings) in
+  Queue.clear t.firings;
+  out
+
+let wait_firing ?(timeout_s = 5.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if not (Queue.is_empty t.firings) then Some (Queue.pop t.firings)
+    else begin
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then None
+      else if readable ~timeout_s:left t then begin
+        stash t (read_msg t);
+        go ()
+      end
+      else None
+    end
+  in
+  go ()
+
+let lagged_total t = t.lagged

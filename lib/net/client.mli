@@ -1,0 +1,37 @@
+(** A blocking wire client for [odes serve] (docs/PROTOCOL.md).
+
+    One TCP connection, one outstanding request at a time: {!request}
+    writes a frame and reads until the matching reply arrives. Stream
+    notifications that interleave with the reply — firings for a
+    subscribed client, [lagged] counts — are buffered, never lost:
+    pull them with {!poll_firings} (non-blocking) or {!wait_firing}
+    (bounded wait). Used by [odec client], the soak bench and the wire
+    test suite. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val close : t -> unit
+(** Close the socket (the server tears down the subscription and any
+    open transaction). Idempotent. *)
+
+val request : t -> Protocol.request -> (Json.t, string * string) result
+(** Send one request, block until its reply; [Error (code, msg)] is the
+    server's error reply. Raises [Protocol_error] if the stream is
+    corrupt and [End_of_file] if the server closed it. *)
+
+val poll_firings : t -> Protocol.firing list
+(** Buffered firings plus whatever is readable right now, oldest
+    first, without blocking. *)
+
+val wait_firing : ?timeout_s:float -> t -> Protocol.firing option
+(** Next firing, waiting up to [timeout_s] (default 5s) for one to
+    arrive; [None] on timeout. *)
+
+val lagged_total : t -> int
+(** Sum of every [{"lagged": k}] notification received so far — the
+    firings a [Drop]-policy subscription lost. *)
+
+exception Protocol_error of string

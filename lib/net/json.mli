@@ -1,0 +1,40 @@
+(** A minimal JSON value type, printer and parser for the wire protocol.
+
+    The repository deliberately avoids external JSON dependencies: the
+    protocol needs only the six JSON forms, and the parser below is a
+    few dozen lines of recursive descent. Numbers keep the int/float
+    distinction the {!Ode_base.Value} universe needs: a token with a
+    [.], [e] or [E] parses as [Float], everything else as [Int]
+    (falling back to [Float] past 63-bit range). Non-finite floats
+    (which JSON cannot carry) print as the strings ["nan"], ["inf"]
+    and ["-inf"] tagged inside {!Protocol}'s value encoding, never
+    here. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+val to_string : t -> string
+(** Compact (no whitespace) rendering. Strings are escaped per RFC
+    8259; non-ASCII bytes pass through unescaped (the wire is UTF-8).
+    Finite floats render with enough digits to round-trip; a float
+    whose rendering has no [.]/[e] gains a trailing [".0"] so it
+    re-parses as [Float]. Raises [Invalid_argument] on a non-finite
+    float — the protocol layer never produces one. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (trailing whitespace
+    allowed). The error string names the offset and what went wrong. *)
+
+(** {1 Accessors} — shallow helpers the protocol decoder uses. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or when absent. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -1,0 +1,404 @@
+module Value = Ode_base.Value
+module Symbol = Ode_event.Symbol
+
+type item = { i_oid : int; i_event : Symbol.basic; i_args : Value.t list }
+type policy = Block | Drop
+
+type request =
+  | Status
+  | Schema of string
+  | Create of string * Value.t list
+  | Post of item
+  | Post_many of item list
+  | Call of int * string * Value.t list
+  | Tbegin
+  | Tcommit
+  | Tabort
+  | Advance_clock of int64
+  | Save of string
+  | Subscribe of policy
+  | Unsubscribe
+  | Shutdown
+
+type firing = {
+  fg_trigger : string;
+  fg_class : string;
+  fg_oid : int;
+  fg_at : int64;
+  fg_txn : int;
+}
+
+type response = R_ok of Json.t | R_error of string * string
+type msg = Reply of int * response | Firing of firing | Lagged of int
+
+let err_parse = "parse"
+let err_bad_request = "bad_request"
+let err_aborted = "aborted"
+let err_state = "state"
+let err_ode = "ode"
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode_value : Value.t -> Json.t = function
+  | Value.Unit -> Json.Null
+  | Value.Bool b -> Json.Bool b
+  | Value.Int n -> Json.Int n
+  | Value.Float f when Float.is_finite f -> Json.Float f
+  | Value.Float f ->
+    let tag =
+      if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf"
+    in
+    Json.Obj [ ("float", Json.String tag) ]
+  | Value.String s -> Json.String s
+  | Value.Oid n -> Json.Obj [ ("oid", Json.Int n) ]
+
+let decode_value : Json.t -> (Value.t, string) result = function
+  | Json.Null -> Ok Value.Unit
+  | Json.Bool b -> Ok (Value.Bool b)
+  | Json.Int n -> Ok (Value.Int n)
+  | Json.Float f -> Ok (Value.Float f)
+  | Json.String s -> Ok (Value.String s)
+  | Json.Obj [ ("oid", Json.Int n) ] -> Ok (Value.Oid n)
+  | Json.Obj [ ("float", Json.String "nan") ] -> Ok (Value.Float Float.nan)
+  | Json.Obj [ ("float", Json.String "inf") ] ->
+    Ok (Value.Float Float.infinity)
+  | Json.Obj [ ("float", Json.String "-inf") ] ->
+    Ok (Value.Float Float.neg_infinity)
+  | j -> Error ("bad value: " ^ Json.to_string j)
+
+let rec decode_values acc = function
+  | [] -> Ok (List.rev acc)
+  | j :: rest -> (
+    match decode_value j with
+    | Ok v -> decode_values (v :: acc) rest
+    | Error _ as e -> e)
+
+let encode_values vs = Json.List (List.map encode_value vs)
+
+let decode_values_field ?(field = "args") obj =
+  match Json.member field obj with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.List js) -> decode_values [] js
+  | Some _ -> Error (Printf.sprintf "bad %S field" field)
+
+(* ------------------------------------------------------------------ *)
+(* Basic events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let qualifier_str = function Symbol.Before -> "before" | Symbol.After -> "after"
+
+let decode_qualifier = function
+  | "before" -> Ok Symbol.Before
+  | "after" -> Ok Symbol.After
+  | q -> Error ("bad qualifier " ^ q)
+
+let encode_pattern (p : Symbol.time_pattern) =
+  let field name v acc =
+    match v with None -> acc | Some n -> (name, Json.Int n) :: acc
+  in
+  Json.Obj
+    (field "year" p.Symbol.year
+    @@ field "mon" p.Symbol.mon
+    @@ field "day" p.Symbol.day
+    @@ field "hr" p.Symbol.hr
+    @@ field "min" p.Symbol.min
+    @@ field "sec" p.Symbol.sec
+    @@ field "ms" p.Symbol.ms [])
+
+let decode_pattern j =
+  let get name =
+    match Json.member name j with
+    | Some (Json.Int n) -> Some n
+    | Some _ | None -> None
+  in
+  {
+    Symbol.year = get "year";
+    mon = get "mon";
+    day = get "day";
+    hr = get "hr";
+    min = get "min";
+    sec = get "sec";
+    ms = get "ms";
+  }
+
+let encode_time_spec = function
+  | Symbol.Every ms -> Json.Obj [ ("every", Json.Int (Int64.to_int ms)) ]
+  | Symbol.After_period ms ->
+    Json.Obj [ ("after", Json.Int (Int64.to_int ms)) ]
+  | Symbol.At p -> Json.Obj [ ("at", encode_pattern p) ]
+
+let decode_time_spec j =
+  match (Json.member "every" j, Json.member "after" j, Json.member "at" j) with
+  | Some (Json.Int ms), None, None -> Ok (Symbol.Every (Int64.of_int ms))
+  | None, Some (Json.Int ms), None ->
+    Ok (Symbol.After_period (Int64.of_int ms))
+  | None, None, Some p -> Ok (Symbol.At (decode_pattern p))
+  | _ -> Error ("bad time spec: " ^ Json.to_string j)
+
+let encode_basic : Symbol.basic -> Json.t =
+  let k kind rest = Json.Obj (("k", Json.String kind) :: rest) in
+  let q kind qual = k kind [ ("q", Json.String (qualifier_str qual)) ] in
+  function
+  | Symbol.Create -> k "create" []
+  | Symbol.Delete -> k "delete" []
+  | Symbol.Update qual -> q "update" qual
+  | Symbol.Read qual -> q "read" qual
+  | Symbol.Access qual -> q "access" qual
+  | Symbol.Method (qual, name) ->
+    k "method"
+      [ ("q", Json.String (qualifier_str qual)); ("name", Json.String name) ]
+  | Symbol.Tbegin -> k "tbegin" []
+  | Symbol.Tcomplete -> k "tcomplete" []
+  | Symbol.Tcommit -> k "tcommit" []
+  | Symbol.Tabort qual -> q "tabort" qual
+  | Symbol.Time spec -> k "time" [ ("spec", encode_time_spec spec) ]
+
+let decode_basic j : (Symbol.basic, string) result =
+  let ( let* ) = Result.bind in
+  let qual () =
+    match Json.member "q" j with
+    | Some (Json.String q) -> decode_qualifier q
+    | _ -> Error "missing qualifier"
+  in
+  match Json.member "k" j with
+  | Some (Json.String "create") -> Ok Symbol.Create
+  | Some (Json.String "delete") -> Ok Symbol.Delete
+  | Some (Json.String "update") ->
+    let* q = qual () in
+    Ok (Symbol.Update q)
+  | Some (Json.String "read") ->
+    let* q = qual () in
+    Ok (Symbol.Read q)
+  | Some (Json.String "access") ->
+    let* q = qual () in
+    Ok (Symbol.Access q)
+  | Some (Json.String "method") -> (
+    let* q = qual () in
+    match Json.member "name" j with
+    | Some (Json.String name) -> Ok (Symbol.Method (q, name))
+    | _ -> Error "method event without a name")
+  | Some (Json.String "tbegin") -> Ok Symbol.Tbegin
+  | Some (Json.String "tcomplete") -> Ok Symbol.Tcomplete
+  | Some (Json.String "tcommit") -> Ok Symbol.Tcommit
+  | Some (Json.String "tabort") ->
+    let* q = qual () in
+    Ok (Symbol.Tabort q)
+  | Some (Json.String "time") -> (
+    match Json.member "spec" j with
+    | Some spec ->
+      let* s = decode_time_spec spec in
+      Ok (Symbol.Time s)
+    | None -> Error "time event without a spec")
+  | _ -> Error ("bad basic event: " ^ Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Items                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let encode_item it =
+  Json.Obj
+    [
+      ("oid", Json.Int it.i_oid);
+      ("event", encode_basic it.i_event);
+      ("args", encode_values it.i_args);
+    ]
+
+let decode_item j =
+  let ( let* ) = Result.bind in
+  match (Json.member "oid" j, Json.member "event" j) with
+  | Some (Json.Int oid), Some ev ->
+    let* event = decode_basic ev in
+    let* args = decode_values_field j in
+    Ok { i_oid = oid; i_event = event; i_args = args }
+  | _ -> Error ("bad item: " ^ Json.to_string j)
+
+let rec decode_items acc = function
+  | [] -> Ok (List.rev acc)
+  | j :: rest -> (
+    match decode_item j with
+    | Ok it -> decode_items (it :: acc) rest
+    | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let verb_of_request = function
+  | Status -> "status"
+  | Schema _ -> "schema"
+  | Create _ -> "create"
+  | Post _ -> "post"
+  | Post_many _ -> "post_many"
+  | Call _ -> "call"
+  | Tbegin -> "tbegin"
+  | Tcommit -> "tcommit"
+  | Tabort -> "tabort"
+  | Advance_clock _ -> "advance_clock"
+  | Save _ -> "save"
+  | Subscribe _ -> "subscribe"
+  | Unsubscribe -> "unsubscribe"
+  | Shutdown -> "shutdown"
+
+let policy_str = function Block -> "block" | Drop -> "drop"
+
+let request_fields = function
+  | Status | Tbegin | Tcommit | Tabort | Unsubscribe | Shutdown -> []
+  | Schema src -> [ ("src", Json.String src) ]
+  | Create (cls, args) ->
+    [ ("class", Json.String cls); ("args", encode_values args) ]
+  | Post it -> [ ("item", encode_item it) ]
+  | Post_many items ->
+    [ ("items", Json.List (List.map encode_item items)) ]
+  | Call (oid, name, args) ->
+    [
+      ("oid", Json.Int oid);
+      ("method", Json.String name);
+      ("args", encode_values args);
+    ]
+  | Advance_clock ms -> [ ("ms", Json.Int (Int64.to_int ms)) ]
+  | Save path -> [ ("path", Json.String path) ]
+  | Subscribe p -> [ ("policy", Json.String (policy_str p)) ]
+
+let encode_request ~id req =
+  Json.to_string
+    (Json.Obj
+       (("id", Json.Int id)
+       :: ("verb", Json.String (verb_of_request req))
+       :: request_fields req))
+
+let decode_request j =
+  let ( let* ) = Result.bind in
+  let* id =
+    match Json.member "id" j with
+    | Some (Json.Int id) -> Ok id
+    | _ -> Error "request without an integer id"
+  in
+  let* verb =
+    match Json.member "verb" j with
+    | Some (Json.String v) -> Ok v
+    | _ -> Error "request without a verb"
+  in
+  let* req =
+    match verb with
+    | "status" -> Ok Status
+    | "tbegin" -> Ok Tbegin
+    | "tcommit" -> Ok Tcommit
+    | "tabort" -> Ok Tabort
+    | "unsubscribe" -> Ok Unsubscribe
+    | "shutdown" -> Ok Shutdown
+    | "schema" -> (
+      match Json.member "src" j with
+      | Some (Json.String src) -> Ok (Schema src)
+      | _ -> Error "schema without src")
+    | "create" -> (
+      match Json.member "class" j with
+      | Some (Json.String cls) ->
+        let* args = decode_values_field j in
+        Ok (Create (cls, args))
+      | _ -> Error "create without class")
+    | "post" -> (
+      match Json.member "item" j with
+      | Some it ->
+        let* it = decode_item it in
+        Ok (Post it)
+      | None -> Error "post without item")
+    | "post_many" -> (
+      match Json.member "items" j with
+      | Some (Json.List js) ->
+        let* items = decode_items [] js in
+        Ok (Post_many items)
+      | _ -> Error "post_many without items")
+    | "call" -> (
+      match (Json.member "oid" j, Json.member "method" j) with
+      | Some (Json.Int oid), Some (Json.String name) ->
+        let* args = decode_values_field j in
+        Ok (Call (oid, name, args))
+      | _ -> Error "call without oid/method")
+    | "advance_clock" -> (
+      match Json.member "ms" j with
+      | Some (Json.Int ms) -> Ok (Advance_clock (Int64.of_int ms))
+      | _ -> Error "advance_clock without ms")
+    | "save" -> (
+      match Json.member "path" j with
+      | Some (Json.String path) -> Ok (Save path)
+      | _ -> Error "save without path")
+    | "subscribe" -> (
+      match Json.member "policy" j with
+      | Some (Json.String "block") -> Ok (Subscribe Block)
+      | Some (Json.String "drop") -> Ok (Subscribe Drop)
+      | None -> Ok (Subscribe Block)
+      | Some _ -> Error "subscribe with a bad policy")
+    | v -> Error ("unknown verb " ^ v)
+  in
+  Ok (id, req)
+
+(* ------------------------------------------------------------------ *)
+(* Replies and notifications                                           *)
+(* ------------------------------------------------------------------ *)
+
+let encode_reply ~id resp =
+  Json.to_string
+    (match resp with
+    | R_ok payload -> Json.Obj [ ("id", Json.Int id); ("ok", payload) ]
+    | R_error (code, msg) ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ( "error",
+            Json.Obj
+              [ ("code", Json.String code); ("msg", Json.String msg) ] );
+        ])
+
+let firing_json f =
+  Json.Obj
+    [
+      ("trigger", Json.String f.fg_trigger);
+      ("class", Json.String f.fg_class);
+      ("oid", Json.Int f.fg_oid);
+      ("at", Json.Int (Int64.to_int f.fg_at));
+      ("txn", Json.Int f.fg_txn);
+    ]
+
+let encode_firing f = Json.to_string (Json.Obj [ ("firing", firing_json f) ])
+let encode_lagged n = Json.to_string (Json.Obj [ ("lagged", Json.Int n) ])
+
+let decode_firing j =
+  match
+    ( Json.member "trigger" j,
+      Json.member "class" j,
+      Json.member "oid" j,
+      Json.member "at" j,
+      Json.member "txn" j )
+  with
+  | ( Some (Json.String fg_trigger),
+      Some (Json.String fg_class),
+      Some (Json.Int fg_oid),
+      Some (Json.Int at),
+      Some (Json.Int fg_txn) ) ->
+    Ok { fg_trigger; fg_class; fg_oid; fg_at = Int64.of_int at; fg_txn }
+  | _ -> Error ("bad firing: " ^ Json.to_string j)
+
+let decode_msg j =
+  let ( let* ) = Result.bind in
+  match Json.member "firing" j with
+  | Some f ->
+    let* f = decode_firing f in
+    Ok (Firing f)
+  | None -> (
+    match Json.member "lagged" j with
+    | Some (Json.Int n) -> Ok (Lagged n)
+    | Some _ -> Error "bad lagged notification"
+    | None -> (
+      match Json.member "id" j with
+      | Some (Json.Int id) -> (
+        match (Json.member "ok" j, Json.member "error" j) with
+        | Some payload, None -> Ok (Reply (id, R_ok payload))
+        | None, Some err -> (
+          match (Json.member "code" err, Json.member "msg" err) with
+          | Some (Json.String code), Some (Json.String msg) ->
+            Ok (Reply (id, R_error (code, msg)))
+          | _ -> Error "bad error reply")
+        | _ -> Error "reply with neither ok nor error")
+      | _ -> Error ("unrecognised message: " ^ Json.to_string j)))

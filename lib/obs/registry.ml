@@ -25,6 +25,9 @@ type counter =
   | Wal_flushes
   | Wal_snapshots
   | Wal_replayed
+  | Net_connections
+  | Net_requests
+  | Net_outbox_dropped
 
 let counter_index = function
   | Posts -> 0
@@ -45,8 +48,11 @@ let counter_index = function
   | Wal_flushes -> 15
   | Wal_snapshots -> 16
   | Wal_replayed -> 17
+  | Net_connections -> 18
+  | Net_requests -> 19
+  | Net_outbox_dropped -> 20
 
-let n_counters = 18
+let n_counters = 21
 
 let all_counters =
   [
@@ -54,7 +60,7 @@ let all_counters =
     Slot_transitions; Word_transitions; Firings; Tcomplete_rounds;
     Undo_entries; Timer_deliveries; Lock_conflicts; Classes_registered;
     Triggers_indexed; Wal_batches; Wal_flushes; Wal_snapshots;
-    Wal_replayed;
+    Wal_replayed; Net_connections; Net_requests; Net_outbox_dropped;
   ]
 
 let counter_name = function
@@ -76,6 +82,9 @@ let counter_name = function
   | Wal_flushes -> "wal_flushes"
   | Wal_snapshots -> "wal_snapshots"
   | Wal_replayed -> "wal_replayed"
+  | Net_connections -> "net_connections"
+  | Net_requests -> "net_requests"
+  | Net_outbox_dropped -> "net_outbox_dropped"
 
 type probe = Post | Call | Commit | Action
 

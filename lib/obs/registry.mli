@@ -48,7 +48,13 @@
       window saved) [Wal]
     - [Wal_snapshots] — checkpoints (snapshot written + log truncated)
       [Wal]
-    - [Wal_replayed] — batches replayed by recovery [Wal] *)
+    - [Wal_replayed] — batches replayed by recovery [Wal]
+    - [Net_connections] — client connections accepted by the network
+      front door [Ode_net.Server]
+    - [Net_requests] — wire requests decoded and handled
+      [Ode_net.Server]
+    - [Net_outbox_dropped] — firing notifications discarded by a full
+      [drop]-policy subscriber outbox [Ode_net.Server] *)
 type counter =
   | Posts
   | Db_posts
@@ -68,6 +74,9 @@ type counter =
   | Wal_flushes
   | Wal_snapshots
   | Wal_replayed
+  | Net_connections
+  | Net_requests
+  | Net_outbox_dropped
 
 val all_counters : counter list
 val counter_name : counter -> string

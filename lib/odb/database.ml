@@ -83,61 +83,162 @@ let fresh_wal_dir () =
   Sys.remove f;
   f
 
-(* CI runs the whole suite against the WAL backend with
-   ODE_DURABILITY=wal (optionally wal:<flush_ms>), mirroring the
-   ODE_STORE_BACKEND escape hatch. *)
-let default_durability () : durability_spec =
-  match Sys.getenv_opt "ODE_DURABILITY" with
-  | None | Some "" | Some "image" -> `Image
-  | Some "wal" -> `Wal (Wal.config (fresh_wal_dir ()))
-  | Some s -> (
-    match String.index_opt s ':' with
-    | Some i when String.sub s 0 i = "wal" -> (
-      match
-        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
-      with
-      | Some ms when ms >= 0 -> `Wal (Wal.config ~flush_ms:ms (fresh_wal_dir ()))
-      | Some _ | None ->
-        Types.ode_error "ODE_DURABILITY: bad flush window in %S" s)
-    | Some _ | None -> Types.ode_error "ODE_DURABILITY: unknown backend %S" s)
+module Config = struct
+  type backpressure = Block | Drop
 
-let create_db ?start_time ?max_tcomplete_rounds ?trace_capacity ?backend
-    ?durability () =
-  (* composition root: instantiate the store and durability backends
-     here — [Types] holds both abstractly and cannot depend on [Store],
-     [Persist] or [Wal] *)
-  let spec =
-    match backend with Some s -> s | None -> Store.default_spec ()
+  type serve = {
+    host : string;
+    port : int;
+    batch_window_ms : int;
+    max_batch : int;
+    outbox_bound : int;
+    backpressure : backpressure;
+    max_frame_bytes : int;
+  }
+
+  type t = {
+    start_time : int64;
+    max_tcomplete_rounds : int;
+    trace_capacity : int;
+    backend : backend_spec;
+    durability : durability_spec;
+    post_domains : int;
+    domain_clamp : bool;
+    parallel_threshold : int;
+    dispatch_index : bool;
+    posting_kernel : bool;
+    timing : bool;
+    serve : serve;
+  }
+
+  let default_serve =
+    {
+      host = "127.0.0.1";
+      port = 7912;
+      batch_window_ms = 2;
+      max_batch = 8192;
+      outbox_bound = 1024;
+      backpressure = Block;
+      max_frame_bytes = 16 * 1024 * 1024;
+    }
+
+  (* These mirror [Types.make_db] and the engine-state initializers —
+     a bare [create_db ()] and a [create_db ~config:Config.default ()]
+     are the same database. *)
+  let default =
+    {
+      start_time = 0L;
+      max_tcomplete_rounds = 1000;
+      trace_capacity = 1024;
+      backend = `Heap;
+      durability = `Image;
+      post_domains = 1;
+      domain_clamp = true;
+      parallel_threshold = 32;
+      dispatch_index = true;
+      posting_kernel = true;
+      timing = false;
+      serve = default_serve;
+    }
+
+  (* CI runs the whole suite against the WAL backend with
+     ODE_DURABILITY=wal (optionally wal:<flush_ms>), mirroring the
+     ODE_STORE_BACKEND escape hatch. *)
+  let durability_of_env () : durability_spec =
+    match Sys.getenv_opt "ODE_DURABILITY" with
+    | None | Some "" | Some "image" -> `Image
+    | Some "wal" -> `Wal (Wal.config (fresh_wal_dir ()))
+    | Some s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "wal" -> (
+        match
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some ms when ms >= 0 ->
+          `Wal (Wal.config ~flush_ms:ms (fresh_wal_dir ()))
+        | Some _ | None ->
+          Types.ode_error "ODE_DURABILITY: bad flush window in %S" s)
+      | Some _ | None -> Types.ode_error "ODE_DURABILITY: unknown backend %S" s)
+
+  let of_env () =
+    let c =
+      {
+        default with
+        backend = Store.default_spec ();
+        durability = durability_of_env ();
+      }
+    in
+    (* the test/CI override that forces the parallel machinery on even
+       for small batches and past the core-count clamp *)
+    match Sys.getenv_opt "ODE_POST_DOMAINS" with
+    | None | Some "" -> c
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 ->
+        { c with post_domains = n; domain_clamp = false; parallel_threshold = 0 }
+      | Some n ->
+        Types.ode_error "ODE_POST_DOMAINS: domain count must be >= 1 (got %d)" n
+      | None -> Types.ode_error "ODE_POST_DOMAINS: bad domain count %S" s)
+end
+
+let create_db ?config ?start_time ?max_tcomplete_rounds ?trace_capacity
+    ?backend ?durability () =
+  (* composition root: resolve one [Config.t], then instantiate the
+     store and durability backends from it — [Types] holds both
+     abstractly and cannot depend on [Store], [Persist] or [Wal]. The
+     old optionals override their [Config] field when given. *)
+  let c = match config with Some c -> c | None -> Config.of_env () in
+  let override v field = match v with Some v -> v | None -> field in
+  let c =
+    {
+      c with
+      Config.start_time = override start_time c.Config.start_time;
+      max_tcomplete_rounds =
+        override max_tcomplete_rounds c.Config.max_tcomplete_rounds;
+      trace_capacity = override trace_capacity c.Config.trace_capacity;
+      backend = override backend c.Config.backend;
+      durability = override durability c.Config.durability;
+    }
   in
   let dur =
-    match
-      (match durability with Some d -> d | None -> default_durability ())
-    with
+    match c.Config.durability with
     | `Image -> Persist.image_backend ()
     | `Wal cfg -> Wal.backend cfg
   in
   let db =
     Types.make_db
-      ~backend:(Store.backend_of spec)
-      ?start_time ?max_tcomplete_rounds ?trace_capacity ~durability:dur ()
+      ~backend:(Store.backend_of c.Config.backend)
+      ~start_time:c.Config.start_time
+      ~max_tcomplete_rounds:c.Config.max_tcomplete_rounds
+      ~trace_capacity:c.Config.trace_capacity ~durability:dur ()
   in
-  (match Sys.getenv_opt "ODE_POST_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 ->
-          (* test/CI override: force the parallel machinery on even for
-             small batches and past the core-count clamp *)
-          Engine.set_post_domains db n;
-          Engine.set_domain_clamp db false;
-          Engine.set_parallel_threshold db 0
-      | _ -> ())
-  | None -> ());
+  Engine.set_post_domains db c.Config.post_domains;
+  Engine.set_domain_clamp db c.Config.domain_clamp;
+  Engine.set_parallel_threshold db c.Config.parallel_threshold;
+  Engine.set_dispatch_index db c.Config.dispatch_index;
+  Engine.set_posting_kernel db c.Config.posting_kernel;
+  if c.Config.timing then Ode_obs.Registry.set_timing db.Types.obs true;
   db.Types.durability.Types.dur_attach db;
   db
 
 let backend_name = Store.backend_name
 
 let durability_name (db : t) = db.Types.durability.Types.dur_name
+
+let config_summary (db : t) =
+  let onoff b = if b then "on" else "off" in
+  Printf.sprintf
+    "backend=%s durability=%s post_domains=%d domain_clamp=%s \
+     parallel_threshold=%d dispatch_index=%s posting_kernel=%s obs=%s \
+     timing=%s clock=%Ldms"
+    (backend_name db) (durability_name db) (Engine.post_domains db)
+    (onoff (Engine.domain_clamp db))
+    (Engine.parallel_threshold db)
+    (onoff (Engine.dispatch_index_enabled db))
+    (onoff (Engine.posting_kernel_enabled db))
+    (onoff (Ode_obs.Registry.enabled db.Types.obs))
+    (onoff (Ode_obs.Registry.timing db.Types.obs))
+    db.Types.wheel.Types.clock_ms
 
 let now = Timewheel.now
 let advance_clock = Timewheel.advance_clock
@@ -195,6 +296,9 @@ type subscription = Types.subscription
 
 let subscribe_firings = Engine.subscribe_firings
 let unsubscribe = Engine.unsubscribe
+
+let subscriber_count (db : t) =
+  List.length db.Types.engine.Types.subscribers
 
 (* Database-scope triggers (§3) *)
 

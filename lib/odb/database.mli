@@ -183,29 +183,119 @@ type durability_spec = [ `Image | `Wal of Wal.config ]
     from snapshot + replay after a crash). Both present the same
     {!save}/{!load} surface and identical observable behaviour. *)
 
+(** {2 The [Config] composition root}
+
+    Every knob the database (and the [odes serve] network front door
+    over it) accepts, gathered into one plain record. Historically the
+    knobs accreted as five [create_db] optionals plus post-hoc setters
+    ({!set_post_domains}, {!set_parallel_threshold},
+    {!set_domain_clamp}, {!set_posting_kernel},
+    [Ode_obs.Registry.set_timing]) plus three environment variables
+    parsed in three different places; {!Config.t} is now the single
+    source of truth. The old optionals and setters remain as thin,
+    documented shims over it. *)
+module Config : sig
+  type backpressure = Block | Drop
+  (** What a full per-subscriber firing outbox does to the server:
+      [Block] stalls posting until the client drains (lossless),
+      [Drop] discards the newest firing and counts it. *)
+
+  type serve = {
+    host : string;  (** bind address (default ["127.0.0.1"]) *)
+    port : int;  (** TCP port; [0] binds an ephemeral port *)
+    batch_window_ms : int;
+        (** how long incoming [post]s may linger before the server
+            flushes them as one [post_many] batch; [0] flushes at the
+            end of every read burst *)
+    max_batch : int;
+        (** flush regardless of window once this many events are
+            pending *)
+    outbox_bound : int;
+        (** per-subscriber cap on queued firing notifications *)
+    backpressure : backpressure;
+        (** default policy for [subscribe] requests that name none *)
+    max_frame_bytes : int;  (** cap on one wire frame's payload *)
+  }
+  (** The network front door's settings — carried here so [odes serve]
+      is configured by the same record that configures the engine it
+      serves. Ignored by {!create_db} itself. *)
+
+  type t = {
+    start_time : int64;
+    max_tcomplete_rounds : int;
+    trace_capacity : int;
+    backend : backend_spec;
+    durability : durability_spec;
+    post_domains : int;
+    domain_clamp : bool;
+    parallel_threshold : int;
+    dispatch_index : bool;
+    posting_kernel : bool;
+    timing : bool;  (** force latency histograms on — see
+        [Ode_obs.Registry.set_timing] *)
+    serve : serve;
+  }
+
+  val default_serve : serve
+  (** [127.0.0.1:7912], 2 ms batch window, 8192-event max batch,
+      1024-firing outboxes, [Block] backpressure, 16 MiB frames. *)
+
+  val default : t
+  (** The documented defaults, environment ignored: heap backend,
+      image durability, 1 post domain (clamped, threshold 32),
+      dispatch index and posting kernel on, timing off,
+      {!default_serve}. *)
+
+  val of_env : unit -> t
+  (** {!default} with the three environment overrides applied — the
+      one parser for all of them, raising {!Ode_error} with the
+      offending variable named on any malformed value:
+
+      - [ODE_STORE_BACKEND=heap|sharded|sharded:<n>] sets [backend];
+      - [ODE_DURABILITY=image|wal|wal:<flush_ms>] sets [durability]
+        ([wal] in a fresh temporary directory — how CI runs the whole
+        suite under the log);
+      - [ODE_POST_DOMAINS=<n>] sets [post_domains = n], disables
+        [domain_clamp] and zeroes [parallel_threshold] (the test/CI
+        override that forces the parallel machinery on even on a
+        small box). *)
+end
+
 val create_db :
+  ?config:Config.t ->
   ?start_time:int64 -> ?max_tcomplete_rounds:int -> ?trace_capacity:int ->
   ?backend:backend_spec -> ?durability:durability_spec -> unit -> t
-(** [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
+(** Build a database from [config] (default: {!Config.of_env} — so a
+    bare [create_db ()] honours the environment exactly as before the
+    [Config] facade existed). The remaining optionals are compatibility
+    shims: each one, when given, overrides its [config] field.
+    [max_tcomplete_rounds] (default 1000, must be >= 1) bounds the §6
     [before tcomplete] fixpoint at commit; when a commit's rounds
     exceed it, {!commit} raises {!Ode_error} naming the round count
     instead of livelocking. [trace_capacity] (default 1024, must be
-    >= 1) sizes the observability trace ring — see {!observe}.
-    [backend] defaults to {!Store.default_spec} — [`Heap], unless the
-    [ODE_STORE_BACKEND] environment variable overrides it (how CI runs
-    the whole suite against the sharded backend). [durability]
-    defaults to [`Image], unless [ODE_DURABILITY] overrides it:
-    [ODE_DURABILITY=wal] (optionally [wal:<flush_ms>]) attaches a WAL
-    in a fresh temporary directory — how CI runs the whole suite under
-    the log. The chosen backend is attached (its [dur_attach]) before
+    >= 1) sizes the observability trace ring — see {!observe}. The
+    chosen durability backend is attached (its [dur_attach]) before
     this returns: a WAL database starts logging from its very first
     commit. *)
 
+val config_summary : t -> string
+(** One operator-readable line describing what this instance {e is}:
+    backend, durability, domain/threshold settings, dispatch/kernel
+    switches, observability state and the clock — e.g.
+    ["backend=sharded:8 durability=wal:/var/ode post_domains=4 \
+     domain_clamp=on parallel_threshold=32 dispatch_index=on \
+     posting_kernel=on obs=off timing=off clock=0ms"].
+    Surfaced by [odec schema] and the server's [status] verb.
+    {!backend_name} and {!durability_name} are its two components kept
+    as standalone accessors. *)
+
 val backend_name : t -> string
-(** ["heap"] or ["sharded:<n>"]. *)
+(** ["heap"] or ["sharded:<n>"] — the [backend=] component of
+    {!config_summary}. *)
 
 val durability_name : t -> string
-(** ["image"] or ["wal:<dir>"]. *)
+(** ["image"] or ["wal:<dir>"] — the [durability=] component of
+    {!config_summary}. *)
 
 (** {1 Observability}
 
@@ -437,6 +527,11 @@ val unsubscribe : t -> subscription -> unit
 (** Remove a subscription; idempotent. Unsubscribing from inside a
     callback takes effect immediately (no further deliveries, including
     later subscribers' deliveries of the same firing batch). *)
+
+val subscriber_count : t -> int
+(** Live subscriptions — what the server's [status] verb reports, and
+    what the connection-leak tests pin (a disconnected network client
+    must take its subscription with it). *)
 
 (** {1 Database-scope triggers (§3 "events have a scope")}
 

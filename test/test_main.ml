@@ -31,4 +31,5 @@ let () =
       ("soak", Test_soak.suite);
       ("committed-integration", Test_committed_integration.suite);
       ("wal", Test_wal.suite);
+      ("net", Test_net.suite);
     ]
