@@ -10,11 +10,32 @@ type t = {
   mutable closed : bool;
 }
 
+(* Numeric addresses stay on the cheap path; anything else ("localhost",
+   a DNS name) goes through getaddrinfo rather than surfacing
+   inet_addr_of_string's bare [Failure]. *)
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    let hits =
+      try
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with Not_found -> []
+    in
+    match
+      List.find_map
+        (function
+          | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } -> Some addr
+          | _ -> None)
+        hits
+    with
+    | Some addr -> addr
+    | None -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
 let connect ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (match
-     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with
+  (match Unix.connect fd (Unix.ADDR_INET (resolve_host host, port)) with
   | () -> ()
   | exception e ->
     Unix.close fd;

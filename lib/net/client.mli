@@ -10,8 +10,14 @@
 
 type t
 
+val resolve_host : string -> Unix.inet_addr
+(** Numeric dotted-quad directly, otherwise a getaddrinfo lookup (so
+    "localhost" works). Raises [Failure] with the host name when nothing
+    resolves. *)
+
 val connect : ?host:string -> port:int -> unit -> t
-(** Raises [Unix.Unix_error] when nothing listens there. *)
+(** Raises [Unix.Unix_error] when nothing listens there and [Failure]
+    when [host] does not resolve. *)
 
 val close : t -> unit
 (** Close the socket (the server tears down the subscription and any

@@ -184,22 +184,32 @@ let of_string src =
       advance ()
     done;
     let s = String.sub src start (!pos - start) in
-    let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
-    if floaty then
+    (* a numeral that overflows to inf/nan is rejected rather than kept:
+       the printer refuses non-finite floats, so admitting one here would
+       break the parse/print round trip and turn a client-supplied
+       [1e999] into a crash at the first re-encode *)
+    let finite_float () =
       match float_of_string_opt s with
-      | Some f -> Float f
+      | Some f when Float.is_finite f -> Float f
+      | Some _ -> fail (Printf.sprintf "number %s out of range" s)
       | None -> fail (Printf.sprintf "bad number %S" s)
+    in
+    let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
+    if floaty then finite_float ()
     else
       match int_of_string_opt s with
       | Some i -> Int i
-      | None -> (
+      | None ->
         (* out of int range: degrade to float like every JSON reader *)
-        match float_of_string_opt s with
-        | Some f -> Float f
-        | None -> fail (Printf.sprintf "bad number %S" s))
+        finite_float ()
   in
-  let rec parse_value () =
+  (* recursion is bounded: a frame of nothing but '[' otherwise walks the
+     stack to Stack_overflow, which no handler between here and the
+     server's select loop catches *)
+  let max_depth = 512 in
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then fail "nesting too deep";
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '"' -> String (parse_string ())
@@ -215,7 +225,7 @@ let of_string src =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -241,7 +251,7 @@ let of_string src =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let rec fields acc =
@@ -262,7 +272,7 @@ let of_string src =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -85,7 +85,7 @@ let create ?db ~(config : D.Config.t) () =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr =
-    Unix.ADDR_INET (Unix.inet_addr_of_string scfg.D.Config.host, scfg.D.Config.port)
+    Unix.ADDR_INET (Client.resolve_host scfg.D.Config.host, scfg.D.Config.port)
   in
   (match Unix.bind listen_fd addr with
   | () -> ()
@@ -251,6 +251,13 @@ let flush_batch t =
     | exception D.Ode_error msg -> answer (`Err (P.err_ode, msg))
     | exception D.Lock_conflict oid ->
       answer (`Err (P.err_ode, Printf.sprintf "lock conflict on oid %d" oid))
+    | exception Value.Type_error msg ->
+      answer (`Err (P.err_ode, "type error: " ^ msg))
+    (* last resort: flush_batch also runs from the select loop's window
+       timer, so anything escaping here would both kill the server and
+       leave every coalesced waiter without a reply *)
+    | exception e ->
+      answer (`Err (P.err_ode, "internal error: " ^ Printexc.to_string e))
   end
 
 let due t now = t.b_n > 0 && now >= t.b_deadline
@@ -493,7 +500,12 @@ let handle_payload t conn payload =
       reply conn ~id (P.R_error (P.err_bad_request, msg))
     | Ok (id, req) ->
       let t0 = Registry.now_ns () in
-      handle_request t conn ~id req;
+      (* exception barrier: one bad request must never take down the
+         select loop — anything the verb handlers did not map to a wire
+         error themselves becomes an error reply on this connection *)
+      (try handle_request t conn ~id req
+       with e ->
+         reply conn ~id (P.R_error (P.err_ode, "internal error: " ^ Printexc.to_string e)));
       Hist.record (verb_hist t (P.verb_of_request req)) (Registry.now_ns () - t0))
 
 (* ------------------------------------------------------------------ *)
@@ -521,9 +533,15 @@ let teardown t conn =
   (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
   t.conns <- List.filter (fun c -> not (c == conn)) t.conns
 
+(* [Unix.select] is limited to fds below FD_SETSIZE (1024); past the cap
+   we stop accepting (and stop polling the listen socket), so excess
+   connection attempts wait in the kernel backlog instead of pushing an
+   fd into select's undefined range and crashing the loop. *)
+let max_conns = 960
+
 let accept_loop t =
   let continue = ref true in
-  while !continue do
+  while !continue && List.length t.conns < max_conns do
     match Unix.accept t.listen_fd with
     | fd, _addr ->
       Unix.set_nonblock fd;
@@ -608,7 +626,11 @@ let run t =
     let timeout =
       if t.b_n > 0 then Float.max 0.0 (t.b_deadline -. now) else 0.25
     in
-    let readers = t.listen_fd :: t.wake_r :: List.map (fun c -> c.c_fd) t.conns in
+    let readers =
+      let conn_fds = t.wake_r :: List.map (fun c -> c.c_fd) t.conns in
+      if List.length t.conns < max_conns then t.listen_fd :: conn_fds
+      else conn_fds
+    in
     let writers =
       List.filter_map
         (fun c -> if Queue.is_empty c.c_out then None else Some c.c_fd)

@@ -238,6 +238,29 @@ let test_nonfinite_floats () =
       | Error msg -> Alcotest.fail msg)
     [ Float.nan; Float.infinity; Float.neg_infinity; 1e-308; Float.pi; -0.0 ]
 
+(* The parser must reject what the printer refuses (numerals that
+   overflow to infinity) and bound its recursion, so no client-supplied
+   document can break the parse/print round trip or blow the stack. *)
+let test_json_limits () =
+  (match Json.of_string "1e999" with
+  | Error _ -> ()
+  | Ok j -> Alcotest.failf "1e999 parsed to %s" (Json.to_string j));
+  (match Json.of_string "[-1e999]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "-1e999 must be rejected");
+  (* out-of-int-range but finite still degrades to float *)
+  (match Json.of_string "123456789012345678901234567890" with
+  | Ok (Json.Float _) -> ()
+  | Ok j -> Alcotest.failf "big int parsed to %s" (Json.to_string j)
+  | Error msg -> Alcotest.failf "finite overflow rejected: %s" msg);
+  let deep_ok = String.make 100 '[' ^ "1" ^ String.make 100 ']' in
+  (match Json.of_string deep_ok with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 100 rejected: %s" msg);
+  match Json.of_string (String.make 200_000 '[') with
+  | Error _ -> ()  (* a parse error, crucially not Stack_overflow *)
+  | Ok _ -> Alcotest.fail "nesting bomb must fail to parse"
+
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -573,6 +596,21 @@ let test_wire_corruption () =
       | P.Reply (5, P.R_error (code, _)) ->
         Alcotest.(check string) "bad_request code" P.err_bad_request code
       | _ -> Alcotest.fail "expected a bad_request reply for id 5");
+      (* a numeral that overflows to infinity: parse error, and the
+         connection lives (this used to raise at re-encode inside the
+         error path and kill the server) *)
+      Frame.write_frame fd {|{"id":6,"verb":"post","oid":0,"event":{"kind":"create"},"args":[[1e999]]}|};
+      (match raw_recv fd with
+      | P.Reply (_, P.R_error (code, _)) ->
+        Alcotest.(check string) "overflow numeral is a parse error" P.err_parse code
+      | _ -> Alcotest.fail "expected a parse error for 1e999");
+      (* a nesting bomb inside the frame limit: parse error, not a
+         Stack_overflow through the select loop *)
+      Frame.write_frame fd (String.make 600 '[');
+      (match raw_recv fd with
+      | P.Reply (-1, P.R_error (code, _)) ->
+        Alcotest.(check string) "nesting bomb is a parse error" P.err_parse code
+      | _ -> Alcotest.fail "expected a parse error for the nesting bomb");
       raw_send fd 7 P.Status;
       (match raw_recv fd with
       | P.Reply (7, P.R_ok _) -> ()
@@ -600,6 +638,70 @@ let test_wire_corruption () =
       let c = Client.connect ~port () in
       ignore (ok (Client.request c P.Status));
       Client.close c)
+
+(* A trigger whose action passes the collected event parameter into an
+   int-typed method: posting a string arg makes the action itself blow
+   up mid-[post_many], after decode succeeded. *)
+let schema_typed =
+  {|
+  class tprobe {
+    int acc = 0;
+  public:
+    tprobe() { activate TT(); }
+    update void tick(int q) { }
+    update void bump(int x) { acc = acc + x; }
+    read int acc_of() { return acc; }
+  trigger:
+    TT() : perpetual after tick(q) ==> bump(q);
+  };
+  |}
+
+(* A failing trigger action on the transaction-free path runs inside
+   flush_batch, not inside a per-request handler: the contributing
+   client must get an error reply (not silence) and the server must
+   keep serving — previously the exception escaped the select loop and
+   killed the process. *)
+let test_action_failure_survives () =
+  let db = D.create_db () in
+  with_server ~db (fun srv port ->
+      let c = Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (ok (Client.request c (P.Schema schema_typed)));
+          let oid = jint "oid" (ok (Client.request c (P.Create ("tprobe", [])))) in
+          let tick v =
+            {
+              P.i_oid = oid;
+              i_event = Symbol.Method (Symbol.After, "tick");
+              i_args = [ v ];
+            }
+          in
+          (match Client.request c (P.Post (tick (Value.String "boom"))) with
+          | Error (code, _) ->
+            Alcotest.(check string) "action failure reported" P.err_ode code
+          | Ok j -> Alcotest.failf "bad-typed post accepted: %s" (Json.to_string j));
+          (* the failed batch answered its waiter and the loop lives:
+             a well-typed post still goes through and acts *)
+          let j = ok (Client.request c (P.Post (tick (Value.Int 4)))) in
+          Alcotest.(check int) "clean post fires" 1 (jint "firings" j);
+          Alcotest.(check int)
+            "action applied" 4
+            (jint "result" (ok (Client.request c (P.Call (oid, "acc_of", [])))));
+          Alcotest.(check int)
+            "server still reachable" 1 (Server.stats srv).Server.s_connections))
+
+(* The host argument accepts names, not just dotted quads. *)
+let test_hostname_connect () =
+  let db = D.create_db () in
+  with_server ~db (fun _srv port ->
+      let c = Client.connect ~host:"localhost" ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> ignore (ok (Client.request c P.Status))));
+  match Client.resolve_host "no-such-host.invalid" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bogus hostname must raise a descriptive Failure"
 
 (* ------------------------------------------------------------------ *)
 (* Transactions, clock and save over the wire                          *)
@@ -730,6 +832,8 @@ let test_config_overrides () =
 let suite =
   [
     Alcotest.test_case "non-finite float encoding" `Quick test_nonfinite_floats;
+    Alcotest.test_case "json rejects overflow and nesting bombs" `Quick
+      test_json_limits;
     Alcotest.test_case "incremental frame decoding" `Quick test_decoder_incremental;
     Alcotest.test_case "bad lengths poison the decoder" `Quick test_decoder_poison;
     Alcotest.test_case "blocking reads report torn frames" `Quick test_read_frame_errors;
@@ -740,6 +844,9 @@ let suite =
       test_disconnect_releases_everything;
     Alcotest.test_case "corrupt frames: survive or hang up per contract" `Quick
       test_wire_corruption;
+    Alcotest.test_case "failing trigger action: error reply, server lives" `Quick
+      test_action_failure_survives;
+    Alcotest.test_case "hostnames resolve" `Quick test_hostname_connect;
     Alcotest.test_case "transactions, clock and save over the wire" `Quick
       test_wire_txn;
     Alcotest.test_case "Config.of_env parses and rejects" `Quick test_config_of_env;
