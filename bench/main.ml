@@ -1037,8 +1037,13 @@ let smoke () =
      exactly like a 1-domain rerun of the same workload, on a uniform
      batch and on an 80/20 hot-key-skewed one. Clamp and threshold are
      lifted so the pool machinery really runs even on a 1-core box. *)
-  let batch_firings ~contended domains =
-    let db = D.create_db ~backend:(`Sharded 4) () in
+  let batch_firings ?(partitions = 1) ~contended domains =
+    let db =
+      D.create_db
+        ~config:
+          { D.Config.default with D.Config.backend = `Sharded 4; partitions }
+        ()
+    in
     D.set_post_domains db domains;
     D.set_domain_clamp db false;
     D.set_parallel_threshold db 0;
@@ -1089,6 +1094,15 @@ let smoke () =
     "smoke ok (sharded post_many: %d/%d firings at 1/2 domains uniform, \
      %d/%d contended).@."
     f1 f2 c1 c2;
+  (* partitioned post_many: an oid-sliced engine group must fire exactly
+     like the single engine on the same batches *)
+  let p2 = batch_firings ~partitions:2 ~contended:true 2
+  and p4 = batch_firings ~partitions:4 ~contended:true 1 in
+  if p2 <> 40 || p4 <> 40 then
+    failwith
+      (Printf.sprintf "smoke: partitioned post_many fired %d/%d (want 40/40)"
+         p2 p4);
+  pf "partition smoke ok (40/40 firings at 2/4 partitions).@.";
   (* WAL crash-injection smoke: 50 randomized kill points over a logged
      workload must each recover to the exact shadow image captured when
      the last surviving batch was emitted (the full 500-point harness
@@ -1520,6 +1534,121 @@ let e15_serve () =
   pf "wrote BENCH_serve.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E16-partition: post_many throughput vs partition count               *)
+(* ------------------------------------------------------------------ *)
+
+(* The E11-shard workload through an oid-sliced engine group: 256
+   objects x 4 perpetual never-completing triggers, one ping per object
+   per batch, zero firings — measured at 1/2/4 partitions on two batch
+   shapes. [uniform] spreads the batch round-robin over the members
+   (oids are allocated round-robin); [hot] routes every event to
+   objects of one member, the worst-case skew, so the row pair bounds
+   what routing costs and what slicing buys. Partitioning is observably
+   transparent (test/test_partition.ml proves bit-identical images);
+   this experiment prices it. Emits BENCH_partition.json. *)
+let e16_partition () =
+  section "E16-partition: post_many throughput vs partition count";
+  let module D = Ode_odb.Database in
+  let module Sym = Ode_event.Symbol in
+  let n_objects = shard_n_objects in
+  let triggers_per_obj = shard_triggers_per_obj in
+  let mk partitions =
+    let config =
+      { D.Config.default with D.Config.backend = `Sharded shard_count; partitions }
+    in
+    let db = D.create_db ~config () in
+    let b = D.define_class "c" in
+    let b = D.field b "x" (Value.Int 1) in
+    let rec add b i =
+      if i >= triggers_per_obj then b
+      else
+        add
+          (D.trigger_str b ~perpetual:true
+             (Printf.sprintf "t%d" i)
+             ~event:
+               (if i mod 2 = 0 then "after ping ; after never"
+                else "after ping && x > 0 ; after never")
+             ~action:(fun _ _ -> ()))
+          (i + 1)
+    in
+    D.register_class db (add b 0);
+    match
+      D.with_txn db (fun _ ->
+          List.init n_objects (fun _ ->
+              let oid = D.create db "c" [] in
+              for i = 0 to triggers_per_obj - 1 do
+                D.activate db oid (Printf.sprintf "t%d" i) []
+              done;
+              oid))
+    with
+    | Ok oids -> (db, oids)
+    | Error `Aborted -> failwith "abort"
+  in
+  let measure ~hot partitions =
+    let db, oids = mk partitions in
+    let targets =
+      if not hot then oids
+      else
+        (* every event on one member's slice *)
+        match List.filter (fun o -> o mod partitions = 0) oids with
+        | [] -> oids
+        | hots ->
+          let n = List.length hots in
+          List.init n_objects (fun i -> List.nth hots (i mod n))
+    in
+    let items =
+      List.map (fun oid -> (oid, Sym.Method (Sym.After, "ping"), [])) targets
+    in
+    let tx = D.begin_txn db in
+    ignore (D.post_many db items) (* warm-up batch pays the tbegin posts *);
+    let ns = measure_ns (fun () -> ignore (D.post_many db items)) in
+    (match D.commit db tx with Ok () | Error `Aborted -> ());
+    D.shutdown_pool db;
+    ns /. float_of_int n_objects
+  in
+  let counts = [ 1; 2; 4 ] in
+  let rows =
+    List.concat_map
+      (fun p -> [ (p, "uniform", measure ~hot:false p); (p, "hot", measure ~hot:true p) ])
+      counts
+  in
+  pf "objects=%d triggers/object=%d shards/member=%d@." n_objects
+    triggers_per_obj shard_count;
+  pf "%-12s %-10s %16s %18s@." "partitions" "batch" "ns/event" "events/sec";
+  List.iter
+    (fun (p, shape, ns) ->
+      pf "%-12d %-10s %16.0f %18.0f@." p shape ns (1e9 /. ns))
+    rows;
+  pf "shape: routing adds one owner lookup per event; a hot-key batch lands\n\
+      every event on one member and forfeits the slicing.@.";
+  let oc = open_out "BENCH_partition.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E16-partition\",\n";
+  p "  \"unit\": \"ns per posted event (classify+step dominated, zero firings)\",\n";
+  p
+    "  \"description\": \"post_many through an oid-sliced engine group (%d \
+     shards per member): %d objects x %d perpetual never-completing triggers, \
+     one ping per object per batch; uniform spreads the batch over the \
+     members, hot routes it all to one member\",\n"
+    shard_count n_objects triggers_per_obj;
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (parts, shape, ns) ->
+      p
+        "    {\"partitions\": %d, \"batch\": \"%s\", \"ns_per_event\": %.0f, \
+         \"events_per_sec\": %.0f}%s\n"
+        parts shape ns (1e9 /. ns)
+        (if i = last then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  pf "wrote BENCH_partition.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1649,7 +1778,7 @@ let () =
       ("e7", e7); ("e8", e8); ("e9", e9); ("e9d", e9_dispatch); ("e10", e10);
       ("e10o", e10_obs); ("e11", e11); ("e11s", e11_shard); ("e12", e12);
       ("e12k", e12_kernel); ("e14w", e14_wal); ("e15s", e15_serve);
-      ("micro", bechamel_suite); ("smoke", smoke) ]
+      ("e16p", e16_partition); ("micro", bechamel_suite); ("smoke", smoke) ]
   in
   let selected =
     match List.tl (Array.to_list Sys.argv) with

@@ -348,6 +348,20 @@ let handle_request t conn ~id (req : P.request) =
     t.b_n <- t.b_n + 1;
     t.b_waiters <- (conn, id, 1) :: t.b_waiters;
     if t.b_n >= t.scfg.D.Config.max_batch then flush_batch t
+  | P.Post_many [] when conn.c_txn = None ->
+    (* a true no-op: answered on the spot — enrolling a zero-item waiter
+       would wait on a window that [due] never opens (it watches
+       [b_n > 0]), and routing it through the flush would spend a
+       server transaction (and a WAL batch record) on posting nothing.
+       [batch = 0] marks "joined no batch". *)
+    reply conn ~id
+      (P.R_ok
+         (Json.Obj
+            [
+              ("batch", Json.Int 0);
+              ("queued", Json.Int 0);
+              ("firings", Json.Int 0);
+            ]))
   | P.Post_many its when conn.c_txn = None ->
     if t.b_n = 0 then t.b_deadline <- Unix.gettimeofday () +. window_s t;
     List.iter

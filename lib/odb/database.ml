@@ -102,6 +102,7 @@ module Config = struct
     trace_capacity : int;
     backend : backend_spec;
     durability : durability_spec;
+    partitions : int;
     post_domains : int;
     domain_clamp : bool;
     parallel_threshold : int;
@@ -132,6 +133,7 @@ module Config = struct
       trace_capacity = 1024;
       backend = `Heap;
       durability = `Image;
+      partitions = 1;
       post_domains = 1;
       domain_clamp = true;
       parallel_threshold = 32;
@@ -168,6 +170,20 @@ module Config = struct
         durability = durability_of_env ();
       }
     in
+    (* CI also runs the suite partitioned: ODE_PARTITIONS=n slices
+       every database created through the env path into an n-member
+       engine group *)
+    let c =
+      match Sys.getenv_opt "ODE_PARTITIONS" with
+      | None | Some "" -> c
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> { c with partitions = n }
+        | Some n ->
+          Types.ode_error "ODE_PARTITIONS: partition count must be >= 1 (got %d)"
+            n
+        | None -> Types.ode_error "ODE_PARTITIONS: bad partition count %S" s)
+    in
     (* the test/CI override that forces the parallel machinery on even
        for small batches and past the core-count clamp *)
     match Sys.getenv_opt "ODE_POST_DOMAINS" with
@@ -200,17 +216,36 @@ let create_db ?config ?start_time ?max_tcomplete_rounds ?trace_capacity
       durability = override durability c.Config.durability;
     }
   in
-  let dur =
-    match c.Config.durability with
-    | `Image -> Persist.image_backend ()
-    | `Wal cfg -> Wal.backend cfg
-  in
+  let partitions = c.Config.partitions in
+  if partitions < 1 then
+    Types.ode_error "partition count must be >= 1 (got %d)" partitions;
   let db =
-    Types.make_db
-      ~backend:(Store.backend_of c.Config.backend)
-      ~start_time:c.Config.start_time
-      ~max_tcomplete_rounds:c.Config.max_tcomplete_rounds
-      ~trace_capacity:c.Config.trace_capacity ~durability:dur ()
+    if partitions = 1 then
+      let dur =
+        match c.Config.durability with
+        | `Image -> Persist.image_backend ()
+        | `Wal cfg -> Wal.backend cfg
+      in
+      Types.make_db
+        ~backend:(Store.backend_of c.Config.backend)
+        ~start_time:c.Config.start_time
+        ~max_tcomplete_rounds:c.Config.max_tcomplete_rounds
+        ~trace_capacity:c.Config.trace_capacity ~durability:dur ()
+    else begin
+      (* a fresh backend instance per member — never shared *)
+      let db =
+        Engine_group.make
+          ~backend_of:(fun _ -> Store.backend_of c.Config.backend)
+          ~partitions ~start_time:c.Config.start_time
+          ~max_tcomplete_rounds:c.Config.max_tcomplete_rounds
+          ~trace_capacity:c.Config.trace_capacity ()
+      in
+      db.Types.durability <-
+        (match c.Config.durability with
+        | `Image -> Engine_group.image_backend ()
+        | `Wal cfg -> Engine_group.wal_backend ~partitions cfg);
+      db
+    end
   in
   Engine.set_post_domains db c.Config.post_domains;
   Engine.set_domain_clamp db c.Config.domain_clamp;
@@ -224,14 +259,16 @@ let create_db ?config ?start_time ?max_tcomplete_rounds ?trace_capacity
 let backend_name = Store.backend_name
 
 let durability_name (db : t) = db.Types.durability.Types.dur_name
+let partitions (db : t) = Types.n_partitions db
 
 let config_summary (db : t) =
   let onoff b = if b then "on" else "off" in
   Printf.sprintf
-    "backend=%s durability=%s post_domains=%d domain_clamp=%s \
+    "backend=%s durability=%s partitions=%d post_domains=%d domain_clamp=%s \
      parallel_threshold=%d dispatch_index=%s posting_kernel=%s obs=%s \
      timing=%s clock=%Ldms"
-    (backend_name db) (durability_name db) (Engine.post_domains db)
+    (backend_name db) (durability_name db) (partitions db)
+    (Engine.post_domains db)
     (onoff (Engine.domain_clamp db))
     (Engine.parallel_threshold db)
     (onoff (Engine.dispatch_index_enabled db))
@@ -243,7 +280,7 @@ let config_summary (db : t) =
 let now = Timewheel.now
 let advance_clock = Timewheel.advance_clock
 let advance_to = Timewheel.advance_to
-let image_bytes = Persist.image_bytes
+let image_bytes = Persist.group_image_bytes
 let save (db : t) path = db.Types.durability.Types.dur_save db path
 let load (db : t) path = db.Types.durability.Types.dur_load db path
 let recover (db : t) = db.Types.durability.Types.dur_recover db

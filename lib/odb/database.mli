@@ -226,6 +226,9 @@ module Config : sig
     trace_capacity : int;
     backend : backend_spec;
     durability : durability_spec;
+    partitions : int;
+        (** engine members slicing the database by oid ([oid mod n]);
+            1 = the classic single engine. See [Engine_group]. *)
     post_domains : int;
     domain_clamp : bool;
     parallel_threshold : int;
@@ -242,12 +245,12 @@ module Config : sig
 
   val default : t
   (** The documented defaults, environment ignored: heap backend,
-      image durability, 1 post domain (clamped, threshold 32),
-      dispatch index and posting kernel on, timing off,
-      {!default_serve}. *)
+      image durability, 1 partition, 1 post domain (clamped,
+      threshold 32), dispatch index and posting kernel on, timing
+      off, {!default_serve}. *)
 
   val of_env : unit -> t
-  (** {!default} with the three environment overrides applied — the
+  (** {!default} with the four environment overrides applied — the
       one parser for all of them, raising {!Ode_error} with the
       offending variable named on any malformed value:
 
@@ -255,6 +258,8 @@ module Config : sig
       - [ODE_DURABILITY=image|wal|wal:<flush_ms>] sets [durability]
         ([wal] in a fresh temporary directory — how CI runs the whole
         suite under the log);
+      - [ODE_PARTITIONS=<n>] sets [partitions] (how CI runs the whole
+        suite partitioned);
       - [ODE_POST_DOMAINS=<n>] sets [post_domains = n], disables
         [domain_clamp] and zeroes [parallel_threshold] (the test/CI
         override that forces the parallel machinery on even on a
@@ -280,11 +285,12 @@ val create_db :
 
 val config_summary : t -> string
 (** One operator-readable line describing what this instance {e is}:
-    backend, durability, domain/threshold settings, dispatch/kernel
-    switches, observability state and the clock — e.g.
-    ["backend=sharded:8 durability=wal:/var/ode post_domains=4 \
-     domain_clamp=on parallel_threshold=32 dispatch_index=on \
-     posting_kernel=on obs=off timing=off clock=0ms"].
+    backend, durability, partition count, domain/threshold settings,
+    dispatch/kernel switches, observability state and the clock — e.g.
+    ["backend=sharded:8 durability=wal:/var/ode partitions=2 \
+     post_domains=4 domain_clamp=on parallel_threshold=32 \
+     dispatch_index=on posting_kernel=on obs=off timing=off \
+     clock=0ms"].
     Surfaced by [odec schema] and the server's [status] verb.
     {!backend_name} and {!durability_name} are its two components kept
     as standalone accessors. *)
@@ -296,6 +302,13 @@ val backend_name : t -> string
 val durability_name : t -> string
 (** ["image"] or ["wal:<dir>"] — the [durability=] component of
     {!config_summary}. *)
+
+val partitions : t -> int
+(** How many engine members slice this database (1 unless
+    [Config.partitions] asked for a group) — the [partitions=]
+    component of {!config_summary}. Partitioning is observably
+    transparent: firings, their order, counters and {!image_bytes}
+    are identical at any partition count. *)
 
 (** {1 Observability}
 

@@ -63,12 +63,17 @@ let set_posting_kernel db flag = db.engine.use_posting_kernel <- flag
 let posting_kernel_enabled db = db.engine.use_posting_kernel
 let use_kernel db = db.engine.use_posting_kernel && use_index db
 
-(* Per-shard scratch buffers, built on first kernel post. The shard
-   count is fixed at database creation, so the array never resizes. *)
+(* Per-lane scratch buffers, built on first kernel post. A lane is a
+   (partition member, shard) pair — just a shard when unpartitioned —
+   and the lane count is fixed at database creation, so the array never
+   resizes. Each scratch is built against its lane's member (lookups
+   route group-wide either way; the siting keeps lane tasks touching
+   only their member's slice). *)
 let ensure_scratch db =
   if Array.length db.engine.scratch = 0 then
     db.engine.scratch <-
-      Array.init (Store.shards db) (fun _ -> Store.make_scratch db);
+      Array.init (Store.lanes db) (fun l ->
+          Store.make_scratch (Store.member_of_lane db l));
   db.engine.scratch
 
 (* Retire a scratch's accumulated counter bumps to the registry: one
@@ -499,7 +504,7 @@ let post db tx obj (basic : Symbol.basic) args =
   end;
   let result =
     if use_kernel db then begin
-      let sc = (ensure_scratch db).(Store.shard_of db obj.o_id) in
+      let sc = (ensure_scratch db).(Store.lane_of db obj.o_id) in
       let undo = ref [] in
       let merge () =
         if !undo <> [] then begin
@@ -561,6 +566,67 @@ let post db tx obj (basic : Symbol.basic) args =
   if timed then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
   result
 
+(* Packed-code classification with the same once-per-distinct-detector
+   sharing (and first-user mask-failure attribution) as
+   [classify_cached], for the partition forwarding path below. *)
+let classify_code_cached cache detector ~env occurrence =
+  let rec find n = function
+    | [] -> Error n
+    | (d, c) :: rest -> if d == detector then Ok c else find (n + 1) rest
+  in
+  match find 0 !cache with
+  | Ok c -> c
+  | Error n ->
+    let c = Detector.classify_code detector ~env occurrence in
+    if n < classify_cache_cap then cache := (detector, c) :: !cache;
+    c
+
+(* Step one database-scope activation from a forwarded packed code —
+   [step_activation] with the classification already collapsed to an
+   int. Database triggers are always Full_history mode, so no undo
+   snapshots are ever due; every probe mirrors [step_activation]
+   exactly (the partition-equivalence suite pins the counters). *)
+let step_db_code db (at : active_trigger) ~env code occurrence =
+  let obs = db.obs in
+  let on = Registry.enabled obs in
+  let det = at.at_def.t_detector in
+  try
+    let relevant = Detector.code_relevant code in
+    if relevant then
+      (match Detector.collect_code det code occurrence with
+      | [] -> ()
+      | bindings ->
+        List.iter
+          (fun (name, v) ->
+            at.at_collected <-
+              (name, v) :: List.remove_assoc name at.at_collected)
+          bindings);
+    (match at.at_provenance with
+    | Some prov ->
+      at.at_last_witnesses <- Ode_event.Provenance.post prov ~env occurrence
+    | None -> ());
+    let old_top = if on then at_top_state at else 0 in
+    let r =
+      match at.at_state with
+      | S_words w -> Detector.post_code det w ~env code
+      | S_slot (blk, slot) ->
+        Detector.post_code_slot det blk.blk_state (slot * blk.blk_words) ~env
+          code
+    in
+    if on && relevant then begin
+      Registry.incr obs Registry.Transitions;
+      Registry.incr obs
+        (match at.at_state with
+        | S_slot _ -> Registry.Slot_transitions
+        | S_words _ -> Registry.Word_transitions);
+      Registry.span obs
+        (Trace.Advanced
+           { scope = Trace.Db; trigger = at.at_def.t_name;
+             old_state = old_top; new_state = at_top_state at })
+    end;
+    r
+  with Mask.Eval_error msg -> mask_error at msg
+
 let post_db db (basic : Symbol.basic) args =
   let obs = db.obs in
   let on = Registry.enabled obs in
@@ -582,20 +648,52 @@ let post_db db (basic : Symbol.basic) args =
   | [] -> ()
   | candidates ->
     let occurrence = { Symbol.basic; args; at = db.wheel.clock_ms } in
-    let env = Store.db_mask_env db in
-    let classified = classify_phase ~env occurrence candidates in
-    (* database triggers are always Full_history mode, so the step phase
-       takes no undo snapshots; the throwaway segment keeps one code path *)
-    let fired =
-      List.filter_map
-        (fun (at, c) ->
-          if step_activation db ~undo:(ref []) ~scope:Trace.Db at ~env c
-               occurrence
-          then Some at
-          else None)
-        classified
-    in
     let affected = match args with Value.Oid o :: _ -> o | _ -> 0 in
+    let fired =
+      match db.part with
+      | None ->
+        let env = Store.db_mask_env db in
+        let classified = classify_phase ~env occurrence candidates in
+        (* database triggers are always Full_history mode, so the step
+           phase takes no undo snapshots; the throwaway segment keeps
+           one code path *)
+        List.filter_map
+          (fun (at, c) ->
+            if
+              step_activation db ~undo:(ref []) ~scope:Trace.Db at ~env c
+                occurrence
+            then Some at
+            else None)
+          classified
+      | Some _ ->
+        (* Partitioned: the cross-partition composite path. The event
+           is classified {e at its origin} — the member owning the
+           affected oid, whose mask environment sees that member's
+           slice directly (dereferences still route group-wide) — into
+           one packed int code per distinct detector, and the codes are
+           forwarded to the facade-owned automaton slots and stepped
+           there. Same classify-all-then-step-all hoisting as
+           [classify_phase]. *)
+        let origin = Types.owner_db db affected in
+        let env = Store.db_mask_env origin in
+        let cache = ref [] in
+        let coded =
+          List.map
+            (fun (at : active_trigger) ->
+              let code =
+                try
+                  classify_code_cached cache at.at_def.t_detector ~env
+                    occurrence
+                with Mask.Eval_error msg -> mask_error at msg
+              in
+              (at, code))
+            candidates
+        in
+        List.filter_map
+          (fun (at, code) ->
+            if step_db_code db at ~env code occurrence then Some at else None)
+          coded
+    in
     List.iter
       (fun at ->
         if not at.at_def.t_perpetual then set_trigger_active None at false;
@@ -823,7 +921,7 @@ let ensure_pool db ~size =
    or backend, and equals the 1-domain sequential sweep by
    construction. Dead or missing oids are skipped, like [system_post].
    Returns the number of firings. *)
-let post_many db items =
+let post_many_nonempty db items =
   let tx = Txn.require_txn db in
   let obs = db.obs in
   let on = Registry.enabled obs in
@@ -861,10 +959,11 @@ let post_many db items =
   in
   let resolved = Array.of_list resolved in
   let n = Array.length resolved in
-  let nsh = Store.shards db in
-  (* Still phase 0: route each event to its shard's queue — a counting
+  let nsh = Store.lanes db in
+  (* Still phase 0: route each event to its lane's queue (owner member
+     × member shard; just the shard when unpartitioned) — a counting
      sort of item indices into reusable engine buffers, one int per
-     event and no closures — so a shard task walks only its own events
+     event and no closures — so a lane task walks only its own events
      instead of filtering the whole batch. *)
   let eng = db.engine in
   if Array.length eng.q_off < nsh + 1 then begin
@@ -879,7 +978,7 @@ let post_many db items =
   Array.fill q_off 0 (nsh + 1) 0;
   for i = 0 to n - 1 do
     let obj, _ = resolved.(i) in
-    let s = Store.shard_of db obj.o_id in
+    let s = Store.lane_of db obj.o_id in
     q_off.(s + 1) <- q_off.(s + 1) + 1
   done;
   for s = 0 to nsh - 1 do
@@ -888,7 +987,7 @@ let post_many db items =
   done;
   for i = 0 to n - 1 do
     let obj, _ = resolved.(i) in
-    let s = Store.shard_of db obj.o_id in
+    let s = Store.lane_of db obj.o_id in
     q_items.(q_cur.(s)) <- i;
     q_cur.(s) <- q_cur.(s) + 1
   done;
@@ -984,6 +1083,17 @@ let post_many db items =
   done;
   if timed then Registry.record_ns obs Registry.Post (Registry.now_ns () - t0);
   !count
+
+(* An empty batch is a true no-op past the open-transaction check: no
+   queue rebuild, no scratch, no pool wake — and, for callers batching
+   at a durability boundary, nothing marks the transaction dirty, so a
+   barrier-only wire flush emits no WAL record. *)
+let post_many db items =
+  if items = [] then begin
+    ignore (Txn.require_txn db);
+    0
+  end
+  else post_many_nonempty db items
 
 let create db cname args =
   let tx = Txn.require_txn db in

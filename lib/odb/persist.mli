@@ -39,7 +39,22 @@ val image_bytes : db -> string
 val load_image : db -> string -> unit
 (** [load] from in-memory bytes: parse fully, then reset the heap and
     install. A [Codec.Corrupt] raised during the parse leaves the
-    database untouched. *)
+    database untouched. Member-local for a partition member (its WAL
+    recovery restores only its own slice); see {!group_load_image}. *)
+
+(** {1 Partition-group images}
+
+    A partitioned database ([Engine_group]) holds its heap and timer
+    queue spread over member slices. The group writers below merge the
+    slices back into ascending-oid / (due, seq) order, so the merged
+    image is byte-identical to what a single-engine run of the same
+    history would save — and they collapse to the plain functions when
+    the db is unpartitioned. *)
+
+val group_image_bytes : db -> string
+val group_load_image : db -> string -> unit
+val group_save : db -> string -> unit
+val group_load : db -> string -> unit
 
 val write_obj : Ode_base.Codec.writer -> obj -> unit
 (** Serialize one object: oid, class name, sorted fields, sorted

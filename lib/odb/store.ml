@@ -144,6 +144,32 @@ let shards db = db.store.backend.sb_shards
 let shard_of db oid = db.store.backend.sb_shard_of oid
 
 (* ------------------------------------------------------------------ *)
+(* Partition lanes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's batch pipeline parallelises over {e lanes}: one lane
+   per (partition member, member shard) pair, so a lane task touches
+   exactly one member's slice of one shard — the same no-shared-state
+   guarantee the single-engine pipeline gets from shards alone. For an
+   unpartitioned db a lane {e is} a shard, so the single-engine queue
+   layout (and with it every equivalence baseline) is unchanged. *)
+
+let lanes db = Types.n_partitions db * shards db
+
+let lane_of db oid =
+  match db.part with
+  | None -> shard_of db oid
+  | Some p ->
+    let k = oid mod Array.length p.p_members in
+    let m = p.p_members.(k) in
+    (k * m.store.backend.sb_shards) + m.store.backend.sb_shard_of oid
+
+let member_of_lane db lane =
+  match db.part with
+  | None -> db
+  | Some p -> p.p_members.(lane / db.store.backend.sb_shards)
+
+(* ------------------------------------------------------------------ *)
 (* Heap operations on the database                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -153,9 +179,18 @@ let shard_of db oid = db.store.backend.sb_shard_of oid
    happens in the sequential phases of the pipeline (object creation is
    never parallelised), so the counter needs no synchronisation. *)
 let alloc_oid db =
-  let oid = db.store.next_oid in
-  db.store.next_oid <- oid + 1;
-  oid
+  match db.part with
+  | None ->
+    let oid = db.store.next_oid in
+    db.store.next_oid <- oid + 1;
+    oid
+  | Some p ->
+    (* one group-wide counter, mirrored into every member so each
+       member's WAL batches carry the same [next_oid] the single-engine
+       run would log *)
+    let oid = p.p_members.(0).store.next_oid in
+    Array.iter (fun m -> m.store.next_oid <- oid + 1) p.p_members;
+    oid
 
 let new_obj k oid =
   let obj =
@@ -189,6 +224,7 @@ let new_obj k oid =
    removal). *)
 
 let soa_slot db oid (det : Ode_event.Detector.t) =
+  let db = Types.owner_db db oid in
   let tbl = db.store.soa.(shard_of db oid) in
   let w = Ode_event.Detector.n_state_words det in
   let blk =
@@ -236,12 +272,15 @@ let free_obj_slots obj = Hashtbl.iter (fun _ at -> free_at_state at) obj.o_trigg
 
 (* The live-object count is maintained at the four mutation points
    (add, remove, delete-mark, undelete-mark) so [stats] and [cardinal
-   ~live:true] are O(1) instead of a heap scan. *)
+   ~live:true] are O(1) instead of a heap scan. Each mutation routes to
+   the oid's owning member first, so per-member counts stay exact. *)
 let add_obj db obj =
+  let db = Types.owner_db db obj.o_id in
   db.store.backend.sb_add obj;
   if not obj.o_deleted then db.store.n_live <- db.store.n_live + 1
 
 let remove_obj db oid =
+  let db = Types.owner_db db oid in
   match db.store.backend.sb_find oid with
   | None -> ()
   | Some o ->
@@ -252,25 +291,35 @@ let remove_obj db oid =
 let mark_deleted db obj =
   if not obj.o_deleted then begin
     obj.o_deleted <- true;
+    let db = Types.owner_db db obj.o_id in
     db.store.n_live <- db.store.n_live - 1
   end
 
 let unmark_deleted db obj =
   if obj.o_deleted then begin
     obj.o_deleted <- false;
+    let db = Types.owner_db db obj.o_id in
     db.store.n_live <- db.store.n_live + 1
   end
 
+(* Member-local on purpose: [Persist.load_image] resets one member's
+   slice before reinstalling it; group-wide resets walk the members. *)
 let reset_heap db =
   db.store.backend.sb_reset ();
   Array.iter Hashtbl.reset db.store.soa;
   db.store.n_live <- 0
 
-let find_obj db oid = db.store.backend.sb_find oid
-let mem db oid = db.store.backend.sb_mem oid
+let find_obj db oid = (Types.owner_db db oid).store.backend.sb_find oid
+let mem db oid = (Types.owner_db db oid).store.backend.sb_mem oid
 
 let cardinal ?(live = false) db =
-  if live then db.store.n_live else db.store.backend.sb_cardinal ()
+  match db.part with
+  | None -> if live then db.store.n_live else db.store.backend.sb_cardinal ()
+  | Some p ->
+    Array.fold_left
+      (fun acc m ->
+        acc + if live then m.store.n_live else m.store.backend.sb_cardinal ())
+      0 p.p_members
 
 let live_obj db oid =
   match find_obj db oid with
@@ -288,23 +337,37 @@ let exists db oid =
 
 let class_of db oid = (live_obj db oid).o_class.k_name
 
+(* Raw backend enumeration is deliberately {e member-local}: a
+   partition member's WAL checkpoints snapshot only its own slice.
+   Group-wide listings ([objects], [objects_of_class], [stats]) walk
+   [members] explicitly; the merged-image writer in [Persist] does its
+   own oid-order merge of the member slices. *)
 let fold_objects f db init = db.store.backend.sb_fold f init
 let iter_objects f db = db.store.backend.sb_iter f
+let members db = match db.part with Some p -> p.p_members | None -> [| db |]
 
 (* Enumeration contract: ascending oid, whatever the backend's internal
    order. Folding a hashtable (or a shard array of them) enumerates in
    hash order, which must never leak — commit/abort fan-out and persist
-   snapshots would otherwise depend on the backend. *)
+   snapshots would otherwise depend on the backend (or on the partition
+   count). *)
 let objects db =
-  fold_objects (fun o acc -> if o.o_deleted then acc else o.o_id :: acc) db []
+  Array.fold_left
+    (fun acc m ->
+      fold_objects (fun o acc -> if o.o_deleted then acc else o.o_id :: acc) m
+        acc)
+    [] (members db)
   |> List.sort compare
 
 let objects_of_class db cname =
-  fold_objects
-    (fun o acc ->
-      if (not o.o_deleted) && o.o_class.k_name = cname then o.o_id :: acc
-      else acc)
-    db []
+  Array.fold_left
+    (fun acc m ->
+      fold_objects
+        (fun o acc ->
+          if (not o.o_deleted) && o.o_class.k_name = cname then o.o_id :: acc
+          else acc)
+        m acc)
+    [] (members db)
   |> List.sort compare
 
 let live_objects db =
@@ -385,7 +448,7 @@ let db_mask_env db : Mask.env =
 
 let enable_history db ~limit =
   if limit < 0 then ode_error "history limit must be >= 0";
-  db.store.history_limit <- limit
+  Array.iter (fun m -> m.store.history_limit <- limit) (members db)
 
 let record_history db tx obj occurrence =
   if db.store.history_limit > 0 then begin
@@ -442,15 +505,20 @@ let undo_state_bytes db =
 let stats db =
   let n_active = ref 0 in
   let state_bytes = ref 0 in
-  iter_objects
-    (fun obj ->
-      if not obj.o_deleted then
-        Hashtbl.iter
-          (fun _ at ->
-            if at.at_active then incr n_active;
-            state_bytes := !state_bytes + activation_bytes at)
-          obj.o_triggers)
-    db;
+  let n_timers = ref 0 in
+  Array.iter
+    (fun m ->
+      iter_objects
+        (fun obj ->
+          if not obj.o_deleted then
+            Hashtbl.iter
+              (fun _ at ->
+                if at.at_active then incr n_active;
+                state_bytes := !state_bytes + activation_bytes at)
+              obj.o_triggers)
+        m;
+      n_timers := !n_timers + List.length m.wheel.timers)
+    (members db);
   Hashtbl.iter
     (fun _ at -> state_bytes := !state_bytes + activation_bytes at)
     db.engine.db_triggers;
@@ -458,6 +526,6 @@ let stats db =
     n_objects = cardinal ~live:true db;
     n_classes = Hashtbl.length db.schema.classes;
     n_active_triggers = !n_active;
-    n_timers = List.length db.wheel.timers;
+    n_timers = !n_timers;
     state_bytes = !state_bytes + undo_state_bytes db;
   }

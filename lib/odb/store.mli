@@ -91,6 +91,27 @@ val backend_name : db -> string
 val shards : db -> int
 val shard_of : db -> oid -> int
 
+(** {1 Partition lanes}
+
+    An oid-partitioned engine group ([Engine_group]) gives the batch
+    pipeline one {e lane} per (member, member-shard) pair; a lane task
+    touches exactly one member's slice of one shard. Unpartitioned, a
+    lane is a shard and all three collapse to the plain accessors. *)
+
+val lanes : db -> int
+(** [n_partitions * shards] parallelisable slices. *)
+
+val lane_of : db -> oid -> int
+(** Which lane steps this oid's automata; constant for an object's
+    lifetime ([owner * shards + owner's shard]). *)
+
+val member_of_lane : db -> int -> db
+(** The partition member whose store slice backs a lane. *)
+
+val members : db -> db array
+(** The partition members in owner order, [[| db |]] when
+    unpartitioned — what group-wide walks iterate. *)
+
 (** {1 Heap operations} *)
 
 val alloc_oid : db -> oid

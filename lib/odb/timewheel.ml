@@ -20,10 +20,27 @@ let set_deliver_hook f = deliver_hook := f
 (* Timer queue                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Fresh insertion-order stamp, allocated from the facade wheel so the
+   stream is group-wide: equal-due timers scattered across partition
+   member wheels replay in exactly the single-queue order when
+   [advance_to] merges by (due, seq). *)
+let fresh_seq db =
+  let pr = Types.primary db in
+  let s = pr.wheel.tm_next_seq in
+  pr.wheel.tm_next_seq <- s + 1;
+  s
+
+(* Inserts into the wheel of the member owning [tm.tm_oid], keeping
+   that queue sorted by (due, seq). The caller provides the stamp:
+   fresh for new arms and re-arms (insertion order), the persisted one
+   when reloading an image. *)
 let insert_timer db tm =
+  let db = Types.owner_db db tm.tm_oid in
   let rec ins = function
     | [] -> [ tm ]
-    | t :: rest when t.tm_due <= tm.tm_due -> t :: ins rest
+    | t :: rest
+      when t.tm_due < tm.tm_due
+           || (t.tm_due = tm.tm_due && t.tm_seq <= tm.tm_seq) -> t :: ins rest
     | rest -> tm :: rest
   in
   db.wheel.timers <- ins db.wheel.timers;
@@ -34,13 +51,18 @@ let first_due (spec : Symbol.time_spec) ~after =
   | Every p | After_period p -> if p <= 0L then None else Some (Int64.add after p)
   | At pattern -> Clock.next_match pattern ~after
 
-let reschedule (tm : timer) ~fired_at =
+(* The re-armed incarnation takes a {e fresh} seq: a single queue's
+   stable insert puts it after every already-queued timer of the same
+   due instant, i.e. in insertion order — which is exactly what the
+   fresh stamp encodes, partitioned or not. *)
+let reschedule db (tm : timer) ~fired_at =
   match tm.tm_spec with
-  | Symbol.Every p -> Some { tm with tm_due = Int64.add fired_at p }
+  | Symbol.Every p ->
+    Some { tm with tm_due = Int64.add fired_at p; tm_seq = fresh_seq db }
   | Symbol.After_period _ -> None
   | Symbol.At pattern ->
     Option.map
-      (fun due -> { tm with tm_due = due })
+      (fun due -> { tm with tm_due = due; tm_seq = fresh_seq db })
       (Clock.next_match pattern ~after:fired_at)
 
 let schedule_trigger_timers db obj (at : active_trigger) =
@@ -50,19 +72,21 @@ let schedule_trigger_timers db obj (at : active_trigger) =
         match l.basic with Symbol.Time spec -> Some spec | _ -> None)
       (Expr.logical_events at.at_def.t_event)
   in
+  let clock = (Types.primary db).wheel.clock_ms in
   List.iter
     (fun spec ->
-      match first_due spec ~after:db.wheel.clock_ms with
+      match first_due spec ~after:clock with
       | None -> ()
       | Some due ->
         insert_timer db
           {
             tm_due = due;
+            tm_seq = fresh_seq db;
             tm_oid = obj.o_id;
             tm_trigger = at.at_def.t_name;
             tm_epoch = at.at_epoch;
             tm_spec = spec;
-            tm_anchor = db.wheel.clock_ms;
+            tm_anchor = clock;
           })
     specs
 
@@ -78,24 +102,51 @@ let timer_alive db (tm : timer) =
 (* Advancing the clock                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* The partition-generic merge: the due timers of a group live spread
+   over the member wheels, each member queue a (due, seq)-sorted
+   subsequence of the single-engine queue — so repeatedly taking the
+   member head with the globally smallest (due, seq) replays the exact
+   single-queue delivery order. Unpartitioned, [members] is [[| db |]]
+   and this is the plain head-of-queue loop. *)
 let advance_to db target =
   if target < db.wheel.clock_ms then ode_error "clock cannot go backwards";
+  let members = Store.members db in
+  let next_head () =
+    let best = ref None in
+    Array.iter
+      (fun m ->
+        match m.wheel.timers with
+        | tm :: _ when tm.tm_due <= target -> (
+          match !best with
+          | Some (_, b)
+            when b.tm_due < tm.tm_due
+                 || (b.tm_due = tm.tm_due && b.tm_seq < tm.tm_seq) -> ()
+          | _ -> best := Some (m, tm))
+        | _ -> ())
+      members;
+    !best
+  in
   let rec loop () =
-    match db.wheel.timers with
-    | tm :: rest when tm.tm_due <= target ->
+    match next_head () with
+    | None -> ()
+    | Some (m, tm) ->
       (* Several triggers may watch the same time event on the same
          object; pull every timer for this (object, spec, instant) and
          deliver a single occurrence — logical events are points, and a
          doubled delivery would wrongly feed expressions like
-         [!prior(dayBegin, ...)] twice. *)
+         [!prior(dayBegin, ...)] twice. Duplicates share the timer's
+         object, so they all live on [m]'s wheel. *)
+      let rest = List.tl m.wheel.timers in
       let same t =
         t.tm_due = tm.tm_due && t.tm_oid = tm.tm_oid && t.tm_spec = tm.tm_spec
       in
       let dups, rest = List.partition same rest in
-      db.wheel.timers <- rest;
-      db.wheel.timers_dirty <- true;
+      m.wheel.timers <- rest;
+      m.wheel.timers_dirty <- true;
       let group = tm :: dups in
-      db.wheel.clock_ms <- max db.wheel.clock_ms tm.tm_due;
+      Array.iter
+        (fun m' -> m'.wheel.clock_ms <- max m'.wheel.clock_ms tm.tm_due)
+        members;
       if List.exists (timer_alive db) group then begin
         let obs = db.obs in
         if Ode_obs.Registry.enabled obs then begin
@@ -108,15 +159,14 @@ let advance_to db target =
       List.iter
         (fun t ->
           if timer_alive db t then
-            match reschedule t ~fired_at:t.tm_due with
+            match reschedule db t ~fired_at:t.tm_due with
             | Some t' -> insert_timer db t'
             | None -> ())
         group;
       loop ()
-    | _ -> ()
   in
   loop ();
-  db.wheel.clock_ms <- target;
+  Array.iter (fun m -> m.wheel.clock_ms <- target) members;
   (* capture the final clock (and the timer queue, when deliveries or
      reschedules moved it) — each delivery's system transaction emitted
      its own batch mid-loop, but the clock kept advancing after the

@@ -17,16 +17,23 @@ val set_deliver_hook : (db -> oid -> Ode_event.Symbol.time_spec -> unit) -> unit
     fresh system transaction. *)
 
 val insert_timer : db -> timer -> unit
-(** Keeps the queue sorted by due time; equal due times keep insertion
-    order. *)
+(** Insert into the wheel of the partition member owning the timer's
+    object (the db itself when unpartitioned), keeping that queue
+    sorted by (due time, [tm_seq]) — equal due times keep insertion
+    order, group-wide. *)
+
+val fresh_seq : db -> int
+(** Allocate the next group-wide insertion stamp (from the facade
+    wheel) for a timer about to be inserted. *)
 
 val first_due : Ode_event.Symbol.time_spec -> after:int64 -> int64 option
 (** The first instant strictly after [after] at which the spec is due;
     [None] if it never fires (e.g. a non-positive period). *)
 
-val reschedule : timer -> fired_at:int64 -> timer option
+val reschedule : db -> timer -> fired_at:int64 -> timer option
 (** The timer's next incarnation after firing: periodic [Every] and
-    calendar [At] specs re-arm, one-shot [After_period] does not. *)
+    calendar [At] specs re-arm (with a fresh insertion stamp), one-shot
+    [After_period] does not. *)
 
 val schedule_trigger_timers : db -> obj -> active_trigger -> unit
 (** Insert one timer per time-event leaf of the trigger's event

@@ -96,10 +96,12 @@ let apply_undo db entry =
   | U_field (obj, name, prev) -> Hashtbl.replace obj.o_fields name prev
   | U_create obj ->
     Store.remove_obj db obj.o_id;
-    if List.exists (fun tm -> tm.tm_oid = obj.o_id) db.wheel.timers then begin
-      db.wheel.timers <-
-        List.filter (fun tm -> tm.tm_oid <> obj.o_id) db.wheel.timers;
-      db.wheel.timers_dirty <- true
+    (* the object's timers live on the wheel of its owning member *)
+    let wdb = Types.owner_db db obj.o_id in
+    if List.exists (fun tm -> tm.tm_oid = obj.o_id) wdb.wheel.timers then begin
+      wdb.wheel.timers <-
+        List.filter (fun tm -> tm.tm_oid <> obj.o_id) wdb.wheel.timers;
+      wdb.wheel.timers_dirty <- true
     end
   | U_delete obj -> Store.unmark_deleted db obj
   | U_trigger_state (at, prev) -> at_state_restore at prev

@@ -39,7 +39,21 @@ type db = {
       (* observability registry (counters, latency histograms, trace
          ring). Created disabled; every probe in the layers guards on
          [Ode_obs.Registry.enabled] so the hot path stays untouched. *)
+  mutable part : partition_state option;
+      (* [Some _] when this db is a member of an oid-partitioned engine
+         group ([Engine_group]). Members share the schema, txn, engine
+         and obs records (built by record copy of member 0, the facade
+         handed to callers); each member privately owns its store slice
+         (oids with [oid mod n = p_index]), SoA blocks, timer wheel and
+         durability directory. [None] — the common case — means a plain
+         single-engine database; every routing helper below collapses
+         to the identity then. *)
 }
+
+(* The partition group: members in owner order. Member 0 is the facade
+   — the db callers hold and the home of shared counters (oid/txn
+   allocation, timer sequence numbers, db-scope automata). *)
+and partition_state = { p_members : db array; p_index : int }
 
 (* [Schema]: compiled class and trigger definitions. Written at class
    registration, read-only on the posting hot path. *)
@@ -192,11 +206,15 @@ and scratch = {
 (* [Timewheel]: simulated time. *)
 and wheel_state = {
   mutable clock_ms : int64;
-  mutable timers : timer list;  (* sorted by due time *)
+  mutable timers : timer list;  (* sorted by (due time, tm_seq) *)
   mutable timers_dirty : bool;
       (* set whenever [timers] changes (insert, pop, undo filtering,
          load), cleared when a durability batch captures the list — so
          WAL batches only carry the timer queue when it moved *)
+  mutable tm_next_seq : int;
+      (* group-wide insertion counter stamping [tm_seq]; only the
+         facade's copy is read, so equal-due timers scattered across
+         member wheels merge back in exactly the single-engine order *)
 }
 
 (* [Durability]: the persistence strategy, held abstractly as a record
@@ -354,6 +372,11 @@ and undo_entry =
 
 and timer = {
   tm_due : int64;
+  tm_seq : int;
+      (* insertion order among equal due times, allocated group-wide
+         from the facade wheel — the tiebreak that keeps the merged
+         delivery order of partitioned wheels identical to the single
+         queue (and survives a save/load round trip) *)
   tm_oid : oid;
   tm_trigger : string;
   tm_epoch : int;
@@ -447,12 +470,41 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
           scratch = [||];
           kind_names = Hashtbl.create 16;
         };
-      wheel = { clock_ms = start_time; timers = []; timers_dirty = false };
+      wheel =
+        {
+          clock_ms = start_time;
+          timers = [];
+          timers_dirty = false;
+          tm_next_seq = 0;
+        };
       durability;
       obs = Ode_obs.Registry.create ~trace_capacity ();
+      part = None;
     }
   in
   db
+
+(* ------------------------------------------------------------------ *)
+(* Partition routing                                                  *)
+(*                                                                    *)
+(* The only group-awareness the inner layers need: which member owns  *)
+(* an oid's heap slice, and where the shared counters live. Both are  *)
+(* the identity for an unpartitioned db, so every existing call path  *)
+(* pays one [match] and nothing else.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let n_partitions db =
+  match db.part with Some p -> Array.length p.p_members | None -> 1
+
+(* The facade: member 0, home of group-wide counters and the db-scope
+   automata. Identity when unpartitioned. *)
+let primary db = match db.part with Some p -> p.p_members.(0) | None -> db
+
+(* The member whose store/wheel slice owns this oid. *)
+let owner_db db oid =
+  match db.part with
+  | Some p -> p.p_members.(oid mod Array.length p.p_members)
+  | None -> db
 
 (* ------------------------------------------------------------------ *)
 (* Detection-state accessors                                          *)

@@ -243,7 +243,15 @@ let apply_batch db payload =
   match Codec.read_option r (fun r -> Codec.read_list r Persist.read_timer) with
   | Some timers ->
     db.wheel.timers <- timers;
-    db.wheel.timers_dirty <- true
+    db.wheel.timers_dirty <- true;
+    (* replayed timers keep their saved insertion stamps; the group-wide
+       counter must resume past them *)
+    let pr = Types.primary db in
+    List.iter
+      (fun tm ->
+        if tm.tm_seq >= pr.wheel.tm_next_seq then
+          pr.wheel.tm_next_seq <- tm.tm_seq + 1)
+      timers
   | None -> ()
 
 (* Decoded shape for [odec wal-dump] — framing plus a per-batch summary,
@@ -291,6 +299,46 @@ let rec mkdir_p dir =
     if parent <> dir then mkdir_p parent;
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Partition groups on disk                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A partitioned database logs each member's slice into its own
+   subdirectory [<dir>/p<k>] (its own generations, snapshots and log),
+   with a one-line manifest at the group root naming the partition
+   count — recovery refuses a directory written by a different layout
+   instead of silently merging slices wrongly. *)
+
+let member_dir dir k = Filename.concat dir (Printf.sprintf "p%d" k)
+let manifest_path dir = Filename.concat dir "group-manifest"
+let manifest_magic = "ODEGROUP1"
+
+let write_manifest dir ~partitions =
+  mkdir_p dir;
+  Codec.to_file (manifest_path dir)
+    (Printf.sprintf "%s partitions=%d\n" manifest_magic partitions)
+
+let read_manifest dir =
+  if not (Sys.file_exists (manifest_path dir)) then None
+  else
+    try
+      Scanf.sscanf
+        (Codec.of_file (manifest_path dir))
+        "ODEGROUP1 partitions=%d"
+        (fun n -> Some n)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      ode_error "WAL group manifest in %s is malformed" dir
+
+let check_manifest dir ~partitions =
+  match read_manifest dir with
+  | None -> write_manifest dir ~partitions
+  | Some n when n = partitions -> ()
+  | Some n ->
+    ode_error
+      "WAL directory %s was written with %d partitions, refusing to attach \
+       with %d (ODE_PARTITIONS)"
+      dir n partitions
 
 let write_all fd s =
   let n = String.length s in
@@ -413,7 +461,11 @@ let recover st db =
        nothing is ever appended after damage *)
     checkpoint st db
 
-let backend cfg =
+(* [backend], plus the explicit checkpoint entry point [Engine_group]'s
+   group save/load needs: a group checkpoint writes the merged image
+   for the caller but must re-baseline each member's own log on the
+   member's {e slice} — which is [checkpoint], not [dur_save]. *)
+let member_backend cfg =
   let st =
     {
       cfg;
@@ -425,6 +477,11 @@ let backend cfg =
       closed = false;
     }
   in
+  ( (fun db -> checkpoint st db),
+    fun db ->
+      Buffer.clear st.pending;
+      st.pending_batches <- 0;
+      checkpoint st db ),
   {
     dur_name = "wal:" ^ cfg.dir;
     dur_attach = (fun db -> attach st db);
@@ -453,3 +510,5 @@ let backend cfg =
           st.closed <- true
         end);
   }
+
+let backend cfg = snd (member_backend cfg)

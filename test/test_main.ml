@@ -20,6 +20,7 @@ let () =
       ("facade", Test_facade.suite);
       ("dispatch", Test_dispatch.suite);
       ("shard", Test_shard.suite);
+      ("partition", Test_partition.suite);
       ("alloc", Test_alloc.suite);
       ("time-events", Test_time.suite);
       ("persistence", Test_persistence.suite);

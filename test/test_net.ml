@@ -785,6 +785,37 @@ let test_config_of_env () =
         (D.Ode_error "ODE_DURABILITY: unknown backend \"paper-tape\"") (fun () ->
           ignore (D.Config.of_env ())))
 
+(* An empty [post_many] is a true no-op: answered on the spot. Enrolled
+   as a zero-item waiter it would sleep forever ([due] watches
+   [b_n > 0]); routed through the flush it would spend a server
+   transaction — and a WAL batch record — on posting nothing. *)
+let test_empty_post_many () =
+  let db = D.create_db () in
+  with_server ~window:400 ~db (fun _srv port ->
+      let c = Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let oid = setup_probe c in
+          let batches () =
+            match Json.member "server" (ok (Client.request c P.Status)) with
+            | Some server -> jint "batches" server
+            | None -> Alcotest.fail "status carried no server object"
+          in
+          let before = batches () in
+          let t0 = Unix.gettimeofday () in
+          let r = ok (Client.request c (P.Post_many [])) in
+          let dt = Unix.gettimeofday () -. t0 in
+          Alcotest.(check int) "joined no batch" 0 (jint "batch" r);
+          Alcotest.(check int) "queued nothing" 0 (jint "queued" r);
+          Alcotest.(check int) "fired nothing" 0 (jint "firings" r);
+          Alcotest.(check bool) "answered without waiting for the window" true
+            (dt < 0.35);
+          Alcotest.(check int) "consumed no batch serial" before (batches ());
+          (* the coalescer still works after the no-op *)
+          let r = ok (Client.request c (P.Post (tick_item oid 9))) in
+          Alcotest.(check int) "later posts still flush" 1 (jint "queued" r)))
+
 (* Drive the same scenario through a db built four ways; the canonical
    fingerprint must not notice how the db was configured into the same
    logical state. *)
@@ -849,6 +880,8 @@ let suite =
     Alcotest.test_case "hostnames resolve" `Quick test_hostname_connect;
     Alcotest.test_case "transactions, clock and save over the wire" `Quick
       test_wire_txn;
+    Alcotest.test_case "empty post_many is an immediate no-op" `Quick
+      test_empty_post_many;
     Alcotest.test_case "Config.of_env parses and rejects" `Quick test_config_of_env;
     Alcotest.test_case "config paths converge bit-identically" `Quick
       test_config_equivalence;

@@ -45,9 +45,29 @@ let trigger_names case = List.mapi (fun i _ -> Printf.sprintf "t%d" i) case.trig
    summarise everything the backends could disagree on. Nothing is
    sorted: the {e order} of firings and logged actions is part of the
    contract. *)
-let run ?(kernel = true) ~backend case =
+(* [partitions]: [None] follows the environment (the default, like
+   every other test); [Some n] pins an n-member engine group — the
+   partition-equivalence properties in test_partition.ml run this same
+   workload at several counts and compare. Pinning also pins [`Image]
+   durability: partitioning is transparent to every logical observable,
+   but {e how many} WAL batches a commit emits is per-member layout. *)
+let create_db ?partitions ~backend () =
+  match partitions with
+  | None -> D.create_db ~backend ()
+  | Some n ->
+    D.create_db
+      ~config:
+        {
+          (D.Config.of_env ()) with
+          D.Config.backend;
+          partitions = n;
+          durability = `Image;
+        }
+      ()
+
+let run ?(kernel = true) ?partitions ~backend case =
   let log = ref [] in
-  let db = D.create_db ~backend () in
+  let db = create_db ?partitions ~backend () in
   D.set_posting_kernel db kernel;
   let firings_log = ref [] in
   let _sub = D.subscribe_firings db (fun f -> firings_log := f :: !firings_log) in
@@ -160,9 +180,9 @@ let n_batch_objects = 8
 (* Run both batches through [post_many] — the second in a transaction
    that aborts, exercising the merged per-shard undo segments — and
    summarise every observable, the exact counters included. *)
-let run_batch ?(kernel = true) ~backend ~domains case =
+let run_batch ?(kernel = true) ?partitions ~backend ~domains case =
   let log = ref [] in
-  let db = D.create_db ~backend () in
+  let db = create_db ?partitions ~backend () in
   D.set_posting_kernel db kernel;
   D.set_post_domains db domains;
   (* make the domain count real even on a small box: no core-count

@@ -6,7 +6,19 @@
    and the frame scanner's damage classification. *)
 
 open Ode_odb
-module D = Database
+
+module D = struct
+  include Database
+
+  (* this suite drives the single-engine WAL internals (it reads
+     snap-<g>.ode1 / wal-<g>.log at the directory root and cuts the log
+     by hand), so pin partitions = 1 whatever ODE_PARTITIONS says —
+     the partitioned WAL layout is covered by test_partition.ml *)
+  let create_db ?backend ?durability () =
+    let c = { (Config.of_env ()) with Config.partitions = 1 } in
+    create_db ~config:c ?backend ?durability ()
+end
+
 module Value = Ode_base.Value
 module Codec = Ode_base.Codec
 module Obs = Ode_obs.Registry
