@@ -1232,7 +1232,43 @@ let smoke () =
   D.shutdown_pool sdb;
   if wired <> 8 then
     failwith (Printf.sprintf "smoke: wire subscriber saw %d/8 firings" wired);
-  pf "wire smoke ok (8/8 firings streamed over loopback, clean stop).@."
+  pf "wire smoke ok (8/8 firings streamed over loopback, clean stop).@.";
+  (* million-timer smoke: arm 10^6 raw timers on the wheel, then drain
+     them all in one clock hop. The timers belong to no live object
+     (timer_alive rejects them at delivery), so this exercises pure
+     queue mechanics — insert, cascade, group pull — at fleet scale. *)
+  let module T = Ode_odb.Types in
+  let module St = Ode_odb.Store in
+  let module Tw = Ode_odb.Timewheel in
+  let tdb = T.make_db ~backend:(St.backend_of `Heap) () in
+  Tw.set_wheel tdb true;
+  let trng = Random.State.make [| 9191 |] in
+  let (), arm_s =
+    time_once (fun () ->
+        for i = 0 to 999_999 do
+          Tw.insert_timer tdb
+            {
+              T.tm_due = Int64.of_int (1 + Random.State.int trng 5_000_000);
+              tm_seq = i;
+              tm_oid = 1 + i;
+              tm_trigger = "m";
+              tm_epoch = 0;
+              tm_spec = Symbol.After_period 1L;
+              tm_anchor = 0L;
+            }
+        done)
+  in
+  let armed = Tw.pending_count tdb in
+  if armed <> 1_000_000 then
+    failwith (Printf.sprintf "timer smoke: armed %d/1000000" armed);
+  let (), drain_s = time_once (fun () -> Tw.advance_clock tdb 5_000_001L) in
+  let left = Tw.pending_count tdb in
+  if left <> 0 then
+    failwith (Printf.sprintf "timer smoke: %d timers survived the drain" left);
+  pf
+    "timer smoke ok (1M timers armed in %.0f ms, drained to empty in %.0f \
+     ms).@."
+    (arm_s /. 1e6) (drain_s /. 1e6)
 
 (* ------------------------------------------------------------------ *)
 (* E14-wal: commit durability cost — WAL vs full-image saves            *)
@@ -1649,6 +1685,215 @@ let e16_partition () =
   pf "wrote BENCH_partition.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E17-timer: the timing wheel vs the sorted-list queue                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two costs, on both timer-queue representations. [arm]: marginal
+   insert into a queue already holding n timers (raw [Timewheel]
+   inserts, no engine around them) — O(n) for the sorted list, O(1)
+   amortized for the wheel, so the list's arm count shrinks as n grows
+   to keep the rows affordable. [sweep]: [advance_to] over a fleet of
+   objects with staggered periodic triggers, every delivery re-arming
+   its timer — the re-arm pays the list's O(n) insert again, making a
+   sweep O(k·n) for the list and O(k) for the wheel. The 1M-pending
+   sweep row is wheel-only (the list row would take minutes) and fills
+   the structure with parked timers due beyond the window, so cascade
+   and occupancy costs are real. Emits BENCH_timer.json. *)
+let e17_timer () =
+  section "E17-timer: timing wheel vs sorted-list queue (arm / advance sweep)";
+  let module T = Ode_odb.Types in
+  let module St = Ode_odb.Store in
+  let module Tw = Ode_odb.Timewheel in
+  let module Sc = Ode_odb.Schema in
+  let module E = Ode_odb.Engine in
+  let module Tx = Ode_odb.Txn in
+  let module Obs = Ode_obs.Registry in
+  let horizon = 10_000_000 in
+  let mk_timer i due =
+    {
+      T.tm_due = due;
+      tm_seq = i;
+      tm_oid = 1 + (i mod 9973);
+      tm_trigger = "t";
+      tm_epoch = 0;
+      tm_spec = Symbol.Every (Int64.of_int horizon);
+      tm_anchor = 0L;
+    }
+  in
+  let rand_due rng = Int64.of_int (1 + Random.State.int rng horizon) in
+  let cmp a b =
+    match Int64.compare a.T.tm_due b.T.tm_due with
+    | 0 -> compare a.T.tm_seq b.T.tm_seq
+    | c -> c
+  in
+  (* marginal arm cost at occupancy n, measured over k fresh inserts *)
+  let arm ~wheel ~n ~k =
+    let db = T.make_db ~backend:(St.backend_of `Heap) () in
+    Tw.set_wheel db wheel;
+    let rng = Random.State.make [| 1717; n |] in
+    Tw.replace db
+      (List.sort cmp (List.init n (fun i -> mk_timer i (rand_due rng))));
+    let dues = Array.init k (fun _ -> rand_due rng) in
+    let (), total =
+      time_once (fun () ->
+          Array.iteri (fun i due -> Tw.insert_timer db (mk_timer (n + i) due)) dues)
+    in
+    total /. float_of_int k
+  in
+  (* a fleet sweep: [objects] nodes with an every-[period]-ms heartbeat,
+     activation staggered over one period so due instants spread out;
+     then advance [advance_ms], every delivery re-arming its timer.
+     [pad] extra timers are parked beyond the window (no live object),
+     occupying the structure without ever coming due. *)
+  let sweep ~wheel ~objects ~period ~advance_ms ~pad =
+    let db = T.make_db ~backend:(St.backend_of (`Sharded 8)) () in
+    Tw.set_wheel db wheel;
+    let b = Sc.define_class "node" in
+    let b =
+      Sc.trigger_str b ~perpetual:true "hb"
+        ~event:(Printf.sprintf "every time(MS=%d)" period)
+        ~action:(fun _ _ -> ())
+    in
+    Sc.register_class db b;
+    let per_ms = max 1 (objects / period) in
+    let made = ref 0 in
+    while !made < objects do
+      let n = min per_ms (objects - !made) in
+      (match
+         Tx.with_txn db (fun _ ->
+             for _ = 1 to n do
+               let oid = E.create db "node" [] in
+               E.activate db oid "hb" []
+             done)
+       with
+      | Ok () -> ()
+      | Error `Aborted -> failwith "sweep setup aborted");
+      made := !made + n;
+      if !made < objects then Tw.advance_clock db 1L
+    done;
+    let rng = Random.State.make [| 4242; objects |] in
+    let parked_from = Int64.add (Tw.now db) (Int64.of_int (advance_ms + period)) in
+    for i = 0 to pad - 1 do
+      Tw.insert_timer db
+        {
+          T.tm_due = Int64.add parked_from (rand_due rng);
+          tm_seq = Tw.fresh_seq db;
+          tm_oid = 1_000_000_000 + i;
+          tm_trigger = "parked";
+          tm_epoch = 0;
+          tm_spec = Symbol.After_period 1L;
+          tm_anchor = 0L;
+        }
+    done;
+    let pending = Tw.pending_count db in
+    Obs.set_enabled db.T.obs true;
+    let (), total =
+      time_once (fun () -> Tw.advance_clock db (Int64.of_int advance_ms))
+    in
+    let delivered = Obs.get db.T.obs Obs.Timer_deliveries in
+    if delivered = 0 then failwith "sweep delivered nothing";
+    (pending, delivered, total /. float_of_int delivered)
+  in
+  pf "%10s %8s %16s %16s %10s@." "occupancy" "arms" "list ns/arm"
+    "wheel ns/arm" "speedup";
+  let arm_rows =
+    List.map
+      (fun (n, k_list) ->
+        let list_ns = arm ~wheel:false ~n ~k:k_list in
+        let wheel_ns = arm ~wheel:true ~n ~k:10_000 in
+        pf "%10d %8d %16.0f %16.1f %9.0fx@." n k_list list_ns wheel_ns
+          (list_ns /. wheel_ns);
+        (n, k_list, list_ns, wheel_ns))
+      [ (10_000, 4_000); (100_000, 1_000); (1_000_000, 300) ]
+  in
+  pf "%10s %12s %18s %18s %10s@." "pending" "deliveries" "list ns/delivery"
+    "wheel ns/delivery" "speedup";
+  let sweep_rows =
+    List.map
+      (fun (objects, period, advance_ms) ->
+        let p_l, d_l, list_ns =
+          sweep ~wheel:false ~objects ~period ~advance_ms ~pad:0
+        in
+        let p_w, d_w, wheel_ns =
+          sweep ~wheel:true ~objects ~period ~advance_ms ~pad:0
+        in
+        if p_l <> p_w || d_l <> d_w then
+          failwith "sweep: representations disagree on the workload";
+        pf "%10d %12d %18.0f %18.0f %9.1fx@." p_w d_w list_ns wheel_ns
+          (list_ns /. wheel_ns);
+        (p_w, d_w, Some list_ns, wheel_ns))
+      [ (10_000, 1_000, 10_000); (100_000, 10_000, 1_000) ]
+  in
+  let p_m, d_m, big_ns =
+    sweep ~wheel:true ~objects:10_000 ~period:1_000 ~advance_ms:10_000
+      ~pad:990_000
+  in
+  pf "%10d %12d %18s %18.0f %10s@." p_m d_m "-" big_ns "(wheel only)";
+  let sweep_rows = sweep_rows @ [ (p_m, d_m, None, big_ns) ] in
+  let arm_speedup_1m =
+    match List.rev arm_rows with
+    | (_, _, l, w) :: _ -> l /. w
+    | [] -> assert false
+  in
+  let sweep_speedup_100k =
+    match sweep_rows with
+    | (_, _, Some l, w) :: _ -> l /. w
+    | _ -> assert false
+  in
+  pf "shape: arming is O(n) vs O(1); a sweep's re-arms make it O(k*n) vs O(k).@.";
+  let oc = open_out "BENCH_timer.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"E17-timer\",\n";
+  p
+    "  \"unit\": \"ns per armed timer / ns per delivered timer (delivery = \
+     system txn + time-event post + periodic re-arm)\",\n";
+  p
+    "  \"description\": \"sorted-list queue vs hierarchical timing wheel: \
+     marginal arm cost at fixed occupancy (raw queue inserts, dues uniform \
+     over %d ms) and a fleet advance sweep (staggered every-period \
+     heartbeats, each delivery re-arming; 1M-pending row pads the wheel \
+     with parked timers and has no list baseline)\",\n"
+    horizon;
+  p "  \"arm_speedup_at_1m\": %.1f,\n" arm_speedup_1m;
+  p "  \"sweep_speedup_100k_deliveries\": %.1f,\n" sweep_speedup_100k;
+  p "  \"arm_rows\": [\n";
+  let last = List.length arm_rows - 1 in
+  List.iteri
+    (fun i (n, k, l, w) ->
+      p
+        "    {\"occupancy\": %d, \"list_arms_measured\": %d, \
+         \"list_ns_per_arm\": %.0f, \"wheel_ns_per_arm\": %.1f, \
+         \"speedup\": %.1f}%s\n"
+        n k l w (l /. w)
+        (if i = last then "" else ","))
+    arm_rows;
+  p "  ],\n";
+  p "  \"sweep_rows\": [\n";
+  let last = List.length sweep_rows - 1 in
+  List.iteri
+    (fun i (pend, deliv, l, w) ->
+      (match l with
+      | Some l ->
+        p
+          "    {\"pending\": %d, \"deliveries\": %d, \
+           \"list_ns_per_delivery\": %.0f, \"wheel_ns_per_delivery\": %.0f, \
+           \"speedup\": %.1f}%s\n"
+          pend deliv l w (l /. w)
+          (if i = last then "" else ",")
+      | None ->
+        p
+          "    {\"pending\": %d, \"deliveries\": %d, \
+           \"list_ns_per_delivery\": null, \"wheel_ns_per_delivery\": %.0f}%s\n"
+          pend deliv w
+          (if i = last then "" else ",")))
+    sweep_rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  pf "wrote BENCH_timer.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1778,7 +2023,8 @@ let () =
       ("e7", e7); ("e8", e8); ("e9", e9); ("e9d", e9_dispatch); ("e10", e10);
       ("e10o", e10_obs); ("e11", e11); ("e11s", e11_shard); ("e12", e12);
       ("e12k", e12_kernel); ("e14w", e14_wal); ("e15s", e15_serve);
-      ("e16p", e16_partition); ("micro", bechamel_suite); ("smoke", smoke) ]
+      ("e16p", e16_partition); ("e17t", e17_timer); ("micro", bechamel_suite);
+      ("smoke", smoke) ]
   in
   let selected =
     match List.tl (Array.to_list Sys.argv) with

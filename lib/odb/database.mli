@@ -234,6 +234,13 @@ module Config : sig
     parallel_threshold : int;
     dispatch_index : bool;
     posting_kernel : bool;
+    timer_wheel : bool;
+        (** pending-timer representation (default true): the
+            hierarchical hashed timing wheel — O(1) arm and cancel at
+            any queue depth. [false] selects the reference sorted list
+            the wheel is pinned against (ODE_TIMER_QUEUE=list); both
+            deliver in identical (due, seq) order and serialize to
+            identical bytes. See [Timewheel]. *)
     timing : bool;  (** force latency histograms on — see
         [Ode_obs.Registry.set_timing] *)
     serve : serve;
@@ -338,6 +345,16 @@ val advance_clock : t -> int64 -> unit
     order. Each timer delivery runs in its own system transaction. *)
 
 val advance_to : t -> int64 -> unit
+
+val set_timer_wheel : t -> bool -> unit
+(** Switch the pending-timer representation in place (all partition
+    members): [true] the hierarchical timing wheel, [false] the
+    reference sorted list. The pending set, delivery order and
+    serialized bytes are unchanged — only arm/cancel/advance costs
+    move. Normally set once via {!Config.t.timer_wheel} /
+    ODE_TIMER_QUEUE. *)
+
+val timer_wheel_enabled : t -> bool
 
 val save : t -> string -> unit
 (** Persist all objects (fields, trigger activations and their automaton

@@ -1121,7 +1121,13 @@ let delete db oid =
   ignore (post db tx obj Symbol.Delete []);
   post_db db Symbol.Delete [ Value.Oid oid; Value.String obj.o_class.k_name ];
   Store.mark_deleted db obj;
-  tx.tx_undo <- U_delete obj :: tx.tx_undo
+  tx.tx_undo <- U_delete obj :: tx.tx_undo;
+  (* eager cancellation: a deleted object's timers leave the queue now,
+     not at their due instant (the [timer_alive] check stays as the
+     delivery-time backstop for e.g. firing-path auto-deactivation) *)
+  (match Timewheel.cancel_object db oid with
+  | [] -> ()
+  | cancelled -> tx.tx_undo <- U_timers_cancelled cancelled :: tx.tx_undo)
 
 let set_field db oid name v =
   let tx = Txn.require_txn db in
@@ -1207,8 +1213,15 @@ let activate db oid tname params =
     at.at_last_witnesses <- [];
     set_trigger_active (Some obj) at true;
     at.at_epoch <- at.at_epoch + 1;
+    (* the epoch bump orphans the previous incarnation's timers: cancel
+       them now instead of letting them ride to their due instant *)
+    (match Timewheel.cancel_trigger db oid tname with
+    | [] -> ()
+    | cancelled -> tx.tx_undo <- U_timers_cancelled cancelled :: tx.tx_undo);
     at.at_params <- params;
-    Timewheel.schedule_trigger_timers db obj at
+    (match Timewheel.schedule_trigger_timers db obj at with
+    | [] -> ()
+    | armed -> tx.tx_undo <- U_timers_armed armed :: tx.tx_undo)
   | None ->
     let at =
       {
@@ -1228,7 +1241,9 @@ let activate db oid tname params =
     Hashtbl.add obj.o_triggers tname at;
     if def.t_index >= 0 then obj.o_acts.(def.t_index) <- Some at;
     tx.tx_undo <- U_trigger_added (obj, tname) :: tx.tx_undo;
-    Timewheel.schedule_trigger_timers db obj at);
+    match Timewheel.schedule_trigger_timers db obj at with
+    | [] -> ()
+    | armed -> tx.tx_undo <- U_timers_armed armed :: tx.tx_undo);
   ()
 
 let deactivate db oid tname =
@@ -1239,7 +1254,12 @@ let deactivate db oid tname =
   | Some at ->
     tx.tx_dirty <- oid :: tx.tx_dirty;
     tx.tx_undo <- U_trigger_active (Some obj, at, at.at_active) :: tx.tx_undo;
-    set_trigger_active (Some obj) at false
+    set_trigger_active (Some obj) at false;
+    (* eager cancellation: the deactivated trigger's pending timers
+       leave the queue now (undo re-inserts them, seqs intact) *)
+    (match Timewheel.cancel_trigger db oid tname with
+    | [] -> ()
+    | cancelled -> tx.tx_undo <- U_timers_cancelled cancelled :: tx.tx_undo)
 
 let is_active db oid tname =
   let obj = Store.live_obj db oid in

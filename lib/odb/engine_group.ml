@@ -48,7 +48,7 @@ let make ~backend_of ~partitions ?start_time ?max_tcomplete_rounds
               wheel =
                 {
                   clock_ms = m0.wheel.clock_ms;
-                  timers = [];
+                  tq = Tq_list [];
                   timers_dirty = false;
                   tm_next_seq = 0;
                 };
@@ -159,7 +159,10 @@ let wal_backend ~partitions (cfg : Wal.config) =
             (fun acc m -> if m.wheel.clock_ms > acc then m.wheel.clock_ms else acc)
             Int64.min_int ms
         in
-        Array.iter (fun m -> m.wheel.clock_ms <- clock) ms);
+        Array.iter (fun m -> m.wheel.clock_ms <- clock) ms;
+        (* wheel bucket placement is clock-relative: members whose clock
+           just jumped to the group max must re-place their timers *)
+        Timewheel.resync db);
     dur_sync = (fun db -> each db (fun b m -> b.dur_sync m));
     dur_close = (fun db -> each db (fun b m -> b.dur_close m));
   }

@@ -186,7 +186,9 @@ let image_bytes db =
   (* backend-neutral: [live_objects] sorts to ascending oid per the
      Store ordering contract, so Heap and Sharded images are identical *)
   Codec.write_list w write_obj (Store.live_objects db);
-  Codec.write_list w write_timer db.wheel.timers;
+  (* [Timewheel.pending] emits (due, seq) order for either queue
+     representation, so list and wheel images are byte-identical *)
+  Codec.write_list w write_timer (Timewheel.pending db);
   Codec.contents w
 
 let save db path =
@@ -220,8 +222,7 @@ let load_image db data =
   let objs = Codec.read_list r read_obj_raw in
   let timers = Codec.read_list r read_timer in
   Store.reset_heap db;
-  db.wheel.timers <- [];
-  db.wheel.timers_dirty <- true;
+  Timewheel.clear db;
   db.store.next_oid <- next_oid;
   db.txns.next_txn_id <- next_txn_id;
   db.wheel.clock_ms <- clock_ms;
@@ -261,7 +262,7 @@ let group_image_bytes db =
     Codec.write_list w write_obj objs;
     let timers =
       Array.fold_left
-        (fun acc m -> List.rev_append m.wheel.timers acc)
+        (fun acc m -> List.rev_append (Timewheel.pending m) acc)
         [] p.p_members
       |> List.sort (fun a b ->
              compare (a.tm_due, a.tm_seq) (b.tm_due, b.tm_seq))
@@ -287,8 +288,7 @@ let group_load_image db data =
     Array.iter
       (fun m ->
         Store.reset_heap m;
-        m.wheel.timers <- [];
-        m.wheel.timers_dirty <- true;
+        Timewheel.clear m;
         m.wheel.tm_next_seq <- 0;
         m.store.next_oid <- next_oid;
         m.wheel.clock_ms <- clock_ms)

@@ -486,6 +486,12 @@ let binding_bytes bindings =
 let activation_bytes at =
   (8 * at_state_len at) + binding_bytes at.at_collected
 
+(* Flat estimate of one pending timer's heap cost: the record's seven
+   fields plus headers and the spec payload — close enough for the
+   state-accounting purpose ([stats.state_bytes] counts pending timers
+   so a leak shows up as monotone growth, see store.mli). *)
+let timer_bytes = 144
+
 (* Shadow copies a committed-mode trigger keeps alive through an open
    transaction's undo log (the §6 "state is part of the object"
    option doubles the state while a transaction is in flight). *)
@@ -497,6 +503,8 @@ let undo_state_bytes db =
           match entry with
           | U_trigger_state (_, copy) -> acc + (8 * Array.length copy)
           | U_trigger_collected (_, bindings) -> acc + binding_bytes bindings
+          | U_timers_cancelled tms | U_timers_armed tms ->
+            acc + (timer_bytes * List.length tms)
           | U_field _ | U_create _ | U_delete _ | U_trigger_active _
           | U_trigger_added _ -> acc)
         acc tx.tx_undo)
@@ -517,7 +525,7 @@ let stats db =
                 state_bytes := !state_bytes + activation_bytes at)
               obj.o_triggers)
         m;
-      n_timers := !n_timers + List.length m.wheel.timers)
+      n_timers := !n_timers + Types.timerq_count m.wheel)
     (members db);
   Hashtbl.iter
     (fun _ at -> state_bytes := !state_bytes + activation_bytes at)
@@ -527,5 +535,6 @@ let stats db =
     n_classes = Hashtbl.length db.schema.classes;
     n_active_triggers = !n_active;
     n_timers = !n_timers;
-    state_bytes = !state_bytes + undo_state_bytes db;
+    state_bytes =
+      !state_bytes + (timer_bytes * !n_timers) + undo_state_bytes db;
   }

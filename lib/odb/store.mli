@@ -227,7 +227,16 @@ type stats = {
           transactions' undo logs — 8 bytes per word of each
           [U_trigger_state] snapshot and the same per-binding charge for
           each [U_trigger_collected] snapshot. Bound values themselves
-          are shared with the posting arguments and are not charged. *)
+          are shared with the posting arguments and are not charged.
+
+          Pending timers are charged too, at a flat 144 bytes each
+          (record fields, headers and spec payload), summed across
+          partition members — and the same per-timer charge applies to
+          timers pinned by [U_timers_cancelled]/[U_timers_armed] undo
+          entries. Since [Timewheel] cancels eagerly on deactivation,
+          deletion and re-activation, a deactivate/activate storm holds
+          [state_bytes] flat where the old lazy [timer_alive] sweep let
+          dead timers accumulate until their due instant. *)
 }
 
 val stats : db -> stats

@@ -17,8 +17,282 @@ let deliver_hook : (db -> oid -> Symbol.time_spec -> unit) ref =
 let set_deliver_hook f = deliver_hook := f
 
 (* ------------------------------------------------------------------ *)
-(* Timer queue                                                         *)
+(* Keys                                                                *)
 (* ------------------------------------------------------------------ *)
+
+(* The delivery order, everywhere: due instant, then group-wide
+   insertion stamp. Seqs are unique per group, so this is total. *)
+let key_lt (a : timer) (b : timer) =
+  a.tm_due < b.tm_due || (a.tm_due = b.tm_due && a.tm_seq < b.tm_seq)
+
+let cmp_key (a : timer) (b : timer) =
+  match Int64.compare a.tm_due b.tm_due with
+  | 0 -> compare a.tm_seq b.tm_seq
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* The hierarchical hashed wheel (Varghese–Lauck)                      *)
+(*                                                                     *)
+(* 8 levels of 64 slots; level l's slots are 64^l ms wide. A pending    *)
+(* timer lives at the lowest level whose current rotation (the clock's *)
+(* high bits above the level) covers its due instant — so a level-0    *)
+(* slot holds exactly one instant, and advancing the clock cascades    *)
+(* exactly one destination bucket per level whose cursor moved. Nodes  *)
+(* drained from a level-l cursor bucket share the clock's level-l      *)
+(* prefix and therefore re-place strictly below l: one pass, high to   *)
+(* low, terminates. Buckets are intrusive doubly-linked lists — O(1)   *)
+(* unlink — and [tw_index] maps oid to its live nodes, so eager        *)
+(* cancellation is O(timers-on-that-object).                           *)
+(* ------------------------------------------------------------------ *)
+
+let bits = 6
+let wslots = 64
+let wmask = 63
+let nlevels = 8
+
+(* [tn_level] address codes outside 0..nlevels-1 *)
+let lvl_ovf = -1 (* beyond the top level's rotation *)
+let lvl_detached = -2
+let lvl_past = -3 (* due <= clock: recovery clock-skew only *)
+
+let make_wheel () =
+  {
+    tw_slots = Array.init nlevels (fun _ -> Array.make wslots None);
+    tw_counts = Array.make nlevels 0;
+    tw_ovf = None;
+    tw_ovf_n = 0;
+    tw_past = None;
+    tw_past_n = 0;
+    tw_n = 0;
+    tw_peek = None;
+    tw_index = Hashtbl.create 64;
+  }
+
+(* The lowest level whose current rotation covers [due]: the smallest l
+   with [due >> bits*(l+1) = clock >> bits*(l+1)]; [lvl_ovf] when even
+   the top rotation differs. The xor's high bits answer both at once. *)
+let level_of ~clock due =
+  let x = Int64.logxor due clock in
+  if Int64.shift_right_logical x (bits * nlevels) <> 0L then lvl_ovf
+  else
+    let x = Int64.to_int x in
+    let rec go l = if x lsr (bits * (l + 1)) = 0 then l else go (l + 1) in
+    go 0
+
+let slot_of l due =
+  Int64.to_int (Int64.shift_right_logical due (bits * l)) land wmask
+
+let get_head w level slot =
+  if level >= 0 then w.tw_slots.(level).(slot)
+  else if level = lvl_ovf then w.tw_ovf
+  else w.tw_past
+
+let set_head w level slot v =
+  if level >= 0 then w.tw_slots.(level).(slot) <- v
+  else if level = lvl_ovf then w.tw_ovf <- v
+  else w.tw_past <- v
+
+let link w n level slot =
+  let h = get_head w level slot in
+  n.tn_level <- level;
+  n.tn_slot <- slot;
+  n.tn_prev <- None;
+  n.tn_next <- h;
+  (match h with Some h2 -> h2.tn_prev <- Some n | None -> ());
+  set_head w level slot (Some n);
+  if level >= 0 then w.tw_counts.(level) <- w.tw_counts.(level) + 1
+  else if level = lvl_ovf then w.tw_ovf_n <- w.tw_ovf_n + 1
+  else w.tw_past_n <- w.tw_past_n + 1
+
+(* Unlink from its bucket; invalidates the peek cache when it held this
+   node. Does not touch [tw_n] or the index — callers own those. *)
+let unlink_node w n =
+  (match n.tn_prev with
+  | Some p -> p.tn_next <- n.tn_next
+  | None -> set_head w n.tn_level n.tn_slot n.tn_next);
+  (match n.tn_next with Some s -> s.tn_prev <- n.tn_prev | None -> ());
+  (if n.tn_level >= 0 then
+     w.tw_counts.(n.tn_level) <- w.tw_counts.(n.tn_level) - 1
+   else if n.tn_level = lvl_ovf then w.tw_ovf_n <- w.tw_ovf_n - 1
+   else w.tw_past_n <- w.tw_past_n - 1);
+  n.tn_prev <- None;
+  n.tn_next <- None;
+  n.tn_level <- lvl_detached;
+  match w.tw_peek with Some m when m == n -> w.tw_peek <- None | _ -> ()
+
+let place w ~clock n =
+  let due = n.tn_timer.tm_due in
+  if due <= clock then link w n lvl_past 0
+  else
+    let l = level_of ~clock due in
+    if l < 0 then link w n lvl_ovf 0 else link w n l (slot_of l due)
+
+(* Detach a whole bucket at once, returning its nodes. Used by the
+   cascade: the nodes stay pending (they re-[place] immediately), so
+   the peek cache is deliberately left alone — node identity survives
+   the move. *)
+let drain_bucket w level slot =
+  let rec collect acc = function
+    | None -> acc
+    | Some n ->
+      let nx = n.tn_next in
+      n.tn_prev <- None;
+      n.tn_next <- None;
+      n.tn_level <- lvl_detached;
+      collect (n :: acc) nx
+  in
+  let ns = collect [] (get_head w level slot) in
+  set_head w level slot None;
+  (if level >= 0 then w.tw_counts.(level) <- w.tw_counts.(level) - List.length ns
+   else if level = lvl_ovf then w.tw_ovf_n <- 0
+   else w.tw_past_n <- 0);
+  ns
+
+(* Move the wheel's notion of "now" from [from_] to [to_], cascading
+   each moved cursor's destination bucket downward. Correctness leans
+   on the advance-to-minimum discipline of [advance_to]: no pending due
+   lies strictly below [to_], so buckets the cursors skip over are
+   empty and only the destination slots need draining. Dues equal to
+   [to_] descend all the way to level 0 (their slot is the new cursor
+   at every level), which is where delivery reads them. *)
+let wheel_advance w ~from_ ~to_ =
+  if to_ > from_ then begin
+    if
+      Int64.shift_right_logical to_ (bits * nlevels)
+      <> Int64.shift_right_logical from_ (bits * nlevels)
+    then List.iter (place w ~clock:to_) (drain_bucket w lvl_ovf 0);
+    for l = nlevels - 1 downto 1 do
+      if
+        Int64.shift_right_logical to_ (bits * l)
+        <> Int64.shift_right_logical from_ (bits * l)
+      then List.iter (place w ~clock:to_) (drain_bucket w l (slot_of l to_))
+    done
+  end
+
+let bucket_min best h =
+  let rec go best = function
+    | None -> best
+    | Some n ->
+      let best =
+        match best with
+        | Some b when key_lt b.tn_timer n.tn_timer -> best
+        | _ -> Some n
+      in
+      go best n.tn_next
+  in
+  go best h
+
+(* The global minimum, recomputed: the past list beats everything, then
+   the lowest non-empty level (levels are due-disjoint: everything at
+   level l+1 is due after everything at level l), then overflow. Within
+   a level the first non-empty slot at or after the cursor holds the
+   minimum due (slot index is monotone in due within a rotation). *)
+let recompute_peek w ~clock =
+  if w.tw_past_n > 0 then bucket_min None w.tw_past
+  else begin
+    let best = ref None in
+    let l = ref 0 in
+    while Option.is_none !best && !l < nlevels do
+      if w.tw_counts.(!l) > 0 then begin
+        let cur = slot_of !l clock in
+        let s = ref cur in
+        while Option.is_none !best && !s < wslots do
+          best := bucket_min None w.tw_slots.(!l).(!s);
+          incr s
+        done;
+        (* defensive: a node below the cursor would mean a discipline
+           violation upstream; scan the wrap rather than lose it *)
+        let s = ref 0 in
+        while Option.is_none !best && !s < cur do
+          best := bucket_min None w.tw_slots.(!l).(!s);
+          incr s
+        done
+      end;
+      incr l
+    done;
+    match !best with Some _ as b -> b | None -> bucket_min None w.tw_ovf
+  end
+
+let wheel_peek w ~clock =
+  match w.tw_peek with
+  | Some _ as p -> p
+  | None ->
+    if w.tw_n = 0 then None
+    else begin
+      let b = recompute_peek w ~clock in
+      w.tw_peek <- b;
+      b
+    end
+
+let index_add w n =
+  let oid = n.tn_timer.tm_oid in
+  match Hashtbl.find_opt w.tw_index oid with
+  | Some ns -> Hashtbl.replace w.tw_index oid (n :: ns)
+  | None -> Hashtbl.add w.tw_index oid [ n ]
+
+let index_remove w n =
+  let oid = n.tn_timer.tm_oid in
+  match Hashtbl.find_opt w.tw_index oid with
+  | None -> ()
+  | Some ns -> (
+    match List.filter (fun m -> m != n) ns with
+    | [] -> Hashtbl.remove w.tw_index oid
+    | ns' -> Hashtbl.replace w.tw_index oid ns')
+
+let wheel_insert w ~clock tm =
+  let n =
+    { tn_timer = tm; tn_prev = None; tn_next = None; tn_level = lvl_detached;
+      tn_slot = 0 }
+  in
+  place w ~clock n;
+  index_add w n;
+  w.tw_n <- w.tw_n + 1;
+  match w.tw_peek with
+  | Some m when key_lt tm m.tn_timer -> w.tw_peek <- Some n
+  | Some _ -> ()
+  | None -> if w.tw_n = 1 then w.tw_peek <- Some n
+
+(* Fully remove one node: bucket, count, index. *)
+let remove_node w n =
+  unlink_node w n;
+  index_remove w n;
+  w.tw_n <- w.tw_n - 1
+
+(* Every pending timer, in (due, seq) order — the serialization order,
+   identical to the sorted-list representation's queue. *)
+let wheel_all w =
+  let acc = ref [] in
+  let rec chain = function
+    | None -> ()
+    | Some n ->
+      acc := n.tn_timer :: !acc;
+      chain n.tn_next
+  in
+  Array.iter (fun slots -> Array.iter chain slots) w.tw_slots;
+  chain w.tw_ovf;
+  chain w.tw_past;
+  List.sort cmp_key !acc
+
+(* ------------------------------------------------------------------ *)
+(* The member queue: one dispatch layer over both representations      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sorted-list insert, the reference representation's O(n) arm.
+   Tail-recursive: the benchmark baseline runs it at 10^6 entries. *)
+let list_ins tm tms =
+  let rec go acc = function
+    | t :: rest
+      when key_lt t tm || (t.tm_due = tm.tm_due && t.tm_seq = tm.tm_seq) ->
+      go (t :: acc) rest
+    | rest -> List.rev_append acc (tm :: rest)
+  in
+  go [] tms
+
+let member_insert m tm =
+  (match m.wheel.tq with
+  | Tq_list tms -> m.wheel.tq <- Tq_list (list_ins tm tms)
+  | Tq_wheel w -> wheel_insert w ~clock:m.wheel.clock_ms tm);
+  m.wheel.timers_dirty <- true
 
 (* Fresh insertion-order stamp, allocated from the facade wheel so the
    stream is group-wide: equal-due timers scattered across partition
@@ -30,21 +304,181 @@ let fresh_seq db =
   pr.wheel.tm_next_seq <- s + 1;
   s
 
-(* Inserts into the wheel of the member owning [tm.tm_oid], keeping
-   that queue sorted by (due, seq). The caller provides the stamp:
-   fresh for new arms and re-arms (insertion order), the persisted one
-   when reloading an image. *)
-let insert_timer db tm =
-  let db = Types.owner_db db tm.tm_oid in
-  let rec ins = function
-    | [] -> [ tm ]
-    | t :: rest
-      when t.tm_due < tm.tm_due
-           || (t.tm_due = tm.tm_due && t.tm_seq <= tm.tm_seq) -> t :: ins rest
-    | rest -> tm :: rest
-  in
-  db.wheel.timers <- ins db.wheel.timers;
+(* Inserts into the wheel of the member owning [tm.tm_oid]. The caller
+   provides the stamp: fresh for new arms and re-arms (insertion
+   order), the persisted one when reloading an image. *)
+let insert_timer db tm = member_insert (Types.owner_db db tm.tm_oid) tm
+
+(* ------------------------------------------------------------------ *)
+(* Persistence and representation plumbing                             *)
+(* ------------------------------------------------------------------ *)
+
+let pending db =
+  match db.wheel.tq with Tq_list tms -> tms | Tq_wheel w -> wheel_all w
+
+let pending_count db = Types.timerq_count db.wheel
+
+let clear db =
+  db.wheel.tq <-
+    (match db.wheel.tq with
+    | Tq_list _ -> Tq_list []
+    | Tq_wheel _ -> Tq_wheel (make_wheel ()));
   db.wheel.timers_dirty <- true
+
+(* Bulk-load a (due, seq)-sorted queue (WAL replay, image load): the
+   list representation takes it verbatim, the wheel re-places every
+   timer at the member's current clock — set the clock first. *)
+let replace db tms =
+  (match db.wheel.tq with
+  | Tq_list _ -> db.wheel.tq <- Tq_list tms
+  | Tq_wheel _ ->
+    let w = make_wheel () in
+    List.iter (wheel_insert w ~clock:db.wheel.clock_ms) tms;
+    db.wheel.tq <- Tq_wheel w);
+  db.wheel.timers_dirty <- true
+
+let use_wheel db =
+  match (Types.primary db).wheel.tq with Tq_wheel _ -> true | Tq_list _ -> false
+
+(* Switch every member's representation in place. The pending set (and
+   so the serialized bytes) is preserved exactly; only the shape moves. *)
+let set_wheel db enabled =
+  Array.iter
+    (fun m ->
+      match (m.wheel.tq, enabled) with
+      | Tq_list tms, true ->
+        let w = make_wheel () in
+        List.iter (wheel_insert w ~clock:m.wheel.clock_ms) tms;
+        m.wheel.tq <- Tq_wheel w
+      | Tq_wheel w, false -> m.wheel.tq <- Tq_list (wheel_all w)
+      | Tq_list _, false | Tq_wheel _, true -> ())
+    (Store.members db)
+
+(* Replay-time clock hop for one member: move the clock while keeping
+   the wheel's placement invariant, delivering nothing. Forward hops
+   cascade — safe because a logged clock-only batch implies the
+   original execution had no pending due at or below that clock, the
+   same advance-to-minimum discipline [advance_to] relies on. Backward
+   hops (never emitted by a monotone log, kept for safety) rebuild. *)
+let set_member_clock m c =
+  let from_ = m.wheel.clock_ms in
+  if c <> from_ then begin
+    m.wheel.clock_ms <- c;
+    match m.wheel.tq with
+    | Tq_list _ -> ()
+    | Tq_wheel w ->
+      if c > from_ then wheel_advance w ~from_ ~to_:c
+      else begin
+        let w' = make_wheel () in
+        List.iter (wheel_insert w' ~clock:c) (wheel_all w);
+        m.wheel.tq <- Tq_wheel w'
+      end
+  end
+
+(* Rebuild each member's wheel against its current clock. Needed after
+   group recovery maxes member clocks to the group-wide latest: nodes
+   were placed under a member-local (possibly earlier) clock, and the
+   placement invariant is clock-relative. No-op for lists. *)
+let resync db =
+  Array.iter
+    (fun m ->
+      match m.wheel.tq with
+      | Tq_list _ -> ()
+      | Tq_wheel w ->
+        let w' = make_wheel () in
+        List.iter (wheel_insert w' ~clock:m.wheel.clock_ms) (wheel_all w);
+        m.wheel.tq <- Tq_wheel w')
+    (Store.members db)
+
+(* ------------------------------------------------------------------ *)
+(* Eager cancellation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cancel every pending timer on [oid], returning them in (due, seq)
+   order — [Engine] records them in a [U_timers_cancelled] undo entry
+   so an abort restores the queue byte-for-byte (seqs preserved). *)
+let cancel_object db oid =
+  let m = Types.owner_db db oid in
+  match m.wheel.tq with
+  | Tq_list tms ->
+    let cancelled, keep = List.partition (fun t -> t.tm_oid = oid) tms in
+    if cancelled <> [] then begin
+      m.wheel.tq <- Tq_list keep;
+      m.wheel.timers_dirty <- true
+    end;
+    cancelled
+  | Tq_wheel w -> (
+    match Hashtbl.find_opt w.tw_index oid with
+    | None -> []
+    | Some ns ->
+      Hashtbl.remove w.tw_index oid;
+      List.iter
+        (fun n ->
+          unlink_node w n;
+          w.tw_n <- w.tw_n - 1)
+        ns;
+      m.wheel.timers_dirty <- true;
+      List.sort cmp_key (List.map (fun n -> n.tn_timer) ns))
+
+(* Cancel the pending timers of one trigger on one object (deactivate,
+   or the epoch bump of a re-activation), in (due, seq) order. *)
+let cancel_trigger db oid tname =
+  let m = Types.owner_db db oid in
+  match m.wheel.tq with
+  | Tq_list tms ->
+    let cancelled, keep =
+      List.partition (fun t -> t.tm_oid = oid && t.tm_trigger = tname) tms
+    in
+    if cancelled <> [] then begin
+      m.wheel.tq <- Tq_list keep;
+      m.wheel.timers_dirty <- true
+    end;
+    cancelled
+  | Tq_wheel w -> (
+    match Hashtbl.find_opt w.tw_index oid with
+    | None -> []
+    | Some ns ->
+      let gone, kept =
+        List.partition (fun n -> n.tn_timer.tm_trigger = tname) ns
+      in
+      if gone <> [] then begin
+        (match kept with
+        | [] -> Hashtbl.remove w.tw_index oid
+        | _ -> Hashtbl.replace w.tw_index oid kept);
+        List.iter
+          (fun n ->
+            unlink_node w n;
+            w.tw_n <- w.tw_n - 1)
+          gone;
+        m.wheel.timers_dirty <- true
+      end;
+      List.sort cmp_key (List.map (fun n -> n.tn_timer) gone))
+
+(* Cancel one specific pending timer, matched by physical identity —
+   the undo of [U_timers_armed]. Absent timers (already delivered or
+   cancelled) are ignored. *)
+let cancel_timer db (tm : timer) =
+  let m = Types.owner_db db tm.tm_oid in
+  match m.wheel.tq with
+  | Tq_list tms ->
+    let keep = List.filter (fun t -> t != tm) tms in
+    if List.compare_lengths keep tms <> 0 then begin
+      m.wheel.tq <- Tq_list keep;
+      m.wheel.timers_dirty <- true
+    end
+  | Tq_wheel w -> (
+    match Hashtbl.find_opt w.tw_index tm.tm_oid with
+    | None -> ()
+    | Some ns -> (
+      match List.find_opt (fun n -> n.tn_timer == tm) ns with
+      | None -> ()
+      | Some n ->
+        remove_node w n;
+        m.wheel.timers_dirty <- true))
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let first_due (spec : Symbol.time_spec) ~after =
   match spec with
@@ -65,6 +499,9 @@ let reschedule db (tm : timer) ~fired_at =
       (fun due -> { tm with tm_due = due; tm_seq = fresh_seq db })
       (Clock.next_match pattern ~after:fired_at)
 
+(* Arm one timer per time-event leaf of the trigger's specification,
+   returning the armed timers (newest first) so [Engine] can record
+   them for undo. *)
 let schedule_trigger_timers db obj (at : active_trigger) =
   let specs =
     List.filter_map
@@ -73,12 +510,12 @@ let schedule_trigger_timers db obj (at : active_trigger) =
       (Expr.logical_events at.at_def.t_event)
   in
   let clock = (Types.primary db).wheel.clock_ms in
-  List.iter
-    (fun spec ->
+  List.fold_left
+    (fun armed spec ->
       match first_due spec ~after:clock with
-      | None -> ()
+      | None -> armed
       | Some due ->
-        insert_timer db
+        let tm =
           {
             tm_due = due;
             tm_seq = fresh_seq db;
@@ -87,8 +524,11 @@ let schedule_trigger_timers db obj (at : active_trigger) =
             tm_epoch = at.at_epoch;
             tm_spec = spec;
             tm_anchor = clock;
-          })
-    specs
+          }
+        in
+        insert_timer db tm;
+        tm :: armed)
+    [] specs
 
 let timer_alive db (tm : timer) =
   match Store.live_obj_opt db tm.tm_oid with
@@ -101,6 +541,57 @@ let timer_alive db (tm : timer) =
 (* ------------------------------------------------------------------ *)
 (* Advancing the clock                                                 *)
 (* ------------------------------------------------------------------ *)
+
+(* One member's minimum pending timer, if due by [target]. O(1) for the
+   list (sorted head) and amortized O(1) for the wheel (peek cache). *)
+let member_peek m ~target =
+  match m.wheel.tq with
+  | Tq_list (tm :: _) when tm.tm_due <= target -> Some tm
+  | Tq_list _ -> None
+  | Tq_wheel w -> (
+    match wheel_peek w ~clock:m.wheel.clock_ms with
+    | Some n when n.tn_timer.tm_due <= target -> Some n.tn_timer
+    | _ -> None)
+
+(* Pull every pending timer for one (object, spec, instant) out of one
+   member's queue, in seq order. O(same-instant group): the list reads
+   only its due-== head run, the wheel only the level-0 head bucket
+   (plus the recovery-skew past list) — never the whole queue. *)
+let member_pull_group m ~due ~oid ~spec =
+  match m.wheel.tq with
+  | Tq_list tms ->
+    let rec split prefix = function
+      | t :: rest when t.tm_due = due -> split (t :: prefix) rest
+      | rest -> (List.rev prefix, rest)
+    in
+    let prefix, rest = split [] tms in
+    let dups, keep =
+      List.partition (fun t -> t.tm_oid = oid && t.tm_spec = spec) prefix
+    in
+    m.wheel.tq <- Tq_list (keep @ rest);
+    m.wheel.timers_dirty <- true;
+    dups
+  | Tq_wheel w ->
+    let matches n =
+      n.tn_timer.tm_due = due && n.tn_timer.tm_oid = oid
+      && n.tn_timer.tm_spec = spec
+    in
+    let collect acc h =
+      let rec go acc = function
+        | None -> acc
+        | Some n ->
+          let nx = n.tn_next in
+          go (if matches n then n :: acc else acc) nx
+      in
+      go acc h
+    in
+    (* after [wheel_advance ~to_:due] every due-== node sits in the
+       level-0 cursor bucket; the past list only holds recovery skew *)
+    let ns = collect (collect [] w.tw_slots.(0).(slot_of 0 due)) w.tw_past in
+    List.iter (remove_node w) ns;
+    m.wheel.timers_dirty <- true;
+    List.sort (fun a b -> cmp_key a.tn_timer b.tn_timer) ns
+    |> List.map (fun n -> n.tn_timer)
 
 (* The partition-generic merge: the due timers of a group live spread
    over the member wheels, each member queue a (due, seq)-sorted
@@ -115,44 +606,49 @@ let advance_to db target =
     let best = ref None in
     Array.iter
       (fun m ->
-        match m.wheel.timers with
-        | tm :: _ when tm.tm_due <= target -> (
+        match member_peek m ~target with
+        | Some tm -> (
           match !best with
-          | Some (_, b)
-            when b.tm_due < tm.tm_due
-                 || (b.tm_due = tm.tm_due && b.tm_seq < tm.tm_seq) -> ()
+          | Some (_, b) when key_lt b tm || (b.tm_due = tm.tm_due && b.tm_seq = tm.tm_seq)
+            -> ()
           | _ -> best := Some (m, tm))
-        | _ -> ())
+        | None -> ())
       members;
     !best
+  in
+  let advance_wheels d =
+    Array.iter
+      (fun m ->
+        let c = m.wheel.clock_ms in
+        if d > c then begin
+          (match m.wheel.tq with
+          | Tq_wheel w -> wheel_advance w ~from_:c ~to_:d
+          | Tq_list _ -> ());
+          m.wheel.clock_ms <- d
+        end)
+      members
   in
   let rec loop () =
     match next_head () with
     | None -> ()
     | Some (m, tm) ->
+      advance_wheels tm.tm_due;
       (* Several triggers may watch the same time event on the same
          object; pull every timer for this (object, spec, instant) and
          deliver a single occurrence — logical events are points, and a
          doubled delivery would wrongly feed expressions like
          [!prior(dayBegin, ...)] twice. Duplicates share the timer's
          object, so they all live on [m]'s wheel. *)
-      let rest = List.tl m.wheel.timers in
-      let same t =
-        t.tm_due = tm.tm_due && t.tm_oid = tm.tm_oid && t.tm_spec = tm.tm_spec
+      let group =
+        member_pull_group m ~due:tm.tm_due ~oid:tm.tm_oid ~spec:tm.tm_spec
       in
-      let dups, rest = List.partition same rest in
-      m.wheel.timers <- rest;
-      m.wheel.timers_dirty <- true;
-      let group = tm :: dups in
-      Array.iter
-        (fun m' -> m'.wheel.clock_ms <- max m'.wheel.clock_ms tm.tm_due)
-        members;
       if List.exists (timer_alive db) group then begin
         let obs = db.obs in
         if Ode_obs.Registry.enabled obs then begin
           Ode_obs.Registry.incr obs Ode_obs.Registry.Timer_deliveries;
           Ode_obs.Registry.span obs
-            (Ode_obs.Trace.Timer_delivered { oid = tm.tm_oid; at_ms = tm.tm_due })
+            (Ode_obs.Trace.Timer_delivered
+               { oid = tm.tm_oid; at_ms = tm.tm_due })
         end;
         !deliver_hook db tm.tm_oid tm.tm_spec
       end;
@@ -166,7 +662,7 @@ let advance_to db target =
       loop ()
   in
   loop ();
-  Array.iter (fun m -> m.wheel.clock_ms <- target) members;
+  advance_wheels target;
   (* capture the final clock (and the timer queue, when deliveries or
      reschedules moved it) — each delivery's system transaction emitted
      its own batch mid-loop, but the clock kept advancing after the

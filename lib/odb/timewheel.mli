@@ -1,5 +1,13 @@
-(** Timewheel layer: the sorted timer queue for time events — insertion,
-    due-date computation, periodic rescheduling, and clock advancement.
+(** Timewheel layer: the pending-timer structure for time events —
+    insertion, due-date computation, periodic rescheduling, eager
+    cancellation, and clock advancement.
+
+    Two representations live behind one API (see {!Types.timerq}): the
+    reference sorted list and a hierarchical hashed timing wheel
+    (Varghese–Lauck — 8 levels of 64 slots, cascade-on-advance, O(1)
+    arm and cancel). Both deliver in identical (due, [tm_seq]) order
+    and serialize to identical bytes; {!set_wheel} switches a database
+    between them in place.
 
     Depends on {!Store} (liveness checks for timer garbage-collection)
     and {!Clock} (calendar-pattern matching). Delivering a due timer
@@ -18,9 +26,8 @@ val set_deliver_hook : (db -> oid -> Ode_event.Symbol.time_spec -> unit) -> unit
 
 val insert_timer : db -> timer -> unit
 (** Insert into the wheel of the partition member owning the timer's
-    object (the db itself when unpartitioned), keeping that queue
-    sorted by (due time, [tm_seq]) — equal due times keep insertion
-    order, group-wide. *)
+    object (the db itself when unpartitioned); delivery order is (due
+    time, [tm_seq]) — equal due times keep insertion order, group-wide. *)
 
 val fresh_seq : db -> int
 (** Allocate the next group-wide insertion stamp (from the facade
@@ -35,13 +42,65 @@ val reschedule : db -> timer -> fired_at:int64 -> timer option
     calendar [At] specs re-arm (with a fresh insertion stamp), one-shot
     [After_period] does not. *)
 
-val schedule_trigger_timers : db -> obj -> active_trigger -> unit
+val schedule_trigger_timers : db -> obj -> active_trigger -> timer list
 (** Insert one timer per time-event leaf of the trigger's event
-    specification, anchored at the current clock (activation instant). *)
+    specification, anchored at the current clock (activation instant).
+    Returns the armed timers so the caller can record them for undo. *)
 
 val timer_alive : db -> timer -> bool
 (** The timer's object is live and the watched trigger is still active
     in the same activation epoch. *)
+
+val cancel_object : db -> oid -> timer list
+(** Eagerly cancel every pending timer on one object (object deletion),
+    returning the cancelled timers in (due, seq) order — re-inserting
+    exactly that list (seqs preserved) restores the queue byte-for-byte,
+    which is how [U_timers_cancelled] undoes an aborted cancellation. *)
+
+val cancel_trigger : db -> oid -> string -> timer list
+(** Eagerly cancel the pending timers of one trigger on one object
+    (deactivation, or the epoch bump of a re-activation), returned in
+    (due, seq) order as for {!cancel_object}. *)
+
+val cancel_timer : db -> timer -> unit
+(** Cancel one specific pending timer, matched by physical identity —
+    the undo of [U_timers_armed]. Ignores timers no longer pending. *)
+
+val pending : db -> timer list
+(** The pending queue of {e this} member (no partition routing), in
+    (due, seq) order — the serialization order, identical across
+    representations. Used by the persist codec and the WAL. *)
+
+val pending_count : db -> int
+(** [List.length (pending db)], O(1) for the wheel. *)
+
+val clear : db -> unit
+(** Drop every pending timer of this member (image load reset),
+    preserving the representation. *)
+
+val replace : db -> timer list -> unit
+(** Bulk-load this member's queue from a (due, seq)-sorted list (WAL
+    replay): the wheel re-places each timer against the member's
+    current clock — set the clock before calling. *)
+
+val set_member_clock : db -> int64 -> unit
+(** Move {e this} member's clock to an absolute instant without
+    delivering anything, keeping the wheel's clock-relative placement
+    invariant (forward hops cascade, backward hops rebuild). WAL replay
+    uses this for batches that moved the clock but not the queue. *)
+
+val use_wheel : db -> bool
+(** Whether the database currently runs the wheel representation. *)
+
+val set_wheel : db -> bool -> unit
+(** Switch every partition member between the sorted-list ([false])
+    and timing-wheel ([true]) representations in place; the pending
+    set, delivery order and serialized bytes are unchanged. *)
+
+val resync : db -> unit
+(** Rebuild each member's wheel against its current clock — required
+    after group recovery maxes member clocks (wheel placement is
+    clock-relative). No-op for the list representation. *)
 
 val advance_to : db -> int64 -> unit
 (** Advance simulated time to an absolute instant, firing due timers in

@@ -96,14 +96,14 @@ let apply_undo db entry =
   | U_field (obj, name, prev) -> Hashtbl.replace obj.o_fields name prev
   | U_create obj ->
     Store.remove_obj db obj.o_id;
-    (* the object's timers live on the wheel of its owning member *)
-    let wdb = Types.owner_db db obj.o_id in
-    if List.exists (fun tm -> tm.tm_oid = obj.o_id) wdb.wheel.timers then begin
-      wdb.wheel.timers <-
-        List.filter (fun tm -> tm.tm_oid <> obj.o_id) wdb.wheel.timers;
-      wdb.wheel.timers_dirty <- true
-    end
+    (* the object never existed: drop any timer it armed *)
+    ignore (Timewheel.cancel_object db obj.o_id)
   | U_delete obj -> Store.unmark_deleted db obj
+  | U_timers_cancelled tms ->
+    (* re-insert with their original seqs: the queue (and so its
+       serialized bytes) comes back exactly as before the cancel *)
+    List.iter (Timewheel.insert_timer db) tms
+  | U_timers_armed tms -> List.iter (Timewheel.cancel_timer db) tms
   | U_trigger_state (at, prev) -> at_state_restore at prev
   | U_trigger_collected (at, prev) -> at.at_collected <- prev
   | U_trigger_active (obj, at, prev) -> set_trigger_active obj at prev

@@ -206,15 +206,61 @@ and scratch = {
 (* [Timewheel]: simulated time. *)
 and wheel_state = {
   mutable clock_ms : int64;
-  mutable timers : timer list;  (* sorted by (due time, tm_seq) *)
+  mutable tq : timerq;  (* the pending-timer structure *)
   mutable timers_dirty : bool;
-      (* set whenever [timers] changes (insert, pop, undo filtering,
-         load), cleared when a durability batch captures the list — so
+      (* set whenever the pending set changes (insert, pop, cancel,
+         load), cleared when a durability batch captures the queue — so
          WAL batches only carry the timer queue when it moved *)
   mutable tm_next_seq : int;
       (* group-wide insertion counter stamping [tm_seq]; only the
          facade's copy is read, so equal-due timers scattered across
          member wheels merge back in exactly the single-engine order *)
+}
+
+(* The pending-timer structure, selectable per database
+   ([Database.Config.timer_wheel] / ODE_TIMER_QUEUE). [Tq_list] is the
+   reference representation: one flat list sorted by (due, seq) — O(n)
+   arming, trivially correct, the oracle the wheel is pinned against.
+   [Tq_wheel] is the hierarchical hashed timing wheel (Varghese–Lauck):
+   O(1) arming and cancellation, cascade-on-advance. Both deliver in
+   identical (due, seq) order and serialize to identical ODE1 bytes;
+   [Timewheel] owns all the code. *)
+and timerq = Tq_list of timer list | Tq_wheel of twheel
+
+(* The wheel: [tw_levels] bucket levels of 64 slots each; level l's
+   slots are 64^l ticks (ms) wide, and a timer lives at the lowest
+   level whose current rotation covers its due instant — so a level-0
+   slot holds exactly one instant. Buckets are intrusive doubly-linked
+   node lists (O(1) unlink for eager cancellation via [tw_index]).
+   [tw_ovf] holds timers beyond the top level's rotation; [tw_past]
+   holds timers at or before the current clock (only reachable through
+   crash-recovery clock skew), delivered first. *)
+and twheel = {
+  tw_slots : tnode option array array;  (* level -> slot -> bucket head *)
+  tw_counts : int array;  (* pending nodes per level *)
+  mutable tw_ovf : tnode option;  (* beyond the top rotation *)
+  mutable tw_ovf_n : int;
+  mutable tw_past : tnode option;  (* due <= clock (recovery skew) *)
+  mutable tw_past_n : int;
+  mutable tw_n : int;  (* total pending nodes *)
+  mutable tw_peek : tnode option;
+      (* cached minimum-(due, seq) pending node; [None] = unknown
+         (recomputed lazily) — kept so the per-delivery head probe in
+         [Timewheel.advance_to] is O(1) between mutations *)
+  tw_index : (oid, tnode list) Hashtbl.t;
+      (* live handles per object — the eager-cancellation index; holds
+         only linked nodes (delivery and cancellation both unlink) *)
+}
+
+(* One pending timer's wheel handle. [tn_level] is the bucket address:
+   0..L-1 a wheel level, -1 the overflow list, -3 the past list, -2
+   detached (popped or cancelled). *)
+and tnode = {
+  tn_timer : timer;
+  mutable tn_prev : tnode option;
+  mutable tn_next : tnode option;
+  mutable tn_level : int;
+  mutable tn_slot : int;
 }
 
 (* [Durability]: the persistence strategy, held abstractly as a record
@@ -369,6 +415,13 @@ and undo_entry =
       (* the owning object (None for database scope) so undo can keep
          [o_n_active] exact *)
   | U_trigger_added of obj * string
+  | U_timers_cancelled of timer list
+      (* timers eagerly cancelled inside the txn (deactivate / delete /
+         re-activation epoch bump); undo re-inserts them with their
+         original seqs, so an abort restores the exact queue bytes *)
+  | U_timers_armed of timer list
+      (* timers armed inside the txn; undo cancels them (matched by
+         physical equality, so a re-armed equal timer is untouched) *)
 
 and timer = {
   tm_due : int64;
@@ -473,7 +526,7 @@ let make_db ~backend ?(start_time = 0L) ?(max_tcomplete_rounds = 1000)
       wheel =
         {
           clock_ms = start_time;
-          timers = [];
+          tq = Tq_list [];
           timers_dirty = false;
           tm_next_seq = 0;
         };
@@ -505,6 +558,12 @@ let owner_db db oid =
   match db.part with
   | Some p -> p.p_members.(oid mod Array.length p.p_members)
   | None -> db
+
+(* Pending timers in one member's queue, O(1) for the wheel. Lives here
+   (not [Timewheel]) so [Store.stats] can count timers without a
+   circular dependency. *)
+let timerq_count w =
+  match w.tq with Tq_list tms -> List.length tms | Tq_wheel tw -> tw.tw_n
 
 (* ------------------------------------------------------------------ *)
 (* Detection-state accessors                                          *)

@@ -219,7 +219,7 @@ let serialize_batch db oids =
     uniq;
   Codec.write_option w
     (fun w ts -> Codec.write_list w Persist.write_timer ts)
-    (if db.wheel.timers_dirty then Some db.wheel.timers else None);
+    (if db.wheel.timers_dirty then Some (Timewheel.pending db) else None);
   db.wheel.timers_dirty <- false;
   Codec.contents w
 
@@ -227,7 +227,7 @@ let apply_batch db payload =
   let r = Codec.reader payload in
   db.store.next_oid <- Codec.read_int r;
   db.txns.next_txn_id <- Codec.read_int r;
-  db.wheel.clock_ms <- Int64.of_int (Codec.read_int r);
+  Timewheel.set_member_clock db (Int64.of_int (Codec.read_int r));
   let n = Codec.read_int r in
   for _ = 1 to n do
     match Codec.read_int r with
@@ -242,8 +242,8 @@ let apply_batch db payload =
   done;
   match Codec.read_option r (fun r -> Codec.read_list r Persist.read_timer) with
   | Some timers ->
-    db.wheel.timers <- timers;
-    db.wheel.timers_dirty <- true;
+    (* the clock was set above, so wheel placement is already right *)
+    Timewheel.replace db timers;
     (* replayed timers keep their saved insertion stamps; the group-wide
        counter must resume past them *)
     let pr = Types.primary db in

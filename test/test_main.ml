@@ -23,6 +23,7 @@ let () =
       ("partition", Test_partition.suite);
       ("alloc", Test_alloc.suite);
       ("time-events", Test_time.suite);
+      ("timer", Test_timer.suite);
       ("persistence", Test_persistence.suite);
       ("coupling", Test_coupling.suite);
       ("stockroom", Test_stockroom.suite);

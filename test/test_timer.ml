@@ -1,0 +1,402 @@
+(* The timing wheel against its oracle: the wheel and the sorted-list
+   queue must be observationally identical — same firing traces, same
+   ODE1 image bytes, same WAL replay — over arbitrary arm / cancel /
+   re-arm / advance interleavings and at every partition count. Plus
+   the satellites: equal-deadline (due, seq) order, eager cancellation
+   visible in [stats.state_bytes], the ODE_TIMER_QUEUE selector, and
+   the clock-only-replay regression. *)
+
+open Ode_odb
+module D = Database
+module Value = Ode_base.Value
+
+let expect_ok = function
+  | Ok v -> v
+  | Error `Aborted -> Alcotest.fail "transaction unexpectedly aborted"
+
+let fresh_dir () =
+  let d = Filename.temp_file "ode_timer" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let mk_db ?durability ~partitions ~wheel () =
+  let c =
+    {
+      (D.Config.of_env ()) with
+      D.Config.partitions;
+      timer_wheel = wheel;
+    }
+  in
+  D.create_db ~config:c ?durability ()
+
+(* Every timer shape the engine arms: a fast and a slow periodic (the
+   slow one crosses level-1 rotations, period > 4096 ms), a one-shot
+   after-period and a calendar pattern. *)
+let triggers = [| "tick"; "slow"; "once"; "daily" |]
+
+let schema () =
+  D.define_class "probe"
+  |> (fun b -> D.field b "n" (Value.Int 0))
+  |> (fun b ->
+       D.method_ b ~kind:D.Updating "poke" (fun db oid _ ->
+           D.set_field db oid "n" (Value.add (D.get_field db oid "n") (Value.Int 1));
+           Value.Unit))
+  |> (fun b ->
+       D.trigger_str b ~perpetual:true "tick" ~event:"every time(MS=70)"
+         ~action:(fun db ctx -> ignore (D.call db ctx.D.fc_oid "poke" [])))
+  |> (fun b ->
+       D.trigger_str b ~perpetual:true "slow" ~event:"every time(MS=4111)"
+         ~action:(fun _ _ -> ()))
+  |> (fun b ->
+       D.trigger_str b "once" ~event:"after time(MS=150)" ~action:(fun _ _ -> ()))
+  |> fun b ->
+  D.trigger_str b ~perpetual:true "daily" ~event:"at time(HR=9)"
+    ~action:(fun _ _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The random script                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Create of int (* trigger subset bitmask *)
+  | Activate of int * string
+  | Deactivate of int * string
+  | Delete of int
+  | Aborted of int * string (* arm + cancel inside a rolled-back txn *)
+  | Advance of int
+
+(* Spans are drawn to cross structure boundaries: inside a level-0
+   rotation, across it, across the 4096 ms level-1 rotation, and
+   (rarely — the periodic timers make every ms of horizon cost
+   deliveries) a long hop over the 64^3 ms level-2 rotation. The
+   [daily] calendar timer arms at a high level and cascades but stays
+   a day away, pinning placement without the million ticks firing it
+   would cost. *)
+let gen_span rng =
+  match Random.State.int rng 20 with
+  | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 -> 1 + Random.State.int rng 60
+  | 8 | 9 | 10 | 11 | 12 -> 61 + Random.State.int rng 240
+  | 13 | 14 | 15 -> 3_500 + Random.State.int rng 1_000
+  | 16 -> 250_000 + Random.State.int rng 50_000
+  | _ -> 30 + Random.State.int rng 100
+
+let gen_ops rng =
+  let n = 40 + Random.State.int rng 40 in
+  List.init n (fun _ ->
+      let trig () = triggers.(Random.State.int rng (Array.length triggers)) in
+      let slot () = Random.State.int rng 8 in
+      match Random.State.int rng 100 with
+      | x when x < 20 -> Create (Random.State.int rng 16)
+      | x when x < 34 -> Activate (slot (), trig ())
+      | x when x < 46 -> Deactivate (slot (), trig ())
+      | x when x < 52 -> Delete (slot ())
+      | x when x < 60 -> Aborted (slot (), trig ())
+      | _ -> Advance (gen_span rng))
+
+(* Replay one script against one database; the trace is every firing
+   in order, (trigger, oid, txn) — oids and txn ids are deterministic,
+   so equal traces mean equal behaviour. *)
+let run_script ops db =
+  D.register_class db (schema ());
+  let fired = ref [] in
+  let _s =
+    D.subscribe_firings db (fun f ->
+        fired := (f.D.f_trigger, f.D.f_oid, f.D.f_txn) :: !fired)
+  in
+  let objs = ref [] in
+  let pick i =
+    match !objs with [] -> None | l -> Some (List.nth l (i mod List.length l))
+  in
+  let in_txn f =
+    match D.with_txn db (fun _ -> f ()) with Ok () -> () | Error `Aborted -> ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Create mask ->
+        in_txn (fun () ->
+            let oid = D.create db "probe" [] in
+            Array.iteri
+              (fun bit t ->
+                if mask land (1 lsl bit) <> 0 then D.activate db oid t [])
+              triggers;
+            objs := !objs @ [ oid ])
+      | Activate (i, t) -> (
+        match pick i with
+        | Some oid ->
+          in_txn (fun () -> if D.exists db oid then D.activate db oid t [])
+        | None -> ())
+      | Deactivate (i, t) -> (
+        match pick i with
+        | Some oid ->
+          in_txn (fun () -> if D.exists db oid then D.deactivate db oid t)
+        | None -> ())
+      | Delete i -> (
+        match pick i with
+        | Some oid -> in_txn (fun () -> if D.exists db oid then D.delete db oid)
+        | None -> ())
+      | Aborted (i, t) -> (
+        (* arm, re-arm and cancel, then roll it all back: the
+           [U_timers_armed]/[U_timers_cancelled] undo paths *)
+        match pick i with
+        | Some oid when D.exists db oid ->
+          let tx = D.begin_txn db in
+          (try
+             D.activate db oid t [];
+             D.activate db oid t [];
+             D.deactivate db oid t;
+             D.activate db oid t [];
+             D.abort db tx
+           with D.Lock_conflict _ -> D.abort db tx)
+        | _ -> ())
+      | Advance ms -> D.advance_clock db (Int64.of_int ms))
+    ops;
+  List.rev !fired
+
+let run_one ops ?durability ~partitions ~wheel () =
+  let db = mk_db ?durability ~partitions ~wheel () in
+  let trace = run_script ops db in
+  (db, trace, D.image_bytes db)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_oracle =
+  QCheck.Test.make
+    ~name:"wheel = sorted-list oracle (trace + ODE1 bytes, partitions 1/2/4)"
+    ~count:20 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 0x17 |] in
+      let ops = gen_ops rng in
+      let _, tr0, img0 = run_one ops ~partitions:1 ~wheel:false () in
+      List.for_all
+        (fun p ->
+          let _, tr, img = run_one ops ~partitions:p ~wheel:true () in
+          tr = tr0 && String.equal img img0)
+        [ 1; 2; 4 ])
+
+let prop_wal_recovery =
+  QCheck.Test.make
+    ~name:"WAL replay rebuilds the wheel byte-for-byte (partitions 1/2)"
+    ~count:12 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 0x33 |] in
+      let ops = gen_ops rng in
+      let _, _, img0 = run_one ops ~partitions:1 ~wheel:false () in
+      List.for_all
+        (fun p ->
+          let dir = fresh_dir () in
+          let cfg =
+            Wal.config ~flush_ms:0 ~sync_on_flush:false ~snapshot_every:0 dir
+          in
+          let db, _, img =
+            run_one ops ~durability:(`Wal cfg) ~partitions:p ~wheel:true ()
+          in
+          D.close_durability db;
+          let rdb =
+            mk_db ~durability:(`Wal (Wal.config dir)) ~partitions:p ~wheel:true
+              ()
+          in
+          D.register_class rdb (schema ());
+          D.recover rdb;
+          let ok = String.equal (D.image_bytes rdb) img in
+          D.close_durability rdb;
+          ok && String.equal img img0)
+        [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic pins                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Equal deadlines deliver in activation order — the group-wide
+   [tm_seq] stamp — identically for both representations and at any
+   partition count (oids scatter over members; the merge re-serializes
+   them). *)
+let test_equal_deadline_order () =
+  let runs =
+    List.map
+      (fun (wheel, partitions) ->
+        let db = mk_db ~partitions ~wheel () in
+        D.register_class db (schema ());
+        let fired = ref [] in
+        let _s = D.subscribe_firings db (fun f -> fired := f.D.f_oid :: !fired) in
+        let oids =
+          expect_ok
+            (D.with_txn db (fun _ ->
+                 List.init 6 (fun _ ->
+                     let oid = D.create db "probe" [] in
+                     D.activate db oid "tick" [];
+                     oid)))
+        in
+        D.advance_clock db 70L;
+        (oids, List.rev !fired))
+      [ (false, 1); (true, 1); (true, 4) ]
+  in
+  match runs with
+  | (oids0, fired0) :: rest ->
+    Alcotest.(check (list int)) "all six fire, in activation order" oids0 fired0;
+    List.iter
+      (fun (_, fired) ->
+        Alcotest.(check (list int)) "same order on every run" fired0 fired)
+      rest
+  | [] -> assert false
+
+(* Eager cancellation shows up in the stats: deactivating a trigger or
+   deleting an object releases its pending timers' bytes immediately
+   (the lazy sweep kept them until due). *)
+let test_eager_cancel_stats () =
+  List.iter
+    (fun wheel ->
+      let db = mk_db ~partitions:1 ~wheel () in
+      D.register_class db (schema ());
+      let oid =
+        expect_ok
+          (D.with_txn db (fun _ ->
+               let oid = D.create db "probe" [] in
+               D.activate db oid "tick" [];
+               D.activate db oid "slow" [];
+               D.activate db oid "once" [];
+               oid))
+      in
+      let armed = (D.stats db).D.state_bytes in
+      expect_ok (D.with_txn db (fun _ -> D.deactivate db oid "tick"));
+      let one_less = (D.stats db).D.state_bytes in
+      Alcotest.(check bool) "deactivate released one timer" true
+        (armed - one_less >= 100);
+      expect_ok (D.with_txn db (fun _ -> D.delete db oid));
+      let gone = (D.stats db).D.state_bytes in
+      Alcotest.(check bool) "delete released the rest" true
+        (one_less - gone >= 200))
+    [ true; false ]
+
+(* ODE_TIMER_QUEUE selects the representation at create_db. *)
+let test_env_selector () =
+  let old = Sys.getenv_opt "ODE_TIMER_QUEUE" in
+  let restore () =
+    Unix.putenv "ODE_TIMER_QUEUE" (match old with Some s -> s | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "ODE_TIMER_QUEUE" "list";
+      Alcotest.(check bool) "list selects the sorted queue" false
+        (D.timer_wheel_enabled (D.create_db ()));
+      Unix.putenv "ODE_TIMER_QUEUE" "wheel";
+      Alcotest.(check bool) "wheel selects the wheel" true
+        (D.timer_wheel_enabled (D.create_db ()));
+      Unix.putenv "ODE_TIMER_QUEUE" "";
+      Alcotest.(check bool) "default is the wheel" true
+        (D.timer_wheel_enabled (D.create_db ()));
+      Unix.putenv "ODE_TIMER_QUEUE" "bogus";
+      Alcotest.(check bool) "unknown queue rejected" true
+        (match D.create_db () with
+        | exception D.Ode_error _ -> true
+        | _ -> false))
+
+(* Flipping the representation in place preserves the bytes and the
+   behaviour from that point on. *)
+let test_flip_representation () =
+  let db = mk_db ~partitions:1 ~wheel:true () in
+  let control = mk_db ~partitions:1 ~wheel:true () in
+  let seed_ops db =
+    D.register_class db (schema ());
+    expect_ok
+      (D.with_txn db (fun _ ->
+           for _ = 1 to 4 do
+             let oid = D.create db "probe" [] in
+             D.activate db oid "tick" [];
+             D.activate db oid "slow" []
+           done));
+    D.advance_clock db 100L
+  in
+  seed_ops db;
+  seed_ops control;
+  let img = D.image_bytes db in
+  D.set_timer_wheel db false;
+  Alcotest.(check bool) "flipped to the list" false (D.timer_wheel_enabled db);
+  Alcotest.(check bool) "bytes preserved by wheel -> list" true
+    (String.equal (D.image_bytes db) img);
+  D.set_timer_wheel db true;
+  Alcotest.(check bool) "bytes preserved by list -> wheel" true
+    (String.equal (D.image_bytes db) img);
+  D.advance_clock db 5_000L;
+  D.advance_clock control 5_000L;
+  Alcotest.(check bool) "flip is behaviour-transparent" true
+    (String.equal (D.image_bytes db) (D.image_bytes control))
+
+(* Regression: a WAL batch that moves the clock without touching the
+   queue must keep wheel placement consistent on replay — the recovered
+   engine once peeked a timer stranded at a stale level and spun
+   forever trying to pull it. *)
+let test_clock_only_replay () =
+  let dir = fresh_dir () in
+  let cfg =
+    Wal.config ~flush_ms:0 ~sync_on_flush:false ~snapshot_every:0 dir
+  in
+  let db = mk_db ~durability:(`Wal cfg) ~partitions:1 ~wheel:true () in
+  D.register_class db (schema ());
+  expect_ok
+    (D.with_txn db (fun _ ->
+         let oid = D.create db "probe" [] in
+         D.activate db oid "tick" []));
+  (* nothing due by 65, queue untouched: this logs a clock-only batch
+     that crosses the level-0 rotation the timer was placed under *)
+  D.advance_clock db 65L;
+  D.close_durability db;
+  let rdb = mk_db ~durability:(`Wal (Wal.config dir)) ~partitions:1 ~wheel:true () in
+  D.register_class rdb (schema ());
+  D.recover rdb;
+  let fired = ref 0 in
+  let _s = D.subscribe_firings rdb (fun _ -> incr fired) in
+  D.advance_clock rdb 10L;
+  D.close_durability rdb;
+  Alcotest.(check int) "the replayed timer still fires at 70" 1 !fired
+
+(* The fleet scenario end to end, small: cadence deliveries, one-shot
+   service alerts, eager cancellation via idle/retire — identical for
+   both representations. *)
+let test_fleet_small () =
+  let run wheel =
+    Unix.putenv "ODE_TIMER_QUEUE" (if wheel then "wheel" else "list");
+    let fleet = Ode_scenarios.Fleet.setup ~vehicles:30 () in
+    Ode_scenarios.Fleet.tick fleet 1_000L;
+    let beats1 = Ode_scenarios.Fleet.total_beats fleet in
+    Ode_scenarios.Fleet.idle fleet ~stride:3;
+    Ode_scenarios.Fleet.retire fleet ~stride:7;
+    Ode_scenarios.Fleet.tick fleet 40_000L;
+    ( beats1,
+      Ode_scenarios.Fleet.total_beats fleet,
+      Ode_scenarios.Fleet.total_alerts fleet,
+      D.image_bytes fleet.Ode_scenarios.Fleet.db )
+  in
+  let old = Sys.getenv_opt "ODE_TIMER_QUEUE" in
+  let restore () =
+    Unix.putenv "ODE_TIMER_QUEUE" (match old with Some s -> s | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      let b1, b2, alerts, img_w = run true in
+      let b1', b2', alerts', img_l = run false in
+      (* 10 vehicles each at 50/250/1000 ms over 1000 ms *)
+      Alcotest.(check int) "first-second heartbeats" ((20 * 10) + (4 * 10) + 10)
+        b1;
+      Alcotest.(check bool) "idle fleet keeps beating" true (b2 > b1);
+      Alcotest.(check bool) "service checks came due" true (alerts > 0);
+      Alcotest.(check int) "list rep: same first-second beats" b1 b1';
+      Alcotest.(check int) "list rep: same final beats" b2 b2';
+      Alcotest.(check int) "list rep: same alerts" alerts alerts';
+      Alcotest.(check bool) "list rep: same image bytes" true
+        (String.equal img_w img_l))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_oracle;
+    QCheck_alcotest.to_alcotest prop_wal_recovery;
+    Alcotest.test_case "equal deadlines keep activation order" `Quick
+      test_equal_deadline_order;
+    Alcotest.test_case "eager cancellation frees state bytes" `Quick
+      test_eager_cancel_stats;
+    Alcotest.test_case "ODE_TIMER_QUEUE selector" `Quick test_env_selector;
+    Alcotest.test_case "representation flip is transparent" `Quick
+      test_flip_representation;
+    Alcotest.test_case "clock-only WAL batch replay (regression)" `Quick
+      test_clock_only_replay;
+    Alcotest.test_case "fleet scenario, wheel vs list" `Quick test_fleet_small;
+  ]
